@@ -1,0 +1,358 @@
+// Benchmarks regenerating every table and figure of the DispersedLedger
+// paper's evaluation (§6, Appendix A). Each benchmark runs the
+// corresponding experiment on the network emulator and reports the
+// figure's headline quantity as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the whole evaluation. EXPERIMENTS.md records the
+// paper-vs-measured comparison; cmd/dlbench prints the full tables.
+package dispersedledger
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/harness"
+	"dledger/internal/trace"
+)
+
+// benchDuration keeps each emulated run short enough that the full bench
+// suite finishes in minutes; cmd/dlbench -full runs the long versions.
+const benchDuration = 20 * time.Second
+
+// BenchmarkFig2DispersalCost measures AVID-M vs AVID-FP per-node
+// dispersal cost (Fig 2). Metrics are the per-node download normalized by
+// block size at N=64, |B|=1MB.
+func BenchmarkFig2DispersalCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.RunFig2([]int{16, 64}, []int{100 << 10, 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.N == 64 && p.BlockSize == 1<<20 {
+				b.ReportMetric(p.AVIDM, "avidm_frac")
+				b.ReportMetric(p.AVIDFP, "avidfp_frac")
+			}
+		}
+	}
+}
+
+func geoBench(b *testing.B, mode core.Mode, cities []trace.City) *harness.GeoResult {
+	b.Helper()
+	var last *harness.GeoResult
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunGeo(harness.GeoParams{
+			Cities: cities, Mode: mode, Duration: benchDuration, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	return last
+}
+
+// BenchmarkFig8GeoThroughput reproduces the geo-distributed throughput
+// comparison (Fig 8 + the §6.2 headline ratios).
+func BenchmarkFig8GeoThroughput(b *testing.B) {
+	results := map[core.Mode]*harness.GeoResult{}
+	for _, m := range []core.Mode{core.ModeHB, core.ModeHBLink, core.ModeDL, core.ModeDLCoupled} {
+		b.Run(m.String(), func(b *testing.B) {
+			results[m] = geoBench(b, m, nil)
+			b.ReportMetric(results[m].Mean, "MB/s_mean")
+		})
+	}
+	if dl, hb := results[core.ModeDL], results[core.ModeHB]; dl != nil && hb != nil {
+		fmt.Printf("  fig8: DL/HB = %.2fx (paper ~2.05x), HB-Link/HB = %.2fx (paper ~1.45x)\n",
+			dl.Mean/hb.Mean, results[core.ModeHBLink].Mean/hb.Mean)
+	}
+}
+
+// BenchmarkFig9Progress reproduces the confirmed-bytes-over-time series
+// (Fig 9), reporting the fast/slow node progress spread for DL.
+func BenchmarkFig9Progress(b *testing.B) {
+	for _, m := range []core.Mode{core.ModeDL, core.ModeHBLink} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunProgress(harness.GeoParams{
+					Mode: m, Duration: benchDuration, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last := func(ts int) float64 {
+					s := r.Series[ts]
+					if len(s.Values) == 0 {
+						return 0
+					}
+					return s.Values[len(s.Values)-1]
+				}
+				b.ReportMetric(last(0)/float64(1<<30), "fast_GB")
+				b.ReportMetric(last(len(r.Series)-1)/float64(1<<30), "slow_GB")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10LatencyLoad reproduces the latency-vs-load sweep (Fig 10),
+// reporting the fast site's median latency at a low and a high load.
+func BenchmarkFig10LatencyLoad(b *testing.B) {
+	for _, m := range []core.Mode{core.ModeDL, core.ModeHB} {
+		for _, sysLoad := range []float64{6, 15} { // paper's system-wide MB/s
+			name := fmt.Sprintf("%s/load=%gMBps", m, sysLoad)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r, err := harness.RunLatency(harness.LatencyParams{
+						Mode: m, Duration: benchDuration, Seed: 1,
+						LoadPerNode: sysLoad / 16 * trace.MB,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(r.P50[0].Seconds()*1000, "fast_p50_ms")
+					b.ReportMetric(r.P50[len(r.P50)-1].Seconds()*1000, "slow_p50_ms")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11aSpatial reproduces the spatial-variation experiment.
+func BenchmarkFig11aSpatial(b *testing.B) {
+	for _, m := range []core.Mode{core.ModeHB, core.ModeHBLink, core.ModeDL} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunControlled(harness.ControlledParams{
+					Mode: m, Spatial: true, Duration: benchDuration, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Throughput[0], "node0_MB/s")
+				b.ReportMetric(r.Throughput[15], "node15_MB/s")
+			}
+		})
+	}
+}
+
+// BenchmarkFig11bTemporal reproduces the temporal-variation experiment:
+// the metric is throughput under Gauss-Markov variation relative to fixed
+// bandwidth (paper: DL ~1.0, HB ~0.8).
+func BenchmarkFig11bTemporal(b *testing.B) {
+	for _, m := range []core.Mode{core.ModeHB, core.ModeHBLink, core.ModeDL} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fixed, err := harness.RunControlled(harness.ControlledParams{
+					Mode: m, Duration: benchDuration, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				varying, err := harness.RunControlled(harness.ControlledParams{
+					Mode: m, Temporal: true, Duration: benchDuration, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(fixed.Mean, "fixed_MB/s")
+				b.ReportMetric(varying.Mean, "varying_MB/s")
+				b.ReportMetric(varying.Mean/fixed.Mean, "retention")
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Scalability reproduces the cluster-size sweep (Fig 12).
+// Use -short to restrict to N=16; `cmd/dlbench -full` extends the sweep
+// to N=64 and N=128 with the longer durations those sizes need.
+func BenchmarkFig12Scalability(b *testing.B) {
+	sizes := []int{16, 31}
+	if testing.Short() {
+		sizes = []int{16}
+	}
+	for _, n := range sizes {
+		for _, bs := range []int{500 << 10, 1 << 20} {
+			b.Run(fmt.Sprintf("N=%d/block=%dKB", n, bs>>10), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r, err := harness.RunScalability(harness.ScaleParams{
+						N: n, BlockBytes: bs, Duration: benchDuration, Seed: 1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(r.Throughput, "MB/s")
+					b.ReportMetric(r.DispersalFraction, "disp_frac")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig13DispersalFraction isolates Fig 13's metric: the fraction
+// of traffic a node needs to participate in dispersal, vs N.
+func BenchmarkFig13DispersalFraction(b *testing.B) {
+	sizes := []int{16, 31}
+	if testing.Short() {
+		sizes = []int{16}
+	}
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunScalability(harness.ScaleParams{
+					N: n, BlockBytes: 1 << 20, Duration: benchDuration, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.DispersalFraction, "disp_frac")
+			}
+		})
+	}
+}
+
+// BenchmarkFig14LatencyMetric reproduces Appendix A.1: all-transaction vs
+// local-transaction latency near capacity.
+func BenchmarkFig14LatencyMetric(b *testing.B) {
+	for _, m := range []core.Mode{core.ModeDL, core.ModeHB} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunLatency(harness.LatencyParams{
+					Mode: m, Duration: benchDuration, Seed: 1,
+					LoadPerNode: 12.0 / 16 * trace.MB,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.P50[0].Seconds()*1000, "local_p50_ms")
+				b.ReportMetric(r.AllP50[0].Seconds()*1000, "all_p50_ms")
+				b.ReportMetric(r.AllP95[0].Seconds()*1000, "all_p95_ms")
+			}
+		})
+	}
+}
+
+// BenchmarkFig15Vultr reproduces the second internet testbed (A.2).
+func BenchmarkFig15Vultr(b *testing.B) {
+	results := map[core.Mode]*harness.GeoResult{}
+	for _, m := range []core.Mode{core.ModeHB, core.ModeDL} {
+		b.Run(m.String(), func(b *testing.B) {
+			results[m] = geoBench(b, m, trace.VultrCities)
+			b.ReportMetric(results[m].Mean, "MB/s_mean")
+		})
+	}
+	if dl, hb := results[core.ModeDL], results[core.ModeHB]; dl != nil && hb != nil {
+		fmt.Printf("  fig15: DL/HB = %.2fx (paper: >=1.5x)\n", dl.Mean/hb.Mean)
+	}
+}
+
+// BenchmarkFig16TraceExample regenerates the example Gauss-Markov trace
+// (A.3) and reports its sample statistics.
+func BenchmarkFig16TraceExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := trace.GaussMarkov(trace.GaussMarkovParams{
+			Mean: 10 * trace.MB, Sigma: 5 * trace.MB, Alpha: 0.98, Tick: time.Second,
+		}, 300, 1)
+		b.ReportMetric(tr.Mean()/trace.MB, "mean_MB/s")
+	}
+}
+
+// BenchmarkAblationPriorityWeight sweeps the dispersal:retrieval priority
+// weight T (§5 uses 30). High T protects the dispersal pipeline's epoch
+// rate — the property that lets every node keep voting when retrieval is
+// backlogged; low T hands that bandwidth to retrieval, raising confirmed
+// throughput at the cost of consensus progress. Both metrics are
+// reported so the tradeoff is visible.
+func BenchmarkAblationPriorityWeight(b *testing.B) {
+	for _, T := range []float64{1, 3, 30, 300} {
+		b.Run(fmt.Sprintf("T=%g", T), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunControlled(harness.ControlledParams{
+					Mode: core.ModeDL, Temporal: true, Duration: benchDuration,
+					Seed: 1, PriorityWeight: T,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Mean, "MB/s_mean")
+				b.ReportMetric(r.EpochRate, "epochs/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatching shows the batching tradeoff behind §5's rate
+// control. With the paper's 100 ms delay gate, proposals ride the epoch
+// cadence and batch size adapts to load (the first case). Pinning the
+// delay gate high and forcing ever-larger byte thresholds (paper-
+// equivalent 150 KB / 600 KB) trades confirmation latency for fewer,
+// larger, more bandwidth-efficient blocks.
+func BenchmarkAblationBatching(b *testing.B) {
+	cases := []struct {
+		name  string
+		delay time.Duration
+		bytes int
+	}{
+		{"adaptive-100ms", 100 * time.Millisecond, 0},
+		{"batch=150KB", time.Hour, 150 << 10},
+		{"batch=600KB", time.Hour, 600 << 10},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunLatencyWithBatch(harness.LatencyParams{
+					Mode: core.ModeDL, Duration: benchDuration, Seed: 1,
+					LoadPerNode: 4.0 / 16 * trace.MB,
+				}, tc.delay, tc.bytes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.P50[0].Seconds()*1000, "fast_p50_ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLagGuard sweeps the §4.5 P bound ("stop proposing when
+// more than P epochs behind") on a saturated fixed-block cluster: P=0
+// (pure DL) lets dispersal run arbitrarily ahead of retrieval (the lag
+// metric grows with the run), small P throttles the pipeline to the
+// retrieval drain rate.
+func BenchmarkAblationLagGuard(b *testing.B) {
+	for _, P := range []uint64{0, 2, 8, 32} {
+		b.Run(fmt.Sprintf("P=%d", P), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunLagGuard(P, benchDuration, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Throughput, "MB/s_mean")
+				b.ReportMetric(r.FinalLag, "final_lag_epochs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRetrievalPolicy compares the paper's request-all
+// retrieval against the staged-wave extension (Config.StagedRetrieval):
+// staged retrieval trades confirmation latency for a lower ingress tax on
+// slow nodes.
+func BenchmarkAblationRetrievalPolicy(b *testing.B) {
+	for _, staged := range []bool{false, true} {
+		b.Run(fmt.Sprintf("staged=%v", staged), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := harness.RunGeoStaged(harness.GeoParams{
+					Mode: core.ModeDL, Duration: benchDuration, Seed: 1,
+				}, staged)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Mean, "MB/s_mean")
+				b.ReportMetric(r.Throughput[len(r.Throughput)-1], "slowest_MB/s")
+			}
+		})
+	}
+}

@@ -1,0 +1,215 @@
+// Command dlbench regenerates every table and figure of the
+// DispersedLedger paper's evaluation on the network emulator and prints
+// them in the paper's shape. See EXPERIMENTS.md for the experiment
+// inventory and the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	dlbench            # quick pass (scaled durations, minutes of CPU)
+//	dlbench -full      # longer runs, larger cluster sweep
+//	dlbench -exp fig8  # one experiment only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/harness"
+	"dledger/internal/trace"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full-size sweeps (slower)")
+	exp := flag.String("exp", "", "run a single experiment id (fig2, fig8, fig9, fig10, fig11a, fig11b, fig12, fig13, fig14, fig15, fig16)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	d := 30 * time.Second
+	nSweep := []int{16, 31}
+	fig2N := []int{4, 16, 40, 64}
+	if *full {
+		d = 120 * time.Second
+		nSweep = []int{16, 31, 64, 127}
+		fig2N = []int{4, 16, 40, 64, 100, 128}
+	}
+
+	run := func(id string, fn func() error) {
+		if *exp != "" && *exp != id {
+			return
+		}
+		fmt.Printf("=== %s ===\n", id)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig2", func() error {
+		pts, err := harness.RunFig2(fig2N, []int{100 << 10, 1 << 20})
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.FormatFig2(pts))
+		return nil
+	})
+
+	var geo [4]*harness.GeoResult
+	run("fig8", func() error {
+		modes := []core.Mode{core.ModeHB, core.ModeHBLink, core.ModeDL, core.ModeDLCoupled}
+		var results []*harness.GeoResult
+		for i, m := range modes {
+			r, err := harness.RunGeo(harness.GeoParams{
+				Mode: m, Duration: d, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			geo[i] = r
+			results = append(results, r)
+		}
+		fmt.Print(harness.FormatGeo(results))
+		fmt.Print(harness.FormatHeadline(geo[0], geo[1], geo[2], geo[3]))
+		return nil
+	})
+
+	run("fig9", func() error {
+		for _, m := range []core.Mode{core.ModeDL, core.ModeHBLink} {
+			r, err := harness.RunProgress(harness.GeoParams{
+				Mode: m, Duration: d, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(harness.FormatProgress(r, d/10, d))
+		}
+		return nil
+	})
+
+	run("fig10", func() error {
+		loads := []float64{2, 6, 10, 15}
+		for _, m := range []core.Mode{core.ModeDL, core.ModeHB} {
+			var results []*harness.LatencyResult
+			for _, l := range loads {
+				r, err := harness.RunLatency(harness.LatencyParams{
+					Mode: m, Duration: d, Seed: *seed,
+					LoadPerNode: l / 16 * trace.MB, // paper loads are system-wide over 16 nodes
+				})
+				if err != nil {
+					return err
+				}
+				results = append(results, r)
+			}
+			fmt.Print(harness.FormatLatency(results))
+		}
+		return nil
+	})
+
+	run("fig11a", func() error {
+		var results []*harness.ControlledResult
+		for _, m := range []core.Mode{core.ModeHB, core.ModeHBLink, core.ModeDL} {
+			r, err := harness.RunControlled(harness.ControlledParams{
+				Mode: m, Spatial: true, Duration: d, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		fmt.Print(harness.FormatControlled(
+			"Fig 11a — spatial variation (node i capped at 10+0.5i MB/s)", results))
+		return nil
+	})
+
+	run("fig11b", func() error {
+		for _, temporal := range []bool{false, true} {
+			var results []*harness.ControlledResult
+			for _, m := range []core.Mode{core.ModeHB, core.ModeHBLink, core.ModeDL} {
+				r, err := harness.RunControlled(harness.ControlledParams{
+					Mode: m, Temporal: temporal, Duration: d, Seed: *seed,
+				})
+				if err != nil {
+					return err
+				}
+				results = append(results, r)
+			}
+			title := "Fig 11b — fixed 10 MB/s"
+			if temporal {
+				title = "Fig 11b — Gauss-Markov (b=10, σ=5, α=0.98)"
+			}
+			fmt.Print(harness.FormatControlled(title, results))
+		}
+		return nil
+	})
+
+	run("fig12", func() error {
+		var pts []*harness.ScaleResult
+		for _, n := range nSweep {
+			for _, bs := range []int{500 << 10, 1 << 20} {
+				r, err := harness.RunScalability(harness.ScaleParams{
+					N: n, BlockBytes: bs, Duration: d, Seed: *seed,
+				})
+				if err != nil {
+					return err
+				}
+				pts = append(pts, r)
+			}
+		}
+		fmt.Print(harness.FormatScale(pts))
+		return nil
+	})
+
+	run("fig13", func() error {
+		fmt.Println("Fig 13 shares fig12's runs; see the 'dispersal frac' column above.")
+		return nil
+	})
+
+	run("fig14", func() error {
+		for _, m := range []core.Mode{core.ModeDL, core.ModeHB} {
+			r, err := harness.RunLatency(harness.LatencyParams{
+				Mode: m, Duration: d, Seed: *seed,
+				LoadPerNode: 12.0 / 16 * trace.MB, // near capacity
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Fig 14 (%s) — all-tx vs local-tx latency (median/p95)\n", m)
+			for i, name := range r.Names {
+				fmt.Printf("  %-12s local %8s/%8s   all %8s/%8s\n", name,
+					r.P50[i].Round(time.Millisecond), r.P95[i].Round(time.Millisecond),
+					r.AllP50[i].Round(time.Millisecond), r.AllP95[i].Round(time.Millisecond))
+			}
+		}
+		return nil
+	})
+
+	run("fig15", func() error {
+		var results []*harness.GeoResult
+		for _, m := range []core.Mode{core.ModeHB, core.ModeHBLink, core.ModeDL} {
+			r, err := harness.RunGeo(harness.GeoParams{
+				Cities: trace.VultrCities, Mode: m, Duration: d, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		fmt.Print(harness.FormatGeo(results))
+		return nil
+	})
+
+	run("fig16", func() error {
+		tr := trace.GaussMarkov(trace.GaussMarkovParams{
+			Mean: 10 * trace.MB, Sigma: 5 * trace.MB, Alpha: 0.98, Tick: time.Second,
+		}, 300, *seed)
+		fmt.Println("Fig 16 — example Gauss-Markov bandwidth trace (MB/s, one sample per 10 s)")
+		for i := 0; i < len(tr.Rates); i += 10 {
+			fmt.Printf("  t=%3ds  %6.2f\n", i, tr.Rates[i]/trace.MB)
+		}
+		return nil
+	})
+}

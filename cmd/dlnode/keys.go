@@ -1,0 +1,73 @@
+package main
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	dl "dledger"
+)
+
+// Key file layout under -keydir:
+//
+//	public.keys     one hex-encoded ed25519 public key per line, node order
+//	node<i>.key     node i's hex-encoded private key (distribute privately)
+
+func writeKeys(n int, dir string) error {
+	if dir == "" {
+		return fmt.Errorf("-genkeys requires -keydir")
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	rings, err := dl.GenerateKeyring(n)
+	if err != nil {
+		return err
+	}
+	var pubs strings.Builder
+	for i, r := range rings {
+		pubs.WriteString(hex.EncodeToString(r.Publics[i]))
+		pubs.WriteByte('\n')
+		priv := hex.EncodeToString(r.Private)
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("node%d.key", i)), []byte(priv+"\n"), 0o600); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "public.keys"), []byte(pubs.String()), 0o644)
+}
+
+func readKeys(dir string, self, n int) (*dl.Keyring, error) {
+	pubData, err := os.ReadFile(filepath.Join(dir, "public.keys"))
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Fields(strings.TrimSpace(string(pubData)))
+	if len(lines) != n {
+		return nil, fmt.Errorf("public.keys has %d keys, cluster has %d nodes", len(lines), n)
+	}
+	ring := &dl.Keyring{Self: self, Publics: make([]ed25519.PublicKey, n)}
+	for i, l := range lines {
+		b, err := hex.DecodeString(l)
+		if err != nil || len(b) != ed25519.PublicKeySize {
+			return nil, fmt.Errorf("public.keys line %d invalid", i+1)
+		}
+		ring.Publics[i] = b
+	}
+	privData, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("node%d.key", self)))
+	if err != nil {
+		return nil, err
+	}
+	b, err := hex.DecodeString(strings.TrimSpace(string(privData)))
+	if err != nil || len(b) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("node%d.key invalid", self)
+	}
+	ring.Private = b
+	// Sanity: the private key must match our slot in public.keys.
+	if !ring.Publics[self].Equal(ring.Private.Public().(ed25519.PublicKey)) {
+		return nil, fmt.Errorf("node%d.key does not match public.keys entry %d", self, self)
+	}
+	return ring, nil
+}

@@ -1,0 +1,151 @@
+// Command dlnode runs one DispersedLedger node of a real TCP deployment.
+//
+// Every node of a cluster runs the same binary with the same -peers list
+// and -secret, differing only in -id:
+//
+//	dlnode -id 0 -peers host0:7000,host1:7000,host2:7000,host3:7000 -secret s3cret
+//	dlnode -id 1 -peers ... -secret s3cret
+//	...
+//
+// With -gen R the node also generates a synthetic transaction load of R
+// MB/s (the paper's workload) and prints per-second statistics.
+//
+// Peer authentication: run `dlnode -genkeys 4 -keydir ./keys` once to
+// create an identity keyring for a 4-node cluster, distribute the key
+// files, and start every node with `-keydir ./keys`. Without -keydir the
+// mesh trusts self-declared peer ids (fine on closed networks only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	dl "dledger"
+	"dledger/internal/trace"
+	"dledger/internal/workload"
+)
+
+func main() {
+	id := flag.Int("id", -1, "this node's index into -peers")
+	peers := flag.String("peers", "", "comma-separated list of all node addresses, in id order")
+	secret := flag.String("secret", "", "shared coin secret (same on every node)")
+	modeStr := flag.String("mode", "DL", "protocol: DL, DL-Coupled, HB, HB-Link")
+	f := flag.Int("f", 0, "fault tolerance (0 = floor((n-1)/3))")
+	gen := flag.Float64("gen", 0, "generate synthetic load at this many MB/s")
+	txSize := flag.Int("txsize", 256, "synthetic transaction size in bytes")
+	statsEvery := flag.Duration("stats", time.Second, "statistics print interval")
+	keydir := flag.String("keydir", "", "directory with identity keys (see -genkeys)")
+	genkeys := flag.Int("genkeys", 0, "generate identity keys for this many nodes into -keydir, then exit")
+	retain := flag.Uint64("retain", 0, "garbage-collect epochs this far behind delivery (0 = keep all)")
+	flag.Parse()
+
+	if *genkeys > 0 {
+		if err := writeKeys(*genkeys, *keydir); err != nil {
+			fmt.Fprintln(os.Stderr, "dlnode:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d keyrings to %s\n", *genkeys, *keydir)
+		return
+	}
+
+	addrs := strings.Split(*peers, ",")
+	if *id < 0 || *id >= len(addrs) || len(addrs) < 4 {
+		fmt.Fprintln(os.Stderr, "dlnode: need -id and a -peers list of at least 4 addresses")
+		os.Exit(2)
+	}
+	if *secret == "" {
+		fmt.Fprintln(os.Stderr, "dlnode: -secret is required and must match across the cluster")
+		os.Exit(2)
+	}
+	n := len(addrs)
+	faults := *f
+	if faults == 0 {
+		faults = (n - 1) / 3
+	}
+	var mode dl.Mode
+	switch *modeStr {
+	case "DL":
+		mode = dl.ModeDL
+	case "DL-Coupled":
+		mode = dl.ModeDLCoupled
+	case "HB":
+		mode = dl.ModeHB
+	case "HB-Link":
+		mode = dl.ModeHBLink
+	default:
+		fmt.Fprintln(os.Stderr, "dlnode: unknown -mode")
+		os.Exit(2)
+	}
+
+	var keys *dl.Keyring
+	if *keydir != "" {
+		var err error
+		keys, err = readKeys(*keydir, *id, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlnode:", err)
+			os.Exit(1)
+		}
+	}
+
+	node, err := dl.NewTCPNode(dl.NodeOptions{
+		Config: dl.Config{
+			N: n, F: faults, Mode: mode,
+			CoinSecret:   []byte(*secret),
+			RetainEpochs: *retain,
+		},
+		Self:  *id,
+		Addrs: addrs,
+		Keys:  keys,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlnode:", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	fmt.Printf("dlnode %d/%d listening on %s (mode %s, f=%d)\n", *id, n, node.Addr(), mode, faults)
+
+	// Drain deliveries so the channel never backs up.
+	go func() {
+		for range node.Deliveries() {
+		}
+	}()
+
+	if *gen > 0 {
+		go func() {
+			g := workload.NewGenerator(*id, *txSize, *gen*trace.MB, int64(*id)+1)
+			start := time.Now()
+			for {
+				tx, gap := g.Next(time.Since(start))
+				time.Sleep(gap)
+				node.Submit(tx)
+			}
+		}()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*statsEvery)
+	defer tick.Stop()
+	var lastPayload int64
+	lastAt := time.Now()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\ndlnode: shutting down")
+			return
+		case <-tick.C:
+			s := node.Stats()
+			now := time.Now()
+			rate := float64(s.DeliveredPayload-lastPayload) / now.Sub(lastAt).Seconds() / trace.MB
+			lastPayload, lastAt = s.DeliveredPayload, now
+			fmt.Printf("epochs=%d txs=%d confirmed=%.2fMB rate=%.2fMB/s linked=%d\n",
+				s.EpochsDelivered, s.DeliveredTxs,
+				float64(s.DeliveredPayload)/trace.MB, rate, s.LinkedBlocks)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package dispersedledger is the public API of this DispersedLedger
+// implementation (Yang et al., NSDI 2022): an asynchronous Byzantine
+// fault tolerant state machine replication protocol that stays fast on
+// variable-bandwidth networks by agreeing on verifiably-dispersed blocks
+// and downloading their contents lazily.
+//
+// The package offers two entry points:
+//
+//   - NewCluster runs an N-node cluster inside one process, connected by
+//     channels. It is the quickest way to use the protocol as a library
+//     (embedded replicated log) and what the quickstart example uses.
+//   - NewTCPNode runs one node of a distributed deployment over TCP;
+//     cmd/dlnode wraps it in a binary.
+//
+// The underlying machinery — the AVID-M dispersal protocol, binary
+// agreement, the network emulator that reproduces the paper's
+// experiments — lives in internal/ packages; see DESIGN.md for the map.
+package dispersedledger
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/replica"
+	"dledger/internal/transport"
+)
+
+// Mode selects the protocol variant.
+type Mode = core.Mode
+
+// Protocol variants (§6 of the paper). ModeDL is DispersedLedger proper
+// and the default; the others are the paper's baselines and the
+// spam-resistant variant.
+const (
+	ModeDL        = core.ModeDL
+	ModeDLCoupled = core.ModeDLCoupled
+	ModeHB        = core.ModeHB
+	ModeHBLink    = core.ModeHBLink
+)
+
+// Config configures a cluster or node.
+type Config struct {
+	// N is the cluster size; F the fault tolerance. N >= 3F+1. If both
+	// are zero, N=4, F=1 is used.
+	N, F int
+	// Mode is the protocol variant (default ModeDL).
+	Mode Mode
+	// CoinSecret keys the common coin; every node of a cluster must use
+	// the same value. In-process clusters may leave it nil.
+	CoinSecret []byte
+	// BatchDelay and BatchBytes tune proposal batching (defaults: the
+	// paper's 100 ms / 150 KB).
+	BatchDelay time.Duration
+	BatchBytes int
+	// RetainEpochs, when positive, garbage-collects protocol state for
+	// epochs more than this far behind delivery. See the engine
+	// documentation for the availability tradeoff; zero keeps all state
+	// (the paper-prototype behaviour).
+	RetainEpochs uint64
+	// StagedRetrieval requests block chunks in escalating waves instead
+	// of from all servers at once — less redundant download for slow
+	// nodes, slightly higher confirmation latency. Off by default (the
+	// paper's policy).
+	StagedRetrieval bool
+}
+
+func (c Config) coreConfig() core.Config {
+	n, f := c.N, c.F
+	if n == 0 && f == 0 {
+		n, f = 4, 1
+	}
+	return core.Config{
+		N: n, F: f, Mode: c.Mode, CoinSecret: c.CoinSecret,
+		RetainEpochs: c.RetainEpochs, StagedRetrieval: c.StagedRetrieval,
+	}
+}
+
+func (c Config) replicaParams() replica.Params {
+	return replica.Params{BatchDelay: c.BatchDelay, BatchBytes: c.BatchBytes}
+}
+
+// Delivery is one committed block, as observed by one node. Deliveries
+// arrive in the same total order at every correct node.
+type Delivery struct {
+	// Time is the node-local time of delivery.
+	Time time.Duration
+	// Epoch and Proposer identify the block's slot in the log.
+	Epoch    uint64
+	Proposer int
+	// Txs are the block's transactions in proposal order.
+	Txs [][]byte
+	// Linked marks blocks committed via inter-node linking (§4.3) rather
+	// than directly by the epoch's agreement phase.
+	Linked bool
+}
+
+// Stats is a snapshot of one node's counters.
+type Stats struct {
+	Submitted        int64
+	DeliveredTxs     int64
+	DeliveredPayload int64
+	EpochsDelivered  int64
+	LinkedBlocks     int64
+}
+
+// Cluster is an in-process DispersedLedger deployment.
+type Cluster struct {
+	mem *transport.MemoryCluster
+
+	mu   sync.Mutex
+	subs []chan Delivery
+}
+
+// NewCluster starts an N-node in-process cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	c := &Cluster{}
+	cc := cfg.coreConfig()
+	c.subs = make([]chan Delivery, cc.N)
+	for i := range c.subs {
+		c.subs[i] = make(chan Delivery, 1024)
+	}
+	mem, err := transport.NewMemoryCluster(transport.MemoryOptions{
+		Core:    cc,
+		Replica: cfg.replicaParams(),
+		OnDeliver: func(node int, d replica.Delivery) {
+			c.mu.Lock()
+			ch := c.subs[node]
+			c.mu.Unlock()
+			select {
+			case ch <- Delivery{
+				Time: d.At, Epoch: d.Epoch, Proposer: d.Proposer,
+				Txs: d.Txs, Linked: d.Linked,
+			}:
+			default:
+				// Slow consumers drop deliveries rather than deadlocking
+				// the consensus loop; Stats still count them.
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mem = mem
+	return c, nil
+}
+
+// ErrBadNode is returned for out-of-range node indices.
+var ErrBadNode = errors.New("dispersedledger: node index out of range")
+
+// Submit hands a transaction to node i.
+func (c *Cluster) Submit(i int, tx []byte) error {
+	return c.mem.Submit(i, tx)
+}
+
+// Deliveries returns node i's delivery channel. Each delivered block is
+// sent once; a consumer that falls more than 1024 blocks behind misses
+// the overflow.
+func (c *Cluster) Deliveries(i int) (<-chan Delivery, error) {
+	if i < 0 || i >= c.mem.N() {
+		return nil, ErrBadNode
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subs[i], nil
+}
+
+// Stats snapshots node i's counters.
+func (c *Cluster) Stats(i int) (Stats, error) {
+	if i < 0 || i >= c.mem.N() {
+		return Stats{}, ErrBadNode
+	}
+	var out Stats
+	c.mem.Inspect(i, func(r *replica.Replica) {
+		out = Stats{
+			Submitted:        r.Stats.Submitted,
+			DeliveredTxs:     r.Stats.DeliveredTxs,
+			DeliveredPayload: r.Stats.DeliveredPayload,
+			EpochsDelivered:  r.Stats.EpochsDelivered,
+			LinkedBlocks:     r.Stats.LinkedBlocks,
+		}
+	})
+	return out, nil
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.mem.N() }
+
+// Close stops the cluster.
+func (c *Cluster) Close() { c.mem.Close() }
+
+// Node is one member of a distributed TCP deployment.
+type Node struct {
+	tcp *transport.TCPNode
+	sub chan Delivery
+}
+
+// Keyring re-exports the transport identity keyring: generate one set
+// per cluster with GenerateKeyring and give each node its own entry.
+type Keyring = transport.Keyring
+
+// GenerateKeyring creates ed25519 identity keys for an n-node cluster.
+// Pass nil to use crypto/rand.
+func GenerateKeyring(n int) ([]*Keyring, error) {
+	return transport.GenerateKeyring(n, nil)
+}
+
+// NodeOptions configures a TCP node.
+type NodeOptions struct {
+	Config Config
+	// Self is this node's index into Addrs.
+	Self int
+	// Addrs lists every node's listen address, in node-id order.
+	Addrs []string
+	// Listener optionally provides a pre-bound listener for Addrs[Self].
+	Listener net.Listener
+	// Keys enables ed25519 authentication of every connection. Without
+	// keys, peers are identified by their self-declared handshake id —
+	// acceptable only on trusted networks.
+	Keys *Keyring
+}
+
+// NewTCPNode starts one node of a TCP cluster. Config.CoinSecret must be
+// set (all nodes must share it).
+func NewTCPNode(opts NodeOptions) (*Node, error) {
+	n := &Node{sub: make(chan Delivery, 1024)}
+	tcp, err := transport.NewTCPNode(transport.TCPOptions{
+		Core:     opts.Config.coreConfig(),
+		Replica:  opts.Config.replicaParams(),
+		Self:     opts.Self,
+		Addrs:    opts.Addrs,
+		Listener: opts.Listener,
+		Keys:     opts.Keys,
+		OnDeliver: func(d replica.Delivery) {
+			select {
+			case n.sub <- Delivery{
+				Time: d.At, Epoch: d.Epoch, Proposer: d.Proposer,
+				Txs: d.Txs, Linked: d.Linked,
+			}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.tcp = tcp
+	return n, nil
+}
+
+// Submit hands a transaction to this node.
+func (n *Node) Submit(tx []byte) { n.tcp.Submit(tx) }
+
+// Deliveries returns this node's delivery channel.
+func (n *Node) Deliveries() <-chan Delivery { return n.sub }
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.tcp.Addr() }
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() Stats {
+	var out Stats
+	n.tcp.Inspect(func(r *replica.Replica) {
+		out = Stats{
+			Submitted:        r.Stats.Submitted,
+			DeliveredTxs:     r.Stats.DeliveredTxs,
+			DeliveredPayload: r.Stats.DeliveredPayload,
+			EpochsDelivered:  r.Stats.EpochsDelivered,
+			LinkedBlocks:     r.Stats.LinkedBlocks,
+		}
+	})
+	return out
+}
+
+// Close stops the node.
+func (n *Node) Close() { n.tcp.Close() }

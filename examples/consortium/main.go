@@ -1,0 +1,42 @@
+// Consortium: the paper's motivating deployment — a 16-city consortium
+// blockchain over the public internet. This example runs the emulated
+// geo-distributed testbed under infinite load for both DispersedLedger
+// and HoneyBadger and prints the per-city throughput comparison of Fig 8.
+//
+//	go run ./examples/consortium
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/harness"
+)
+
+func main() {
+	fmt.Println("emulating a 16-city consortium (30 simulated seconds per protocol)...")
+
+	var results []*harness.GeoResult
+	for _, mode := range []core.Mode{core.ModeHB, core.ModeDL} {
+		start := time.Now()
+		r, err := harness.RunGeo(harness.GeoParams{
+			Mode:     mode,
+			Duration: 30 * time.Second,
+			Seed:     42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s done in %s\n", mode, time.Since(start).Round(time.Millisecond))
+		results = append(results, r)
+	}
+
+	fmt.Println()
+	fmt.Print(harness.FormatGeo(results))
+	fmt.Printf("\nDispersedLedger / HoneyBadger mean throughput: %.2fx (paper: ~2x)\n",
+		results[1].Mean/results[0].Mean)
+	fmt.Println("note: each city runs at its own pace under DL; under HB every city is")
+	fmt.Println("gated by the (f+1)-th slowest, so the fast sites' columns barely differ.")
+}

@@ -1,0 +1,96 @@
+// TCPCluster: a real 4-node DispersedLedger deployment over TCP on
+// localhost, using the public API. Each node is a full replica with its
+// own listener, mesh connections, mempool and state; the example submits
+// transactions through every node and verifies all four logs agree.
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	dl "dledger"
+)
+
+func main() {
+	const n = 4
+	// Pre-bind listeners so every node knows every port before dialing.
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	nodes := make([]*dl.Node, n)
+	for i := range nodes {
+		node, err := dl.NewTCPNode(dl.NodeOptions{
+			Config: dl.Config{
+				N: n, F: 1,
+				Mode:       dl.ModeDL,
+				CoinSecret: []byte("tcpcluster example secret"),
+				BatchDelay: 50 * time.Millisecond,
+			},
+			Self:     i,
+			Addrs:    addrs,
+			Listener: listeners[i],
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = node
+		defer node.Close()
+		fmt.Printf("node %d listening on %s\n", i, node.Addr())
+	}
+
+	// Every node collects its log concurrently.
+	logs := make([]chan string, n)
+	for i, node := range nodes {
+		logs[i] = make(chan string, 256)
+		go func(i int, node *dl.Node) {
+			for d := range node.Deliveries() {
+				for _, tx := range d.Txs {
+					logs[i] <- fmt.Sprintf("(%d,%d) %s", d.Epoch, d.Proposer, tx)
+				}
+			}
+		}(i, node)
+	}
+
+	// Submit one transaction through each node.
+	for i, node := range nodes {
+		node.Submit([]byte(fmt.Sprintf("org-%d: settle invoice #%d", i, 1000+i)))
+	}
+
+	// Each node must deliver all four transactions, in the same order.
+	ordered := make([][]string, n)
+	for i := range nodes {
+		for len(ordered[i]) < n {
+			select {
+			case entry := <-logs[i]:
+				ordered[i] = append(ordered[i], entry)
+			case <-time.After(30 * time.Second):
+				log.Fatalf("node %d timed out with %d entries", i, len(ordered[i]))
+			}
+		}
+	}
+	fmt.Println("\nnode 0's log:")
+	for _, e := range ordered[0] {
+		fmt.Println("  " + e)
+	}
+	for i := 1; i < n; i++ {
+		for k := range ordered[0] {
+			if ordered[i][k] != ordered[0][k] {
+				log.Fatalf("logs diverge at %d: node %d has %q, node 0 has %q",
+					k, i, ordered[i][k], ordered[0][k])
+			}
+		}
+	}
+	fmt.Println("\nall four nodes delivered identical logs over real TCP ✓")
+}

@@ -1,0 +1,377 @@
+// Package avid implements AVID-M, the asynchronous verifiable information
+// dispersal protocol of §3 of the DispersedLedger paper.
+//
+// A dispersing client erasure-codes a block into N chunks with an
+// (N−2f, N) code, commits to them with a Merkle root, and sends one chunk
+// (plus inclusion proof) to each server. Servers never verify the
+// encoding; they only agree on the root via one round of GotChunk and one
+// amplifying round of Ready messages. Retrieval clients collect N−2f
+// proof-valid chunks under a common root, decode, and then re-encode to
+// check that the root commits to a consistent encoding — if not, every
+// client deterministically returns the BAD_UPLOADER error value, which
+// preserves the Correctness property against a Byzantine disperser.
+//
+// The package provides three pieces:
+//
+//   - Server: the per-instance server automaton (Fig 3 + the server side
+//     of Fig 4),
+//   - Disperse: the client-side dispersal (chunking + Chunk messages),
+//   - Retriever: the client-side retrieval automaton (Fig 4).
+//
+// All automata are deterministic and single-threaded, driven by Handle
+// calls from the replica event loop.
+package avid
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"dledger/internal/erasure"
+	"dledger/internal/merkle"
+	"dledger/internal/wire"
+)
+
+// BadUploader is the fixed error value returned by retrieval when the
+// dispersed chunks are not a consistent erasure encoding (§3.3). All
+// correct clients return the identical value, which is what the
+// Correctness property requires.
+var BadUploader = []byte("BAD_UPLOADER")
+
+// Params describes an AVID-M deployment: N servers tolerating F Byzantine
+// ones. K = N − 2F is the erasure-code data-shard count.
+type Params struct {
+	N, F  int
+	Coder *erasure.Coder
+}
+
+// NewParams builds Params (and the shared erasure coder) for n servers
+// tolerating f faults. It requires n >= 3f+1.
+func NewParams(n, f int) (Params, error) {
+	if f < 0 || n < 3*f+1 {
+		return Params{}, fmt.Errorf("avid: need n >= 3f+1, got n=%d f=%d", n, f)
+	}
+	c, err := erasure.New(n-2*f, n)
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{N: n, F: f, Coder: c}, nil
+}
+
+// K returns the number of chunks needed to reconstruct a block.
+func (p Params) K() int { return p.N - 2*p.F }
+
+// Send is an outgoing message produced by an automaton. To may be
+// wire.Broadcast.
+type Send struct {
+	To  wire.NodeID
+	Msg wire.Msg
+}
+
+// Disperse encodes block and produces the per-server Chunk messages:
+// result[i] is addressed to server i. It also returns the Merkle root
+// commitment of the dispersal.
+func Disperse(p Params, block []byte) ([]wire.Chunk, merkle.Root, error) {
+	shards, err := p.Coder.Split(block)
+	if err != nil {
+		return nil, merkle.Root{}, err
+	}
+	tree := merkle.NewTree(shards)
+	root := tree.Root()
+	msgs := make([]wire.Chunk, p.N)
+	for i := 0; i < p.N; i++ {
+		proof, err := tree.Prove(i)
+		if err != nil {
+			return nil, merkle.Root{}, err
+		}
+		msgs[i] = wire.Chunk{Root: root, Data: shards[i], Proof: proof}
+	}
+	return msgs, root, nil
+}
+
+// Server is the per-instance server automaton.
+type Server struct {
+	p    Params
+	self int
+
+	myChunk []byte
+	myProof merkle.Proof
+	myRoot  merkle.Root
+	haveMy  bool
+
+	gotChunkFrom map[merkle.Root]map[int]bool
+	readyFrom    map[merkle.Root]map[int]bool
+	sentGot      bool
+	sentReady    bool
+
+	completed bool
+	chunkRoot merkle.Root
+
+	// Retrieval requests that arrived before completion (or before we had
+	// a matching chunk) are answered as soon as both hold.
+	pending map[int]bool
+	// answered tracks requesters we already served, so duplicate
+	// RequestChunk messages are ignored per the paper.
+	answered map[int]bool
+	canceled map[int]bool
+}
+
+// NewServer creates the server automaton for one VID instance.
+func NewServer(p Params, self int) *Server {
+	return &Server{
+		p:            p,
+		self:         self,
+		gotChunkFrom: map[merkle.Root]map[int]bool{},
+		readyFrom:    map[merkle.Root]map[int]bool{},
+		pending:      map[int]bool{},
+		answered:     map[int]bool{},
+		canceled:     map[int]bool{},
+	}
+}
+
+// Completed reports whether dispersal has Completed at this server, and
+// the agreed root.
+func (s *Server) Completed() (bool, merkle.Root) { return s.completed, s.chunkRoot }
+
+// HasChunk reports whether this server stored a chunk matching the agreed
+// root (only meaningful after completion).
+func (s *Server) HasChunk() bool {
+	return s.haveMy && s.completed && s.myRoot == s.chunkRoot
+}
+
+// Handle processes one message. completed is true on the step where the
+// dispersal first Completes locally.
+func (s *Server) Handle(from int, msg wire.Msg) (outs []Send, completed bool) {
+	switch m := msg.(type) {
+	case wire.Chunk:
+		outs = s.onChunk(m)
+	case wire.GotChunk:
+		// Quorum messages only count from actual servers.
+		if from < 0 || from >= s.p.N {
+			return nil, false
+		}
+		outs = s.onGotChunk(from, m)
+	case wire.Ready:
+		if from < 0 || from >= s.p.N {
+			return nil, false
+		}
+		outs, completed = s.onReady(from, m)
+	case wire.RequestChunk:
+		outs = s.onRequest(from)
+	case wire.CancelRequest:
+		s.canceled[from] = true
+	}
+	return outs, completed
+}
+
+func (s *Server) onChunk(m wire.Chunk) []Send {
+	// Verify that the chunk is the self-th leaf under the claimed root.
+	if m.Proof.Index != s.self || !merkle.Verify(m.Root, m.Data, m.Proof) {
+		return nil
+	}
+	if !s.haveMy {
+		s.haveMy = true
+		s.myChunk = m.Data
+		s.myProof = m.Proof
+		s.myRoot = m.Root
+	}
+	var outs []Send
+	if !s.sentGot {
+		s.sentGot = true
+		outs = append(outs, Send{To: wire.Broadcast, Msg: wire.GotChunk{Root: m.Root}})
+	}
+	return append(outs, s.flushPending()...)
+}
+
+func (s *Server) onGotChunk(from int, m wire.GotChunk) []Send {
+	set := s.gotChunkFrom[m.Root]
+	if set == nil {
+		set = map[int]bool{}
+		s.gotChunkFrom[m.Root] = set
+	}
+	if set[from] {
+		return nil
+	}
+	set[from] = true
+	if len(set) >= s.p.N-s.p.F && !s.sentReady {
+		s.sentReady = true
+		return []Send{{To: wire.Broadcast, Msg: wire.Ready{Root: m.Root}}}
+	}
+	return nil
+}
+
+func (s *Server) onReady(from int, m wire.Ready) (outs []Send, completed bool) {
+	set := s.readyFrom[m.Root]
+	if set == nil {
+		set = map[int]bool{}
+		s.readyFrom[m.Root] = set
+	}
+	if set[from] {
+		return nil, false
+	}
+	set[from] = true
+	if len(set) >= s.p.F+1 && !s.sentReady {
+		s.sentReady = true
+		outs = append(outs, Send{To: wire.Broadcast, Msg: wire.Ready{Root: m.Root}})
+	}
+	if len(set) >= 2*s.p.F+1 && !s.completed {
+		s.completed = true
+		s.chunkRoot = m.Root
+		completed = true
+		outs = append(outs, s.flushPending()...)
+	}
+	return outs, completed
+}
+
+func (s *Server) onRequest(from int) []Send {
+	if s.answered[from] {
+		return nil
+	}
+	s.pending[from] = true
+	return s.flushPending()
+}
+
+// flushPending answers queued retrieval requests once the dispersal has
+// completed and our stored chunk matches the agreed root. Per Fig 4, a
+// server defers responding until then.
+func (s *Server) flushPending() []Send {
+	if !s.completed || !s.haveMy || s.myRoot != s.chunkRoot {
+		return nil
+	}
+	var outs []Send
+	for from := range s.pending {
+		delete(s.pending, from)
+		if s.answered[from] || s.canceled[from] {
+			continue
+		}
+		s.answered[from] = true
+		outs = append(outs, Send{To: from, Msg: wire.ReturnChunk{
+			Root:  s.chunkRoot,
+			Data:  s.myChunk,
+			Proof: s.myProof,
+		}})
+	}
+	return outs
+}
+
+// Retriever is the client-side retrieval automaton (Fig 4).
+type Retriever struct {
+	p       Params
+	started bool
+	done    bool
+	result  []byte
+	bad     bool
+
+	chunks map[merkle.Root]map[int]wire.ReturnChunk
+	from   map[int]bool // dedup: one ReturnChunk per server counts
+}
+
+// NewRetriever creates a retrieval client for one VID instance.
+func NewRetriever(p Params) *Retriever {
+	return &Retriever{
+		p:      p,
+		chunks: map[merkle.Root]map[int]wire.ReturnChunk{},
+		from:   map[int]bool{},
+	}
+}
+
+// Start returns the RequestChunk broadcast. Idempotent.
+func (r *Retriever) Start() []Send {
+	if r.started {
+		return nil
+	}
+	r.started = true
+	return []Send{{To: wire.Broadcast, Msg: wire.RequestChunk{}}}
+}
+
+// Done reports completion; after Done, Block returns the retrieved block.
+func (r *Retriever) Done() bool { return r.done }
+
+// Block returns the retrieval result. bad is true when the dispersal was
+// inconsistent (the paper's BAD_UPLOADER case); block then equals
+// BadUploader.
+func (r *Retriever) Block() (block []byte, bad bool) { return r.result, r.bad }
+
+// HandleReturnChunk ingests a server response. done flips to true on the
+// step the block is first reconstructed; outs carries the CancelRequest
+// broadcast that stops servers from sending further chunks.
+func (r *Retriever) HandleReturnChunk(from int, m wire.ReturnChunk) (outs []Send, done bool) {
+	if r.done || from < 0 || from >= r.p.N {
+		return nil, false
+	}
+	// The chunk position is bound to the responding server: server i
+	// stores and returns the i-th chunk. A proof for a different index is
+	// invalid regardless of its Merkle path.
+	if m.Proof.Index != from || !merkle.Verify(m.Root, m.Data, m.Proof) {
+		return nil, false
+	}
+	if r.from[from] {
+		return nil, false
+	}
+	r.from[from] = true
+	set := r.chunks[m.Root]
+	if set == nil {
+		set = map[int]wire.ReturnChunk{}
+		r.chunks[m.Root] = set
+	}
+	set[from] = m
+
+	if len(set) < r.p.K() {
+		return nil, false
+	}
+	r.decode(m.Root, set)
+	return []Send{{To: wire.Broadcast, Msg: wire.CancelRequest{}}}, true
+}
+
+func (r *Retriever) decode(root merkle.Root, set map[int]wire.ReturnChunk) {
+	shards := make([][]byte, r.p.N)
+	for i, c := range set {
+		shards[i] = c.Data
+	}
+	block, err := r.p.Coder.Reconstruct(shards)
+	if err != nil {
+		// Chunks that verified against the same root but cannot decode
+		// (e.g. inconsistent sizes) mean the uploader was Byzantine.
+		r.finish(nil, true)
+		return
+	}
+	// Re-encoding check: the decoded block must re-encode to the same
+	// Merkle root, otherwise different chunk subsets could decode to
+	// different blocks.
+	reShards, err := r.p.Coder.Split(block)
+	if err != nil {
+		r.finish(nil, true)
+		return
+	}
+	if merkle.RootOf(reShards) != root {
+		r.finish(nil, true)
+		return
+	}
+	r.finish(block, false)
+}
+
+func (r *Retriever) finish(block []byte, bad bool) {
+	r.done = true
+	r.bad = bad
+	if bad {
+		r.result = append([]byte(nil), BadUploader...)
+	} else {
+		r.result = block
+	}
+	r.chunks = nil
+}
+
+// ErrNotDone is returned by MustBlock before retrieval completes.
+var ErrNotDone = errors.New("avid: retrieval not complete")
+
+// MustBlock returns the result or ErrNotDone.
+func (r *Retriever) MustBlock() ([]byte, bool, error) {
+	if !r.done {
+		return nil, false, ErrNotDone
+	}
+	return r.result, r.bad, nil
+}
+
+// IsBadUploader reports whether a retrieved payload is the BAD_UPLOADER
+// error value.
+func IsBadUploader(b []byte) bool { return bytes.Equal(b, BadUploader) }

@@ -1,0 +1,353 @@
+package ba
+
+import (
+	"math/rand"
+	"testing"
+
+	"dledger/internal/coin"
+	"dledger/internal/wire"
+)
+
+// harness runs n-f correct BA instances under a random delivery schedule,
+// with hooks for Byzantine senders.
+type harness struct {
+	n, f  int
+	nodes []*BA // index < n-byz are correct; Byzantine slots are nil
+	queue []qmsg
+	rng   *rand.Rand
+}
+
+type qmsg struct {
+	from, to int
+	msg      wire.Msg
+}
+
+func newHarness(t *testing.T, n, f int, seed int64, byz int) *harness {
+	t.Helper()
+	scheme := coin.NewScheme([]byte("test secret"))
+	h := &harness{n: n, f: f, rng: rand.New(rand.NewSource(seed))}
+	h.nodes = make([]*BA, n)
+	for i := 0; i < n-byz; i++ {
+		h.nodes[i] = New(n, f, scheme.ForInstance(1, 1))
+	}
+	return h
+}
+
+func (h *harness) enqueue(from int, sends []Send) {
+	for _, s := range sends {
+		if s.To == wire.Broadcast {
+			for to := range h.nodes {
+				h.queue = append(h.queue, qmsg{from, to, s.Msg})
+			}
+		} else {
+			h.queue = append(h.queue, qmsg{from, s.To, s.Msg})
+		}
+	}
+}
+
+// run delivers messages in random order until the queue drains. It
+// returns false if the queue drained before all correct nodes decided.
+func (h *harness) run(t *testing.T) bool {
+	t.Helper()
+	steps := 0
+	for len(h.queue) > 0 {
+		steps++
+		if steps > 2_000_000 {
+			t.Fatal("BA did not quiesce within 2M message deliveries")
+		}
+		i := h.rng.Intn(len(h.queue))
+		m := h.queue[i]
+		h.queue[i] = h.queue[len(h.queue)-1]
+		h.queue = h.queue[:len(h.queue)-1]
+		node := h.nodes[m.to]
+		if node == nil {
+			continue // Byzantine or crashed node swallows the message
+		}
+		h.enqueue(m.to, node.Handle(m.from, m.msg))
+	}
+	for _, n := range h.nodes {
+		if n == nil {
+			continue
+		}
+		if d, _ := n.Decided(); !d {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *harness) checkAgreement(t *testing.T) bool {
+	t.Helper()
+	var have bool
+	var val bool
+	for i, n := range h.nodes {
+		if n == nil {
+			continue
+		}
+		d, v := n.Decided()
+		if !d {
+			t.Fatalf("node %d undecided", i)
+		}
+		if !have {
+			have, val = true, v
+		} else if v != val {
+			t.Fatalf("agreement violated: node %d decided %v, another decided %v", i, v, val)
+		}
+	}
+	return val
+}
+
+func TestAllInputOne(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		h := newHarness(t, 4, 1, seed, 0)
+		for i, n := range h.nodes {
+			h.enqueue(i, n.Input(true))
+		}
+		if !h.run(t) {
+			t.Fatal("not all nodes decided")
+		}
+		if v := h.checkAgreement(t); !v {
+			t.Fatal("validity violated: all input 1 but decided 0")
+		}
+	}
+}
+
+func TestAllInputZero(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		h := newHarness(t, 4, 1, seed, 0)
+		for i, n := range h.nodes {
+			h.enqueue(i, n.Input(false))
+		}
+		if !h.run(t) {
+			t.Fatal("not all nodes decided")
+		}
+		if v := h.checkAgreement(t); v {
+			t.Fatal("validity violated: all input 0 but decided 1")
+		}
+	}
+}
+
+func TestMixedInputsAgree(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		h := newHarness(t, 4, 1, seed, 0)
+		for i, n := range h.nodes {
+			h.enqueue(i, n.Input(i%2 == 0))
+		}
+		if !h.run(t) {
+			t.Fatal("not all nodes decided")
+		}
+		h.checkAgreement(t) // value may be either; agreement must hold
+	}
+}
+
+func TestLargerClusterMixed(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		h := newHarness(t, 10, 3, seed, 0)
+		for i, n := range h.nodes {
+			h.enqueue(i, n.Input(i%3 == 0))
+		}
+		if !h.run(t) {
+			t.Fatal("not all nodes decided")
+		}
+		h.checkAgreement(t)
+	}
+}
+
+func TestCrashFaultsStillTerminate(t *testing.T) {
+	// f nodes crash from the start (send nothing, receive nothing). The
+	// remaining n-f correct nodes must still decide.
+	for seed := int64(0); seed < 20; seed++ {
+		h := newHarness(t, 7, 2, seed, 2) // nodes 5,6 crashed
+		for i := 0; i < 5; i++ {
+			h.enqueue(i, h.nodes[i].Input(i%2 == 0))
+		}
+		if !h.run(t) {
+			t.Fatal("correct nodes did not decide with f crashed")
+		}
+		h.checkAgreement(t)
+	}
+}
+
+func TestByzantineEquivocation(t *testing.T) {
+	// One Byzantine node (id 3) sends conflicting BVal and Aux values to
+	// different nodes and junk Terms. Agreement among correct nodes must
+	// hold for every schedule.
+	for seed := int64(0); seed < 40; seed++ {
+		h := newHarness(t, 4, 1, seed, 1)
+		for i := 0; i < 3; i++ {
+			h.enqueue(i, h.nodes[i].Input(i%2 == 0))
+		}
+		// Byzantine node 3: equivocate across rounds 0..3.
+		for r := uint32(0); r < 4; r++ {
+			for to := 0; to < 3; to++ {
+				v := (int(r)+to)%2 == 0
+				h.queue = append(h.queue,
+					qmsg{3, to, wire.BVal{Round: r, Value: v}},
+					qmsg{3, to, wire.Aux{Round: r, Value: !v}},
+				)
+			}
+		}
+		h.queue = append(h.queue, qmsg{3, 0, wire.Term{Value: true}}, qmsg{3, 1, wire.Term{Value: false}})
+		if !h.run(t) {
+			t.Fatal("correct nodes did not decide under equivocation")
+		}
+		h.checkAgreement(t)
+	}
+}
+
+func TestValidityUnderByzantine(t *testing.T) {
+	// All correct nodes input 1. Whatever the Byzantine node does, the
+	// decision must be 1 (BA validity: decided value was input by some
+	// correct node).
+	for seed := int64(0); seed < 30; seed++ {
+		h := newHarness(t, 4, 1, seed, 1)
+		for i := 0; i < 3; i++ {
+			h.enqueue(i, h.nodes[i].Input(true))
+		}
+		for r := uint32(0); r < 3; r++ {
+			for to := 0; to < 3; to++ {
+				h.queue = append(h.queue,
+					qmsg{3, to, wire.BVal{Round: r, Value: false}},
+					qmsg{3, to, wire.Aux{Round: r, Value: false}},
+				)
+			}
+		}
+		h.queue = append(h.queue, qmsg{3, 0, wire.Term{Value: false}})
+		if !h.run(t) {
+			t.Fatal("did not decide")
+		}
+		if v := h.checkAgreement(t); !v {
+			t.Fatal("validity violated: Byzantine node flipped unanimous 1 to 0")
+		}
+	}
+}
+
+func TestLateInput(t *testing.T) {
+	// Node 0 receives everyone else's round-0 traffic before its own Input
+	// is invoked; it must catch up and decide.
+	h := newHarness(t, 4, 1, 99, 0)
+	for i := 1; i < 4; i++ {
+		h.enqueue(i, h.nodes[i].Input(true))
+	}
+	// Drain partially: deliver only messages destined to nodes 1..3 first.
+	var deferred []qmsg
+	for len(h.queue) > 0 {
+		m := h.queue[0]
+		h.queue = h.queue[1:]
+		if m.to == 0 {
+			deferred = append(deferred, m)
+			continue
+		}
+		h.enqueue(m.to, h.nodes[m.to].Handle(m.from, m.msg))
+	}
+	// Now node 0 inputs, then receives the backlog.
+	h.enqueue(0, h.nodes[0].Input(true))
+	h.queue = append(h.queue, deferred...)
+	if !h.run(t) {
+		t.Fatal("late-input node prevented termination")
+	}
+	if v := h.checkAgreement(t); !v {
+		t.Fatal("wrong decision")
+	}
+}
+
+func TestInputIdempotent(t *testing.T) {
+	b := New(4, 1, coin.NewScheme([]byte("x")).ForInstance(0, 0))
+	first := b.Input(true)
+	if len(first) == 0 {
+		t.Fatal("first Input should broadcast BVal")
+	}
+	if second := b.Input(false); second != nil {
+		t.Fatal("second Input must be a no-op")
+	}
+	if !b.InputCalled() {
+		t.Fatal("InputCalled should be true")
+	}
+}
+
+func TestHaltedIgnoresMessages(t *testing.T) {
+	h := newHarness(t, 4, 1, 5, 0)
+	for i, n := range h.nodes {
+		h.enqueue(i, n.Input(true))
+	}
+	h.run(t)
+	for _, n := range h.nodes {
+		if !n.Halted() {
+			t.Fatal("instance should halt after 2f+1 Terms")
+		}
+		if out := n.Handle(2, wire.BVal{Round: 0, Value: true}); out != nil {
+			t.Fatal("halted instance produced output")
+		}
+	}
+}
+
+func TestInvalidSenderIgnored(t *testing.T) {
+	b := New(4, 1, coin.NewScheme([]byte("x")).ForInstance(0, 0))
+	if out := b.Handle(-1, wire.BVal{Round: 0, Value: true}); out != nil {
+		t.Fatal("negative sender accepted")
+	}
+	if out := b.Handle(4, wire.BVal{Round: 0, Value: true}); out != nil {
+		t.Fatal("out-of-range sender accepted")
+	}
+}
+
+func TestFarFutureRoundIgnored(t *testing.T) {
+	b := New(4, 1, coin.NewScheme([]byte("x")).ForInstance(0, 0))
+	b.Input(true)
+	if out := b.Handle(1, wire.BVal{Round: maxRoundAhead + 10, Value: true}); out != nil {
+		t.Fatal("absurd round number accepted")
+	}
+}
+
+func TestBadParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(3, 1) should panic: n < 3f+1")
+		}
+	}()
+	New(3, 1, coin.NewScheme([]byte("x")).ForInstance(0, 0))
+}
+
+// TestManySeedsQuick is a light fuzz over schedules and input patterns.
+func TestManySeedsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schedule fuzz skipped in -short")
+	}
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHarness(t, 4, 1, seed, 0)
+		for i, n := range h.nodes {
+			h.enqueue(i, n.Input(rng.Intn(2) == 0))
+		}
+		if !h.run(t) {
+			t.Fatalf("seed %d: not all decided", seed)
+		}
+		h.checkAgreement(t)
+	}
+}
+
+func BenchmarkBARoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		scheme := coin.NewScheme([]byte("bench"))
+		nodes := make([]*BA, 4)
+		for j := range nodes {
+			nodes[j] = New(4, 1, scheme.ForInstance(uint64(i), 0))
+		}
+		var queue []qmsg
+		enq := func(from int, sends []Send) {
+			for _, s := range sends {
+				for to := range nodes {
+					queue = append(queue, qmsg{from, to, s.Msg})
+				}
+			}
+		}
+		for j, n := range nodes {
+			enq(j, n.Input(true))
+		}
+		for len(queue) > 0 {
+			m := queue[0]
+			queue = queue[1:]
+			enq(m.to, nodes[m.to].Handle(m.from, m.msg))
+		}
+	}
+}

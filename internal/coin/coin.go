@@ -1,0 +1,66 @@
+// Package coin provides the common coin used by the binary agreement
+// protocol.
+//
+// The paper (via Mostéfaoui et al. [32]) treats the coin as a black box:
+// a source of random bits that all correct nodes observe identically,
+// round by round. Production systems realize it with threshold
+// cryptography (e.g. threshold BLS in HoneyBadger). The Go standard
+// library has no threshold signatures, so this package substitutes a
+// shared-key coin: bit r of instance I is a bit of HMAC-SHA256 over a
+// cluster-wide secret, the instance id, and the round number. The coin is
+// perfectly common (every node computes the same bit), unpredictable to
+// anyone without the key, and uniform. It is public to the nodes
+// themselves, which is safe against the paper's non-adaptive network
+// adversary; DESIGN.md records the substitution.
+//
+// Rounds 0 and 1 are fixed to 1 and 0. With all-correct inputs the BA for
+// a completed dispersal decides 1 in the first round, and a BA being
+// driven to 0 decides one round later — the standard first-round
+// optimization (used e.g. by Aleph) that does not affect safety, because
+// coin values only influence liveness.
+package coin
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Scheme derives common-coin bits for BA instances. A single Scheme is
+// shared by all instances of a cluster; it is safe for concurrent use.
+type Scheme struct {
+	key []byte
+}
+
+// NewScheme returns a coin scheme keyed by the cluster secret. All nodes
+// of a cluster must use the same secret.
+func NewScheme(secret []byte) *Scheme {
+	key := make([]byte, len(secret))
+	copy(key, secret)
+	return &Scheme{key: key}
+}
+
+// Func is the per-instance coin: it maps a round number to the common bit.
+type Func func(round uint32) bool
+
+// ForInstance binds the scheme to one BA instance, identified by the
+// (epoch, proposer) pair that names it in DispersedLedger.
+func (s *Scheme) ForInstance(epoch uint64, proposer int) Func {
+	var id [10]byte
+	binary.BigEndian.PutUint64(id[0:8], epoch)
+	binary.BigEndian.PutUint16(id[8:10], uint16(proposer))
+	return func(round uint32) bool {
+		switch round {
+		case 0:
+			return true
+		case 1:
+			return false
+		}
+		mac := hmac.New(sha256.New, s.key)
+		mac.Write(id[:])
+		var r [4]byte
+		binary.BigEndian.PutUint32(r[:], round)
+		mac.Write(r[:])
+		return mac.Sum(nil)[0]&1 == 1
+	}
+}

@@ -1,0 +1,70 @@
+package coin
+
+import "testing"
+
+func TestCoinCommonAcrossNodes(t *testing.T) {
+	a := NewScheme([]byte("cluster secret"))
+	b := NewScheme([]byte("cluster secret"))
+	fa := a.ForInstance(7, 3)
+	fb := b.ForInstance(7, 3)
+	for r := uint32(0); r < 100; r++ {
+		if fa(r) != fb(r) {
+			t.Fatalf("round %d: coin differs between nodes with the same secret", r)
+		}
+	}
+}
+
+func TestCoinFixedFirstRounds(t *testing.T) {
+	f := NewScheme([]byte("s")).ForInstance(0, 0)
+	if !f(0) {
+		t.Fatal("coin(0) must be 1 (first-round optimization)")
+	}
+	if f(1) {
+		t.Fatal("coin(1) must be 0")
+	}
+}
+
+func TestCoinVariesAcrossInstances(t *testing.T) {
+	s := NewScheme([]byte("secret"))
+	f1 := s.ForInstance(1, 0)
+	f2 := s.ForInstance(2, 0)
+	f3 := s.ForInstance(1, 1)
+	same12, same13 := true, true
+	for r := uint32(2); r < 64; r++ {
+		if f1(r) != f2(r) {
+			same12 = false
+		}
+		if f1(r) != f3(r) {
+			same13 = false
+		}
+	}
+	if same12 || same13 {
+		t.Fatal("coins of distinct instances should not be identical over 62 rounds")
+	}
+}
+
+func TestCoinRoughlyUniform(t *testing.T) {
+	f := NewScheme([]byte("uniformity")).ForInstance(9, 9)
+	ones := 0
+	const n = 2000
+	for r := uint32(2); r < n+2; r++ {
+		if f(r) {
+			ones++
+		}
+	}
+	// Within 5 sigma of n/2 for a fair coin (sigma = sqrt(n)/2 ~ 22.4).
+	if ones < n/2-112 || ones > n/2+112 {
+		t.Fatalf("coin badly biased: %d ones out of %d", ones, n)
+	}
+}
+
+func TestSchemeCopiesSecret(t *testing.T) {
+	secret := []byte("mutate me")
+	s := NewScheme(secret)
+	f := s.ForInstance(0, 0)
+	before := f(5)
+	secret[0] ^= 0xff
+	if f(5) != before {
+		t.Fatal("scheme must copy the secret, not alias it")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"time"
+
+	"dledger/internal/wire"
+)
+
+// Action is the engine's output type. The engine is a pure state machine:
+// every input (Start, Handle, Propose) returns the list of effects the
+// caller must apply — messages to send, blocks to deliver, proposals to
+// solicit. The replica (or a test harness) interprets them.
+type Action interface{ isAction() }
+
+// SendAction transmits an envelope to a peer. The engine never emits
+// self-addressed sends: broadcasts are looped back internally.
+type SendAction struct {
+	To     wire.NodeID
+	Env    wire.Envelope
+	Prio   wire.Priority
+	Stream uint64 // retrieval epoch for per-epoch transport ordering
+}
+
+// DeliverAction hands a committed block's transactions to the state
+// machine, in the global total order. Linked marks blocks committed via
+// inter-node linking rather than directly by BA.
+type DeliverAction struct {
+	Epoch    uint64
+	Proposer wire.NodeID
+	Txs      [][]byte
+	Payload  int // transaction bytes in the block
+	Linked   bool
+}
+
+// ProposalNeededAction asks the replica to produce the next block. The
+// replica answers by calling Engine.Propose (after its batching delay).
+// Empty is set in DL-Coupled mode when the node is lagging on retrieval
+// and must propose an empty block (§4.5, spam mitigation).
+type ProposalNeededAction struct {
+	Epoch uint64
+	Empty bool
+}
+
+// ResubmitAction returns transactions of a dropped block to the mempool
+// (HoneyBadger mode only: DL's inter-node linking guarantees every correct
+// block commits, so DL never resubmits).
+type ResubmitAction struct {
+	Txs [][]byte
+}
+
+// UnsendAction asks the transport to discard any queued-but-unsent
+// ReturnChunk frames addressed to To for the given instance. It is
+// emitted when a retriever cancels its chunk requests: the paper's QUIC
+// transport cancels the corresponding stream, dropping data that has not
+// reached the wire. Transports may ignore it (it is purely a bandwidth
+// optimization).
+type UnsendAction struct {
+	To       wire.NodeID
+	Epoch    uint64
+	Proposer wire.NodeID
+}
+
+// TimerAction asks the replica to call Engine.HandleTimer(Token) after
+// roughly After. The engine uses timers only for retrieval escalation
+// (asking more servers for chunks when the first wave stalls), so timing
+// is a liveness optimization, never a safety dependency.
+type TimerAction struct {
+	After time.Duration
+	Token uint64
+}
+
+// EpochDecidedAction reports that the dispersal phase of an epoch
+// finished: all N BA instances produced output and S is the committed
+// index set. Emitted once per epoch, for instrumentation.
+type EpochDecidedAction struct {
+	Epoch uint64
+	S     []int
+}
+
+// EpochDeliveredAction reports that every block of the epoch (BA-committed
+// and linked) has been retrieved and delivered. Emitted in epoch order.
+type EpochDeliveredAction struct {
+	Epoch uint64
+}
+
+func (SendAction) isAction()           {}
+func (DeliverAction) isAction()        {}
+func (ProposalNeededAction) isAction() {}
+func (ResubmitAction) isAction()       {}
+func (TimerAction) isAction()          {}
+func (UnsendAction) isAction()         {}
+func (EpochDecidedAction) isAction()   {}
+func (EpochDeliveredAction) isAction() {}

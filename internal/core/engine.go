@@ -1,0 +1,910 @@
+// Package core implements the DispersedLedger consensus engine (§4 of the
+// paper) along with the HoneyBadger baselines used by its evaluation.
+//
+// The engine nests the paper's four IO automata: per-epoch it runs N VID
+// (AVID-M) server instances and N binary agreement instances; epochs are
+// chained with the inter-node linking rule that guarantees every correct
+// block is delivered. Four protocol modes share the machinery:
+//
+//   - ModeDL: DispersedLedger. Nodes vote in BA as soon as a dispersal
+//     completes; block retrieval is asynchronous and never blocks the
+//     dispersal pipeline.
+//   - ModeDLCoupled: DL, but a node lagging on retrieval proposes empty
+//     blocks (the spam-filtering variant of §4.5).
+//   - ModeHB: HoneyBadger. VID is used as reliable broadcast — a node
+//     votes only after downloading the full block — and a node proposes
+//     epoch e+1 only after delivering epoch e. Dropped blocks are
+//     re-proposed.
+//   - ModeHBLink: HoneyBadger plus inter-node linking.
+//
+// The engine is a deterministic single-threaded automaton: all methods
+// return []Action and must be called from one goroutine (the replica's
+// event loop). Determinism is what lets the same engine run unchanged in
+// the discrete-event network emulator and over real TCP transports.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dledger/internal/avid"
+	"dledger/internal/ba"
+	"dledger/internal/coin"
+	"dledger/internal/wire"
+)
+
+// Mode selects the protocol variant.
+type Mode int
+
+// Protocol variants evaluated in the paper (§6).
+const (
+	ModeDL Mode = iota
+	ModeDLCoupled
+	ModeHB
+	ModeHBLink
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeDL:
+		return "DL"
+	case ModeDLCoupled:
+		return "DL-Coupled"
+	case ModeHB:
+		return "HB"
+	case ModeHBLink:
+		return "HB-Link"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+func (m Mode) voteAfterRetrieve() bool { return m == ModeHB || m == ModeHBLink }
+func (m Mode) coupled() bool           { return m == ModeHB || m == ModeHBLink }
+func (m Mode) linking() bool           { return m != ModeHB }
+func (m Mode) resubmits() bool         { return m == ModeHB }
+
+// maxEpochAhead bounds how far beyond our own dispersal epoch we accept
+// messages, so a Byzantine peer cannot allocate unbounded epoch state.
+// Correct nodes' dispersal epochs advance together (every epoch requires
+// N−f BA outputs), so the honest spread is tiny compared to this bound.
+const maxEpochAhead = 10_000
+
+// Config parameterizes a cluster.
+type Config struct {
+	N, F int
+	Mode Mode
+	// CoinSecret keys the common coin; all nodes must share it.
+	CoinSecret []byte
+	// LagLimit is P from §4.5: in DL-Coupled mode a node proposes empty
+	// blocks while its retrieval lags more than LagLimit epochs behind
+	// its dispersal. Zero means the default of 1.
+	LagLimit uint64
+	// MaxEpochLag, when positive, is the second mitigation of §4.5: a
+	// node stops proposing (delaying the epoch pipeline, not emptying
+	// its blocks) while its delivery lags more than this many epochs
+	// behind its dispersal. This bounds how far the high-priority
+	// dispersal pipeline can outrun retrieval — without it, a saturated
+	// deployment with large fixed per-epoch costs (large N) can spend
+	// all bandwidth on dispersal. Zero disables the guard (the paper's
+	// pure-DL configuration).
+	MaxEpochLag uint64
+	// StagedRetrieval selects the chunk-request policy. The paper's
+	// implementation (false, the default) requests chunks from all N
+	// servers and broadcasts a cancel once the block decodes — lowest
+	// latency, but a retriever's ingress carries up to N/K times the
+	// block size. Staged retrieval (true) asks exactly K = N−2F servers
+	// first, escalating to K+F and then all N on RetrievalStageDelay
+	// timeouts — near-zero redundant download in the fault-free case, at
+	// the cost of added latency whenever a chosen server is slow. The
+	// abl-retrieval benchmark quantifies the tradeoff.
+	StagedRetrieval bool
+	// RetrievalStageDelay is the escalation timeout of staged retrieval.
+	// Zero means the default of 1 second.
+	RetrievalStageDelay time.Duration
+	// RetainEpochs, when positive, garbage-collects per-epoch state
+	// (VID chunk stores, agreement instances, retrieval records) once an
+	// epoch is more than RetainEpochs behind this node's delivery
+	// watermark. The horizon bounds memory in long runs, at a documented
+	// cost: a peer lagging further than the horizon can no longer fetch
+	// chunks from this node and must rely on the other >= N−2f holders
+	// (deploy with a horizon comfortably above the §4.5 lag bound, or a
+	// state-sync layer — out of scope here as in the paper). Zero keeps
+	// everything, the paper-prototype behaviour.
+	RetainEpochs uint64
+}
+
+func (c Config) stageDelay() time.Duration {
+	if c.RetrievalStageDelay == 0 {
+		return time.Second
+	}
+	return c.RetrievalStageDelay
+}
+
+func (c Config) lagLimit() uint64 {
+	if c.LagLimit == 0 {
+		return 1
+	}
+	return c.LagLimit
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.F < 0 || c.N < 3*c.F+1 {
+		return fmt.Errorf("core: need N >= 3F+1, got N=%d F=%d", c.N, c.F)
+	}
+	if c.N > 1<<16 {
+		return fmt.Errorf("core: N=%d exceeds wire format limit", c.N)
+	}
+	return nil
+}
+
+// blockKey names a block slot: the VID/BA instance pair of one proposer in
+// one epoch. Epochs are 1-based; epoch 0 means "nothing".
+type blockKey struct {
+	epoch    uint64
+	proposer int
+}
+
+type epochState struct {
+	epoch uint64
+	vids  []*avid.Server
+	bas   []*ba.BA
+	baOut []int8 // -1 pending, 0, 1
+	outs  int
+	ones  int
+	// decided is set when every BA produced output; S is the committed set.
+	decided bool
+	S       []int
+}
+
+type retrState struct {
+	ret  *avid.Retriever
+	done bool
+	bad  bool // BAD_UPLOADER or ill-formatted
+	// V is kept past delivery: later epochs' E computations may need the
+	// observation again when a linked block reappears in a BA set.
+	V       []uint64
+	txs     [][]byte // dropped after delivery
+	payload int      // transaction bytes (for stats)
+	// asked[i] marks servers we have requested a chunk from; nextServer
+	// walks the (key-dependent) request order.
+	asked      []bool
+	nextServer int
+	requested  int
+}
+
+// deliveryStage tracks the two-phase delivery of an epoch (Fig 17).
+type deliveryStage int
+
+const (
+	stageAwaitBA     deliveryStage = iota // waiting for BA-committed block retrievals
+	stageAwaitLinked                      // waiting for linked block retrievals
+)
+
+type epochDelivery struct {
+	epoch  uint64
+	S      []int
+	stage  deliveryStage
+	linked []blockKey
+}
+
+// Engine is one node's consensus state machine.
+type Engine struct {
+	cfg    Config
+	self   int
+	params avid.Params
+	coins  *coin.Scheme
+
+	epochs map[uint64]*epochState
+	// lastProposed is the highest epoch we proposed into; awaitingProposal
+	// marks a pending ProposalNeededAction that Propose will answer.
+	lastProposed     uint64
+	awaitingProposal bool
+	// decidedThrough: epochs 1..decidedThrough all have every BA output.
+	decidedThrough uint64
+	decidedSet     map[uint64]bool
+
+	// Per-node VID completion watermark: watermark[j] = largest t such
+	// that node j's VIDs for epochs 1..t have all Completed here. This is
+	// exactly the V array we put in our proposals.
+	watermark []uint64
+	vidDone   []map[uint64]bool // completions beyond the watermark
+
+	// myBlocks holds the raw blocks we proposed, so retrieving our own
+	// block never touches the network; myTxs supports HB re-proposal.
+	myBlocks map[uint64]*wire.Block
+
+	retr map[blockKey]*retrState
+	// retrieval escalation timers: token -> instance.
+	timerSeq uint64
+	timers   map[uint64]blockKey
+	// prunedThrough: epochs <= this have been garbage-collected.
+	prunedThrough uint64
+
+	delivered      map[blockKey]bool
+	linkedFloor    []uint64 // per node: all epochs <= floor delivered
+	deliveredEpoch uint64   // epochs 1..deliveredEpoch fully delivered
+	deliveries     map[uint64]*epochDelivery
+
+	// step state: internal self-delivery queue and accumulated actions.
+	queue   []wire.Envelope
+	actions []Action
+}
+
+// NewEngine creates the engine for node self.
+func NewEngine(cfg Config, self int) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if self < 0 || self >= cfg.N {
+		return nil, fmt.Errorf("core: self=%d out of range", self)
+	}
+	params, err := avid.NewParams(cfg.N, cfg.F)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:        cfg,
+		self:       self,
+		params:     params,
+		coins:      coin.NewScheme(cfg.CoinSecret),
+		epochs:     map[uint64]*epochState{},
+		decidedSet: map[uint64]bool{},
+		watermark:  make([]uint64, cfg.N),
+		vidDone:    make([]map[uint64]bool, cfg.N),
+		myBlocks:   map[uint64]*wire.Block{},
+		retr:       map[blockKey]*retrState{},
+		timers:     map[uint64]blockKey{},
+		delivered:  map[blockKey]bool{},
+		linkedFloor: make([]uint64, cfg.N),
+		deliveries: map[uint64]*epochDelivery{},
+	}
+	for j := range e.vidDone {
+		e.vidDone[j] = map[uint64]bool{}
+	}
+	return e, nil
+}
+
+// Self returns this node's id.
+func (e *Engine) Self() int { return e.self }
+
+// Mode returns the protocol variant.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// DeliveredEpoch returns the highest epoch that is fully delivered.
+func (e *Engine) DeliveredEpoch() uint64 { return e.deliveredEpoch }
+
+// DispersalEpoch returns the highest epoch this node proposed into.
+func (e *Engine) DispersalEpoch() uint64 { return e.lastProposed }
+
+// Start initializes the engine and solicits the first proposal.
+func (e *Engine) Start() []Action {
+	e.actions = nil
+	e.maybeSolicitProposal()
+	return e.takeActions()
+}
+
+// Propose answers a ProposalNeededAction with a transaction batch. It
+// builds the block for the next epoch (stamping our V array), disperses
+// it via AVID-M, and records it for HB re-proposal and local retrieval.
+func (e *Engine) Propose(txs [][]byte) ([]Action, error) {
+	if !e.awaitingProposal {
+		return nil, fmt.Errorf("core: Propose called without a pending ProposalNeededAction")
+	}
+	e.actions = nil
+	e.awaitingProposal = false
+	epoch := e.lastProposed + 1
+	e.lastProposed = epoch
+
+	blk := &wire.Block{
+		Proposer: e.self,
+		Epoch:    epoch,
+		V:        append([]uint64(nil), e.watermark...),
+		Txs:      txs,
+	}
+	e.myBlocks[epoch] = blk
+	chunks, _, err := avid.Disperse(e.params, blk.Encode())
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range chunks {
+		env := wire.Envelope{From: e.self, Epoch: epoch, Proposer: e.self, Payload: c}
+		if i == e.self {
+			e.queue = append(e.queue, env)
+		} else {
+			e.actions = append(e.actions, SendAction{To: i, Env: env, Prio: wire.PrioDispersal})
+		}
+	}
+	e.drain()
+	return e.takeActions(), nil
+}
+
+// Handle processes one incoming envelope from the network.
+func (e *Engine) Handle(env wire.Envelope) []Action {
+	e.actions = nil
+	e.queue = append(e.queue, env)
+	e.drain()
+	return e.takeActions()
+}
+
+func (e *Engine) takeActions() []Action {
+	a := e.actions
+	e.actions = nil
+	return a
+}
+
+// drain processes the internal queue until empty. Self-addressed copies
+// of broadcasts, local chunk deliveries and cascade effects all run here,
+// so callers observe a single atomic step.
+func (e *Engine) drain() {
+	for len(e.queue) > 0 {
+		env := e.queue[0]
+		e.queue = e.queue[1:]
+		e.dispatch(env)
+	}
+}
+
+// emit routes an outgoing message: remote copies become SendActions,
+// self-copies loop back through the queue.
+func (e *Engine) emit(to int, env wire.Envelope, prio wire.Priority, stream uint64) {
+	if to == wire.Broadcast {
+		for i := 0; i < e.cfg.N; i++ {
+			e.emit(i, env, prio, stream)
+		}
+		return
+	}
+	if to == e.self {
+		e.queue = append(e.queue, env)
+		return
+	}
+	e.actions = append(e.actions, SendAction{To: to, Env: env, Prio: prio, Stream: stream})
+}
+
+// priorityFor classifies traffic. In HoneyBadger modes the block download
+// happens during the broadcast phase, so there is no low-priority class
+// (the paper's HB baseline uses a single connection).
+func (e *Engine) priorityFor(msg wire.Msg) wire.Priority {
+	if e.cfg.Mode.voteAfterRetrieve() {
+		return wire.PrioDispersal
+	}
+	return wire.PriorityOf(msg)
+}
+
+func (e *Engine) dispatch(env wire.Envelope) {
+	if env.Epoch == 0 || env.Epoch > e.lastProposed+maxEpochAhead {
+		return
+	}
+	if env.Epoch <= e.prunedThrough {
+		// State for this epoch has been garbage-collected; recreating it
+		// from a stray (or malicious) message would leak memory.
+		return
+	}
+	if env.Proposer < 0 || env.Proposer >= e.cfg.N {
+		return
+	}
+	switch msg := env.Payload.(type) {
+	case wire.Chunk:
+		// Footnote 3: only node i may disperse into VID[e][i], so Chunk
+		// messages for the instance are accepted from its proposer only.
+		if env.From != env.Proposer {
+			return
+		}
+		e.toVID(env, msg)
+	case wire.GotChunk, wire.Ready, wire.RequestChunk:
+		e.toVID(env, msg)
+	case wire.CancelRequest:
+		// Mark the requester canceled in the VID server and ask the
+		// transport to drop any queued-but-unsent chunks for it.
+		e.toVID(env, msg)
+		e.actions = append(e.actions, UnsendAction{To: env.From, Epoch: env.Epoch, Proposer: env.Proposer})
+	case wire.ReturnChunk:
+		e.toRetriever(env, msg)
+	case wire.BVal, wire.Aux, wire.Term:
+		e.toBA(env, msg)
+	}
+}
+
+func (e *Engine) epochState(epoch uint64) *epochState {
+	es, ok := e.epochs[epoch]
+	if !ok {
+		es = &epochState{
+			epoch: epoch,
+			vids:  make([]*avid.Server, e.cfg.N),
+			bas:   make([]*ba.BA, e.cfg.N),
+			baOut: make([]int8, e.cfg.N),
+		}
+		for i := range es.baOut {
+			es.baOut[i] = -1
+		}
+		e.epochs[epoch] = es
+	}
+	return es
+}
+
+func (e *Engine) vid(epoch uint64, proposer int) *avid.Server {
+	es := e.epochState(epoch)
+	if es.vids[proposer] == nil {
+		es.vids[proposer] = avid.NewServer(e.params, e.self)
+	}
+	return es.vids[proposer]
+}
+
+func (e *Engine) ba(epoch uint64, proposer int) *ba.BA {
+	es := e.epochState(epoch)
+	if es.bas[proposer] == nil {
+		es.bas[proposer] = ba.New(e.cfg.N, e.cfg.F, e.coins.ForInstance(epoch, proposer))
+	}
+	return es.bas[proposer]
+}
+
+func (e *Engine) toVID(env wire.Envelope, msg wire.Msg) {
+	v := e.vid(env.Epoch, env.Proposer)
+	outs, completed := v.Handle(env.From, msg)
+	stream := env.Epoch
+	for _, o := range outs {
+		out := wire.Envelope{From: e.self, Epoch: env.Epoch, Proposer: env.Proposer, Payload: o.Msg}
+		e.emit(o.To, out, e.priorityFor(o.Msg), stream)
+	}
+	if completed {
+		e.onVIDComplete(env.Epoch, env.Proposer)
+	}
+}
+
+func (e *Engine) toBA(env wire.Envelope, msg wire.Msg) {
+	b := e.ba(env.Epoch, env.Proposer)
+	wasDecided, _ := b.Decided()
+	outs := b.Handle(env.From, msg)
+	for _, o := range outs {
+		out := wire.Envelope{From: e.self, Epoch: env.Epoch, Proposer: env.Proposer, Payload: o.Msg}
+		e.emit(o.To, out, wire.PrioDispersal, 0)
+	}
+	if nowDecided, val := b.Decided(); nowDecided && !wasDecided {
+		e.onBADecided(env.Epoch, env.Proposer, val)
+	}
+}
+
+// inputBA feeds a value into a BA instance (idempotent) and processes any
+// resulting decision.
+func (e *Engine) inputBA(epoch uint64, proposer int, val bool) {
+	b := e.ba(epoch, proposer)
+	if b.InputCalled() {
+		return
+	}
+	wasDecided, _ := b.Decided()
+	outs := b.Input(val)
+	for _, o := range outs {
+		out := wire.Envelope{From: e.self, Epoch: epoch, Proposer: proposer, Payload: o.Msg}
+		e.emit(o.To, out, wire.PrioDispersal, 0)
+	}
+	if nowDecided, v := b.Decided(); nowDecided && !wasDecided {
+		e.onBADecided(epoch, proposer, v)
+	}
+}
+
+// onVIDComplete fires when VID[epoch][proposer] Completes locally.
+func (e *Engine) onVIDComplete(epoch uint64, proposer int) {
+	// Track the completion watermark that feeds our V arrays.
+	e.vidDone[proposer][epoch] = true
+	for e.vidDone[proposer][e.watermark[proposer]+1] {
+		delete(e.vidDone[proposer], e.watermark[proposer]+1)
+		e.watermark[proposer]++
+	}
+
+	if e.cfg.Mode.voteAfterRetrieve() {
+		// HoneyBadger: VID-as-reliable-broadcast. Download the block
+		// first; the vote happens when retrieval finishes.
+		e.startRetrieval(blockKey{epoch, proposer})
+		return
+	}
+	// DispersedLedger: vote as soon as dispersal completes (§4.2).
+	e.inputBA(epoch, proposer, true)
+}
+
+// onBADecided fires when BA[epoch][proposer] decides.
+func (e *Engine) onBADecided(epoch uint64, proposer int, val bool) {
+	es := e.epochState(epoch)
+	if es.baOut[proposer] != -1 {
+		return
+	}
+	if val {
+		es.baOut[proposer] = 1
+		es.ones++
+	} else {
+		es.baOut[proposer] = 0
+	}
+	es.outs++
+
+	// Fig 6: once N−f BAs output 1, input 0 into every remaining BA.
+	if es.ones >= e.cfg.N-e.cfg.F {
+		for j := 0; j < e.cfg.N; j++ {
+			e.inputBA(epoch, j, false)
+		}
+	}
+	if es.outs == e.cfg.N && !es.decided {
+		es.decided = true
+		for j := 0; j < e.cfg.N; j++ {
+			if es.baOut[j] == 1 {
+				es.S = append(es.S, j)
+			}
+		}
+		e.onEpochDecided(es)
+	}
+}
+
+func (e *Engine) onEpochDecided(es *epochState) {
+	e.decidedSet[es.epoch] = true
+	for e.decidedSet[e.decidedThrough+1] {
+		delete(e.decidedSet, e.decidedThrough+1)
+		e.decidedThrough++
+	}
+	e.actions = append(e.actions, EpochDecidedAction{Epoch: es.epoch, S: append([]int(nil), es.S...)})
+
+	// Queue the delivery pipeline for this epoch and start retrieving the
+	// committed blocks (lazily, at retrieval priority, in DL modes).
+	e.deliveries[es.epoch] = &epochDelivery{epoch: es.epoch, S: es.S}
+	for _, j := range es.S {
+		e.startRetrieval(blockKey{es.epoch, j})
+	}
+
+	// HoneyBadger re-proposal: if our block was dropped, its transactions
+	// go back to the mempool.
+	if e.cfg.Mode.resubmits() {
+		if es.baOut[e.self] == 0 {
+			if blk, ok := e.myBlocks[es.epoch]; ok && len(blk.Txs) > 0 {
+				e.actions = append(e.actions, ResubmitAction{Txs: blk.Txs})
+			}
+			delete(e.myBlocks, es.epoch)
+		}
+	}
+
+	e.tryDeliver()
+	e.maybeSolicitProposal()
+}
+
+// maybeSolicitProposal emits a ProposalNeededAction when the node may
+// start its next dispersal: the previous epoch's dispersal phase is done,
+// and — in coupled (HoneyBadger) modes — also fully delivered.
+func (e *Engine) maybeSolicitProposal() {
+	if e.awaitingProposal {
+		return
+	}
+	next := e.lastProposed + 1
+	if next > 1 && !e.isDecided(next-1) {
+		return
+	}
+	if e.cfg.Mode.coupled() && next > 1 && e.deliveredEpoch < next-1 {
+		return
+	}
+	if e.cfg.MaxEpochLag > 0 && next > e.cfg.MaxEpochLag && e.deliveredEpoch < next-1-e.cfg.MaxEpochLag {
+		// §4.5 lag guard: wait for retrieval to catch up. Delivery
+		// progress re-triggers this via tryDeliver.
+		return
+	}
+	empty := false
+	if e.cfg.Mode == ModeDLCoupled && next-1 > e.deliveredEpoch+e.cfg.lagLimit() {
+		empty = true
+	}
+	e.awaitingProposal = true
+	e.actions = append(e.actions, ProposalNeededAction{Epoch: next, Empty: empty})
+}
+
+func (e *Engine) isDecided(epoch uint64) bool {
+	return epoch <= e.decidedThrough || e.decidedSet[epoch]
+}
+
+// startRetrieval begins retrieving a block (idempotent). Our own blocks
+// come from local storage without touching the network. Chunk requests go
+// out in waves — K servers first, +F on timeout, then the rest — so the
+// fault-free case downloads exactly one block's worth of chunks instead
+// of N/K times that (this matters most for slow nodes, whose ingress
+// bandwidth is the paper's scarce resource).
+func (e *Engine) startRetrieval(key blockKey) {
+	if _, ok := e.retr[key]; ok {
+		return
+	}
+	rs := &retrState{}
+	e.retr[key] = rs
+
+	if key.proposer == e.self {
+		if blk, ok := e.myBlocks[key.epoch]; ok {
+			rs.done = true
+			rs.V = blk.V
+			rs.txs = blk.Txs
+			rs.payload = blk.PayloadBytes()
+			e.onRetrievalDone(key)
+			return
+		}
+	}
+	rs.ret = avid.NewRetriever(e.params)
+	rs.asked = make([]bool, e.cfg.N)
+	// Stagger the request order by instance so retrieval load spreads
+	// across servers cluster-wide.
+	rs.nextServer = (int(key.epoch) + key.proposer) % e.cfg.N
+	if e.cfg.StagedRetrieval {
+		e.requestChunks(key, rs, e.params.K())
+		e.armRetrievalTimer(key)
+	} else {
+		e.requestChunks(key, rs, e.cfg.N)
+	}
+}
+
+// requestChunks asks `count` more servers for their chunk.
+func (e *Engine) requestChunks(key blockKey, rs *retrState, count int) {
+	for sent := 0; sent < count && rs.requested < e.cfg.N; {
+		to := rs.nextServer
+		rs.nextServer = (rs.nextServer + 1) % e.cfg.N
+		if rs.asked[to] {
+			continue
+		}
+		rs.asked[to] = true
+		rs.requested++
+		sent++
+		env := wire.Envelope{From: e.self, Epoch: key.epoch, Proposer: key.proposer, Payload: wire.RequestChunk{}}
+		e.emit(to, env, e.priorityFor(wire.RequestChunk{}), key.epoch)
+	}
+}
+
+func (e *Engine) armRetrievalTimer(key blockKey) {
+	e.timerSeq++
+	e.timers[e.timerSeq] = key
+	e.actions = append(e.actions, TimerAction{After: e.cfg.stageDelay(), Token: e.timerSeq})
+}
+
+// HandleTimer processes a TimerAction callback: if the retrieval it
+// belongs to is still unfinished, ask another wave of servers.
+func (e *Engine) HandleTimer(token uint64) []Action {
+	e.actions = nil
+	key, ok := e.timers[token]
+	if !ok {
+		return nil
+	}
+	delete(e.timers, token)
+	rs := e.retr[key]
+	if rs == nil || rs.done {
+		return nil
+	}
+	if rs.requested >= e.cfg.N {
+		// Everyone has been asked; nothing to escalate. Correct servers
+		// answer once the dispersal completes for them, so no re-request
+		// is needed (requests are never dropped, only delayed).
+		return e.takeActions()
+	}
+	wave := e.cfg.F
+	if rs.requested+wave > e.cfg.N || wave == 0 {
+		wave = e.cfg.N - rs.requested
+	}
+	e.requestChunks(key, rs, wave)
+	if rs.requested < e.cfg.N {
+		e.armRetrievalTimer(key)
+	}
+	e.drain()
+	return e.takeActions()
+}
+
+func (e *Engine) toRetriever(env wire.Envelope, msg wire.ReturnChunk) {
+	key := blockKey{env.Epoch, env.Proposer}
+	rs, ok := e.retr[key]
+	if !ok || rs.done || rs.ret == nil {
+		return
+	}
+	// The retriever's own output would be a CancelRequest broadcast; the
+	// engine instead cancels exactly the servers it asked.
+	_, done := rs.ret.HandleReturnChunk(env.From, msg)
+	if !done {
+		return
+	}
+	for to, asked := range rs.asked {
+		if asked && to != e.self {
+			out := wire.Envelope{From: e.self, Epoch: env.Epoch, Proposer: env.Proposer, Payload: wire.CancelRequest{}}
+			e.emit(to, out, e.priorityFor(wire.CancelRequest{}), env.Epoch)
+		}
+	}
+	raw, bad := rs.ret.Block()
+	rs.done = true
+	rs.bad = bad
+	rs.ret = nil
+	if !bad {
+		if blk, err := wire.DecodeBlock(raw); err == nil &&
+			blk.Epoch == key.epoch && blk.Proposer == key.proposer && len(blk.V) == e.cfg.N {
+			rs.V = blk.V
+			rs.txs = blk.Txs
+			rs.payload = blk.PayloadBytes()
+		} else {
+			rs.bad = true
+		}
+	}
+	e.onRetrievalDone(key)
+}
+
+func (e *Engine) onRetrievalDone(key blockKey) {
+	if e.cfg.Mode.voteAfterRetrieve() {
+		// HoneyBadger votes after the download. A block that retrieves as
+		// BAD_UPLOADER or ill-formatted still gets a vote: the dispersal
+		// completed, and rejecting it here would stall the epoch. The
+		// garbage is discarded at delivery, as in the paper.
+		e.inputBA(key.epoch, key.proposer, true)
+	}
+	e.tryDeliver()
+}
+
+// observedV returns the V array carried by a retrieved block, or the
+// all-infinity array for BAD_UPLOADER / ill-formatted blocks (footnote 5).
+func (e *Engine) observedV(key blockKey) []uint64 {
+	rs := e.retr[key]
+	if rs == nil || rs.bad || rs.V == nil {
+		inf := make([]uint64, e.cfg.N)
+		for i := range inf {
+			inf[i] = wire.InfEpoch
+		}
+		return inf
+	}
+	return rs.V
+}
+
+// tryDeliver advances the serial delivery pipeline: epoch e is delivered
+// only after epochs < e (Fig 17), in two stages per epoch.
+func (e *Engine) tryDeliver() {
+	for {
+		d := e.deliveries[e.deliveredEpoch+1]
+		if d == nil {
+			return
+		}
+		if d.stage == stageAwaitBA {
+			if !e.allRetrieved(d.epoch, d.S) {
+				return
+			}
+			e.deliverBAStage(d)
+		}
+		if d.stage == stageAwaitLinked {
+			if !e.linkedRetrieved(d) {
+				return
+			}
+			e.deliverLinkedStage(d)
+		}
+		delete(e.deliveries, d.epoch)
+		e.deliveredEpoch = d.epoch
+		e.actions = append(e.actions, EpochDeliveredAction{Epoch: d.epoch})
+		// Delivery progress can unblock coupled-mode proposals.
+		e.maybeSolicitProposal()
+		e.maybePrune()
+	}
+}
+
+// maybePrune garbage-collects epochs beyond the retention horizon.
+func (e *Engine) maybePrune() {
+	if e.cfg.RetainEpochs == 0 {
+		return
+	}
+	for e.prunedThrough+e.cfg.RetainEpochs < e.deliveredEpoch {
+		epoch := e.prunedThrough + 1
+		// The linked-delivery floor must have passed this epoch for
+		// every node, or a future E computation could still demand one
+		// of its blocks.
+		for j := 0; j < e.cfg.N; j++ {
+			if e.linkedFloor[j] < epoch {
+				return
+			}
+		}
+		delete(e.epochs, epoch)
+		for j := 0; j < e.cfg.N; j++ {
+			key := blockKey{epoch, j}
+			delete(e.retr, key)
+			delete(e.delivered, key)
+		}
+		delete(e.myBlocks, epoch)
+		e.prunedThrough = epoch
+	}
+}
+
+// PrunedThrough reports the garbage-collection watermark.
+func (e *Engine) PrunedThrough() uint64 { return e.prunedThrough }
+
+// EpochStatesHeld reports how many epochs of protocol state are resident
+// (for memory monitoring and GC tests).
+func (e *Engine) EpochStatesHeld() int { return len(e.epochs) }
+
+func (e *Engine) allRetrieved(epoch uint64, S []int) bool {
+	for _, j := range S {
+		rs := e.retr[blockKey{epoch, j}]
+		if rs == nil || !rs.done {
+			return false
+		}
+	}
+	return true
+}
+
+// deliverBAStage executes Fig 17 phase 2 steps 2–4: deliver BA-committed
+// blocks sorted by proposer index, then compute E and kick off linked
+// retrievals.
+func (e *Engine) deliverBAStage(d *epochDelivery) {
+	for _, j := range d.S {
+		e.deliverBlock(blockKey{d.epoch, j}, false)
+	}
+	d.stage = stageAwaitLinked
+	if !e.cfg.Mode.linking() {
+		return
+	}
+
+	// E[j] = (f+1)-th largest of the committed blocks' V[j] observations.
+	obs := make([][]uint64, 0, len(d.S))
+	for _, k := range d.S {
+		obs = append(obs, e.observedV(blockKey{d.epoch, k}))
+	}
+	col := make([]uint64, 0, len(obs))
+	for j := 0; j < e.cfg.N; j++ {
+		col = col[:0]
+		for _, v := range obs {
+			col = append(col, v[j])
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a] > col[b] })
+		ej := col[e.cfg.F] // (f+1)-th largest
+		if ej == wire.InfEpoch {
+			// Cannot happen with at most f Byzantine observations; guard
+			// anyway so corrupted state cannot demand infinite retrievals.
+			continue
+		}
+		for t := e.linkedFloor[j] + 1; t <= ej; t++ {
+			key := blockKey{t, j}
+			if e.delivered[key] {
+				continue
+			}
+			d.linked = append(d.linked, key)
+			e.startRetrieval(key)
+		}
+		if ej > e.linkedFloor[j] {
+			e.linkedFloor[j] = ej
+		}
+	}
+	// Total order: linked blocks sort by epoch then node index.
+	sort.Slice(d.linked, func(a, b int) bool {
+		if d.linked[a].epoch != d.linked[b].epoch {
+			return d.linked[a].epoch < d.linked[b].epoch
+		}
+		return d.linked[a].proposer < d.linked[b].proposer
+	})
+}
+
+func (e *Engine) linkedRetrieved(d *epochDelivery) bool {
+	for _, key := range d.linked {
+		rs := e.retr[key]
+		if rs == nil || !rs.done {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) deliverLinkedStage(d *epochDelivery) {
+	for _, key := range d.linked {
+		e.deliverBlock(key, true)
+	}
+}
+
+// deliverBlock delivers one block exactly once. Ill-formatted blocks are
+// marked delivered but produce no transactions.
+func (e *Engine) deliverBlock(key blockKey, linked bool) {
+	if e.delivered[key] {
+		return
+	}
+	e.delivered[key] = true
+	rs := e.retr[key]
+	if rs == nil || rs.bad {
+		return
+	}
+	e.actions = append(e.actions, DeliverAction{
+		Epoch:    key.epoch,
+		Proposer: key.proposer,
+		Txs:      rs.txs,
+		Payload:  rs.payload,
+		Linked:   linked,
+	})
+	// Transaction bytes are no longer needed once delivered; the V array
+	// is kept for later epochs' E computations.
+	rs.txs = nil
+	if key.proposer == e.self {
+		delete(e.myBlocks, key.epoch)
+	}
+}

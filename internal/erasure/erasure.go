@@ -1,0 +1,243 @@
+// Package erasure implements a systematic (k, n) Reed-Solomon erasure code
+// over GF(2^8), built from scratch on package gf256. It replaces the
+// klauspost/reedsolomon dependency used by the DispersedLedger paper.
+//
+// A Coder splits a block of data into k equal-size data shards and computes
+// n−k parity shards. Any k of the n shards reconstruct the original block.
+// DispersedLedger uses k = N−2f and n = N, so the block survives even when
+// the f Byzantine servers withhold their chunks and f correct servers are
+// slow (§3 of the paper).
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"dledger/internal/gf256"
+)
+
+// Errors returned by the coder.
+var (
+	ErrTooFewShards   = errors.New("erasure: not enough shards to reconstruct")
+	ErrShardSize      = errors.New("erasure: shards have inconsistent or zero size")
+	ErrInvalidParams  = errors.New("erasure: invalid code parameters")
+	ErrShortData      = errors.New("erasure: data does not fit the declared length")
+	ErrInvalidPadding = errors.New("erasure: corrupt length prefix in decoded data")
+)
+
+// Coder is a systematic Reed-Solomon coder with k data shards and n total
+// shards. It is safe for concurrent use after construction because all
+// methods only read the precomputed matrices.
+type Coder struct {
+	k, n   int
+	matrix *gf256.Matrix // n x k encoding matrix; top k x k is the identity
+}
+
+// New returns a Coder with k data shards out of n total shards.
+// Requirements: 0 < k <= n <= 256.
+func New(k, n int) (*Coder, error) {
+	if k <= 0 || n < k || n > 256 {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrInvalidParams, k, n)
+	}
+	// Build a systematic encoding matrix: start from an n x k Vandermonde
+	// matrix and multiply by the inverse of its top k x k square so the top
+	// becomes the identity. Every k x k submatrix of the result remains
+	// invertible, and the first k shards equal the data itself.
+	vm := gf256.VandermondeMatrix(n, k)
+	top := vm.SubMatrix(0, k, 0, k)
+	topInv, err := top.Invert()
+	if err != nil {
+		// Cannot happen: Vandermonde top squares are invertible.
+		return nil, err
+	}
+	return &Coder{k: k, n: n, matrix: vm.Mul(topInv)}, nil
+}
+
+// DataShards returns k, the number of shards needed to reconstruct.
+func (c *Coder) DataShards() int { return c.k }
+
+// TotalShards returns n, the total number of shards produced by Split.
+func (c *Coder) TotalShards() int { return c.n }
+
+// ShardSize returns the size of each shard produced for a block of
+// dataLen bytes. The block is prefixed with its length (4 bytes) and padded
+// to a multiple of k.
+func (c *Coder) ShardSize(dataLen int) int {
+	total := dataLen + 4
+	return (total + c.k - 1) / c.k
+}
+
+// Split encodes data into n shards of equal size. Any k of the returned
+// shards reconstruct data via Reconstruct. The input is copied; the caller
+// may reuse it.
+func (c *Coder) Split(data []byte) ([][]byte, error) {
+	if len(data) > 0xffffffff-4 {
+		return nil, fmt.Errorf("%w: block too large", ErrInvalidParams)
+	}
+	shardSize := c.ShardSize(len(data))
+	// Lay out: 4-byte big-endian length, then data, then zero padding.
+	buf := make([]byte, shardSize*c.k)
+	buf[0] = byte(len(data) >> 24)
+	buf[1] = byte(len(data) >> 16)
+	buf[2] = byte(len(data) >> 8)
+	buf[3] = byte(len(data))
+	copy(buf[4:], data)
+
+	shards := make([][]byte, c.n)
+	for i := 0; i < c.k; i++ {
+		shards[i] = buf[i*shardSize : (i+1)*shardSize]
+	}
+	parity := make([]byte, shardSize*(c.n-c.k))
+	for i := c.k; i < c.n; i++ {
+		shards[i] = parity[(i-c.k)*shardSize : (i-c.k+1)*shardSize]
+		row := c.matrix.Row(i)
+		for j := 0; j < c.k; j++ {
+			gf256.MulAddSlice(row[j], shards[i], shards[j])
+		}
+	}
+	return shards, nil
+}
+
+// Reconstruct recovers the original data block from shards. The slice must
+// have length n; missing shards are nil. At least k shards must be present.
+// Present shards must all have the same non-zero length.
+//
+// Reconstruct does not verify shard integrity: feeding it k shards that were
+// not produced by the same Split call yields garbage. AVID-M detects this
+// case by re-encoding and comparing Merkle roots (§3.3 of the paper).
+func (c *Coder) Reconstruct(shards [][]byte) ([]byte, error) {
+	if len(shards) != c.n {
+		return nil, fmt.Errorf("%w: got %d shard slots, want %d", ErrInvalidParams, len(shards), c.n)
+	}
+	shardSize := -1
+	var present []int
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if shardSize == -1 {
+			shardSize = len(s)
+		}
+		if len(s) != shardSize || shardSize == 0 {
+			return nil, ErrShardSize
+		}
+		present = append(present, i)
+		if len(present) == c.k {
+			break
+		}
+	}
+	if len(present) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.k)
+	}
+
+	data := make([]byte, shardSize*c.k)
+	allSystematic := true
+	for idx, row := range present {
+		if row != idx {
+			allSystematic = false
+			break
+		}
+	}
+	if allSystematic {
+		// Fast path: the first k shards are the data itself.
+		for i := 0; i < c.k; i++ {
+			copy(data[i*shardSize:], shards[i])
+		}
+	} else {
+		sub := c.matrix.SelectRows(present)
+		dec, err := sub.Invert()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < c.k; i++ {
+			out := data[i*shardSize : (i+1)*shardSize]
+			row := dec.Row(i)
+			for j, src := range present {
+				gf256.MulAddSlice(row[j], out, shards[src])
+			}
+		}
+	}
+
+	if len(data) < 4 {
+		return nil, ErrInvalidPadding
+	}
+	n := int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
+	if n < 0 || n > len(data)-4 {
+		return nil, ErrInvalidPadding
+	}
+	return data[4 : 4+n], nil
+}
+
+// ReconstructShards recovers all n shards (data and parity) from any k
+// present shards, filling in the nil entries of shards in place. Present
+// entries are left untouched.
+func (c *Coder) ReconstructShards(shards [][]byte) error {
+	if len(shards) != c.n {
+		return fmt.Errorf("%w: got %d shard slots, want %d", ErrInvalidParams, len(shards), c.n)
+	}
+	shardSize := -1
+	var present []int
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if shardSize == -1 {
+			shardSize = len(s)
+		}
+		if len(s) != shardSize || shardSize == 0 {
+			return ErrShardSize
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.k {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.k)
+	}
+	present = present[:c.k]
+
+	// Recover the k data shards first.
+	sub := c.matrix.SelectRows(present)
+	dec, err := sub.Invert()
+	if err != nil {
+		return err
+	}
+	dataShards := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		if shards[i] != nil && containsInt(present, i) {
+			dataShards[i] = shards[i]
+			continue
+		}
+		out := make([]byte, shardSize)
+		row := dec.Row(i)
+		for j, src := range present {
+			gf256.MulAddSlice(row[j], out, shards[src])
+		}
+		dataShards[i] = out
+	}
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			shards[i] = dataShards[i]
+		}
+	}
+	// Re-derive any missing parity shards.
+	for i := c.k; i < c.n; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, shardSize)
+		row := c.matrix.Row(i)
+		for j := 0; j < c.k; j++ {
+			gf256.MulAddSlice(row[j], out, dataShards[j])
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

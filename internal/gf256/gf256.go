@@ -1,0 +1,116 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8) and
+// matrix operations over it. It is the algebraic substrate for the
+// Reed-Solomon erasure code in package erasure.
+//
+// The field is realized as GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), the
+// polynomial 0x11d that is standard in Reed-Solomon implementations. All
+// non-zero elements are powers of the generator 2, which lets us implement
+// multiplication and division with log/exp tables.
+package gf256
+
+// Polynomial is the irreducible polynomial defining the field,
+// x^8 + x^4 + x^3 + x^2 + 1.
+const Polynomial = 0x11d
+
+// Generator is a primitive element of the field: every non-zero field
+// element is a power of it.
+const Generator = 2
+
+var (
+	expTable [512]byte // expTable[i] = Generator^i; doubled to avoid mod 255 in Mul
+	logTable [256]byte // logTable[x] = i such that Generator^i = x, for x != 0
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Polynomial
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse, so
+// Add also computes subtraction.
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). It panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])-int(logTable[b])+255]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: zero has no inverse")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns Generator^n for n >= 0.
+func Exp(n int) byte {
+	return expTable[n%255]
+}
+
+// MulSlice sets dst[i] = c * src[i] for all i. dst and src must have the
+// same length; they may alias.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for all i. It is the inner loop of
+// Reed-Solomon encoding.
+func MulAddSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[logC+int(logTable[s])]
+		}
+	}
+}

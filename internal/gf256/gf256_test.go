@@ -1,0 +1,181 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTablesConsistent(t *testing.T) {
+	// exp and log must be inverse bijections on the non-zero elements.
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		v := Exp(i)
+		if v == 0 {
+			t.Fatalf("Exp(%d) = 0; generator powers must be non-zero", i)
+		}
+		if seen[v] {
+			t.Fatalf("Exp(%d) = %d repeats an earlier power", i, v)
+		}
+		seen[v] = true
+		if got := logTable[v]; int(got) != i {
+			t.Fatalf("log(Exp(%d)) = %d, want %d", i, got, i)
+		}
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator produced %d distinct non-zero elements, want 255", len(seen))
+	}
+}
+
+func TestMulBruteForce(t *testing.T) {
+	// Compare table-based Mul against carry-less polynomial multiplication
+	// reduced mod the field polynomial, over the full 256x256 space.
+	slowMul := func(a, b byte) byte {
+		var prod uint16
+		for i := 0; i < 8; i++ {
+			if b&(1<<i) != 0 {
+				prod ^= uint16(a) << i
+			}
+		}
+		for i := 15; i >= 8; i-- {
+			if prod&(1<<i) != 0 {
+				prod ^= Polynomial << (i - 8)
+			}
+		}
+		return byte(prod)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), slowMul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	commutative := func(a, b byte) bool {
+		return Mul(a, b) == Mul(b, a) && Add(a, b) == Add(b, a)
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Error(err)
+	}
+
+	associative := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Error(err)
+	}
+
+	distributive := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(distributive, cfg); err != nil {
+		t.Error(err)
+	}
+
+	identity := func(a byte) bool {
+		return Mul(a, 1) == a && Add(a, 0) == a
+	}
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Error(err)
+	}
+
+	additiveInverse := func(a byte) bool {
+		return Add(a, a) == 0 // characteristic 2
+	}
+	if err := quick.Check(additiveInverse, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvAndDiv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("Inv(%d) = %d is not an inverse", a, inv)
+		}
+		if Div(1, byte(a)) != inv {
+			t.Fatalf("Div(1, %d) != Inv(%d)", a, a)
+		}
+	}
+	// a/b * b == a for b != 0
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(5, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 255}
+	dst := make([]byte, len(src))
+	MulSlice(7, dst, src)
+	for i := range src {
+		if dst[i] != Mul(7, src[i]) {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	// c == 0 zeroes dst
+	MulSlice(0, dst, src)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatal("MulSlice(0, ...) must zero dst")
+		}
+	}
+	// c == 1 copies
+	MulSlice(1, dst, src)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatal("MulSlice(1, ...) must copy src")
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{9, 8, 7, 6}
+	dst := []byte{1, 2, 3, 4}
+	want := make([]byte, 4)
+	for i := range want {
+		want[i] = Add(dst[i], Mul(5, src[i]))
+	}
+	MulAddSlice(5, dst, src)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulAddSlice mismatch at %d: got %d want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MulSlice(3, make([]byte, 2), make([]byte, 3))
+}

@@ -1,0 +1,151 @@
+package gf256
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("gf256: matrix dimensions must be positive")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// IdentityMatrix returns the n x n identity matrix.
+func IdentityMatrix(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// VandermondeMatrix returns the rows x cols matrix with entry (r, c) equal
+// to Generator^(r*c). Any cols x cols submatrix formed from distinct rows is
+// invertible, which is the property Reed-Solomon relies on.
+func VandermondeMatrix(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, Exp(r*c))
+		}
+	}
+	return m
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic(fmt.Sprintf("gf256: cannot multiply %dx%d by %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(r, k)
+			if a == 0 {
+				continue
+			}
+			MulAddSlice(a, out.Row(r), other.Row(k))
+		}
+	}
+	return out
+}
+
+// SubMatrix returns a copy of the rectangle [r0, r1) x [c0, c1).
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
+	out := NewMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		copy(out.Row(r-r0), m.Row(r)[c0:c1])
+	}
+	return out
+}
+
+// SelectRows returns a new matrix consisting of the given rows of m, in the
+// given order.
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	out := NewMatrix(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ErrSingular is returned by Invert when the matrix has no inverse.
+var ErrSingular = errors.New("gf256: matrix is singular")
+
+// Invert returns the inverse of the square matrix m using Gauss-Jordan
+// elimination with partial pivoting, or ErrSingular.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.Rows != m.Cols {
+		panic("gf256: cannot invert non-square matrix")
+	}
+	n := m.Rows
+	work := m.Clone()
+	inv := IdentityMatrix(n)
+
+	for col := 0; col < n; col++ {
+		// Find a pivot row.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale the pivot row so the pivot becomes 1.
+		if p := work.At(col, col); p != 1 {
+			pInv := Inv(p)
+			MulSlice(pInv, work.Row(col), work.Row(col))
+			MulSlice(pInv, inv.Row(col), inv.Row(col))
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work.At(r, col); f != 0 {
+				MulAddSlice(f, work.Row(r), work.Row(col))
+				MulAddSlice(f, inv.Row(r), inv.Row(col))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}

@@ -1,0 +1,111 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(4, 4)
+	for i := range m.Data {
+		m.Data[i] = byte(rng.Intn(256))
+	}
+	id := IdentityMatrix(4)
+	left := id.Mul(m)
+	right := m.Mul(id)
+	for i := range m.Data {
+		if left.Data[i] != m.Data[i] || right.Data[i] != m.Data[i] {
+			t.Fatal("identity multiplication changed the matrix")
+		}
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		var m *Matrix
+		var inv *Matrix
+		var err error
+		// Rejection-sample an invertible matrix.
+		for {
+			m = NewMatrix(n, n)
+			for i := range m.Data {
+				m.Data[i] = byte(rng.Intn(256))
+			}
+			inv, err = m.Invert()
+			if err == nil {
+				break
+			}
+		}
+		prod := m.Mul(inv)
+		id := IdentityMatrix(n)
+		for i := range prod.Data {
+			if prod.Data[i] != id.Data[i] {
+				t.Fatalf("n=%d: m * m^-1 != I", n)
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(3, 3)
+	// Two equal rows => singular.
+	copy(m.Row(0), []byte{1, 2, 3})
+	copy(m.Row(1), []byte{1, 2, 3})
+	copy(m.Row(2), []byte{4, 5, 6})
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("Invert of singular matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestVandermondeSubmatricesInvertible(t *testing.T) {
+	// The defining property used by Reed-Solomon: every square submatrix
+	// built from distinct rows of a Vandermonde matrix is invertible.
+	const rows, cols = 20, 5
+	v := VandermondeMatrix(rows, cols)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		perm := rng.Perm(rows)[:cols]
+		sub := v.SelectRows(perm)
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("Vandermonde submatrix rows %v not invertible: %v", perm, err)
+		}
+	}
+}
+
+func TestSelectRowsAndSubMatrix(t *testing.T) {
+	m := NewMatrix(3, 3)
+	for i := range m.Data {
+		m.Data[i] = byte(i)
+	}
+	sel := m.SelectRows([]int{2, 0})
+	if sel.Rows != 2 || sel.At(0, 0) != 6 || sel.At(1, 2) != 2 {
+		t.Fatalf("SelectRows wrong content: %+v", sel)
+	}
+	sub := m.SubMatrix(1, 3, 1, 3)
+	if sub.Rows != 2 || sub.Cols != 2 || sub.At(0, 0) != 4 || sub.At(1, 1) != 8 {
+		t.Fatalf("SubMatrix wrong content: %+v", sub)
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Mul did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func BenchmarkMatrixInvert32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := VandermondeMatrix(64, 32).SelectRows(rng.Perm(64)[:32])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Invert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package harness assembles full DispersedLedger clusters on the network
+// emulator and runs the paper's experiments. Every figure and table of
+// the evaluation (§6 and appendix A) has a runner here; cmd/dlbench and
+// bench_test.go print their outputs in the paper's shape.
+package harness
+
+import (
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/replica"
+	"dledger/internal/simnet"
+	"dledger/internal/trace"
+	"dledger/internal/wire"
+	"dledger/internal/workload"
+)
+
+// ClusterOptions configures an emulated cluster run.
+type ClusterOptions struct {
+	Core    core.Config
+	Replica replica.Params
+
+	// Egress/Ingress bandwidth traces per node (Ingress nil = same as
+	// egress). Delay nil = flat 100 ms one-way, the paper's controlled
+	// setting.
+	Egress  []trace.Trace
+	Ingress []trace.Trace
+	Delay   func(from, to int) time.Duration
+	// PriorityWeight is the dispersal:retrieval bandwidth ratio T (§5).
+	// Zero = 30.
+	PriorityWeight float64
+
+	// Workload: TxSize bytes per transaction; LoadPerNode is the offered
+	// Poisson load per node in bytes/second. InfiniteBacklog keeps every
+	// mempool saturated instead (the paper's throughput methodology).
+	TxSize          int
+	LoadPerNode     float64
+	InfiniteBacklog bool
+
+	Seed int64
+}
+
+// Cluster is a running emulated deployment.
+type Cluster struct {
+	Sim      *simnet.Sim
+	Net      *simnet.Network
+	Replicas []*replica.Replica
+	opts     ClusterOptions
+}
+
+type simCtx struct {
+	sim  *simnet.Sim
+	net  *simnet.Network
+	self int
+}
+
+func (c *simCtx) Now() time.Duration { return c.sim.Now() }
+func (c *simCtx) Send(to int, env wire.Envelope, prio wire.Priority, stream uint64) {
+	c.net.Send(c.self, to, env, prio, stream)
+}
+func (c *simCtx) After(d time.Duration, fn func()) { c.sim.After(d, fn) }
+func (c *simCtx) Unsend(to int, epoch uint64, proposer int) {
+	c.net.Unsend(c.self, to, epoch, proposer)
+}
+
+// NewCluster builds the emulated cluster (not yet started).
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Core.CoinSecret == nil {
+		opts.Core.CoinSecret = []byte("harness shared coin secret")
+	}
+	if opts.TxSize == 0 {
+		opts.TxSize = 250
+	}
+	sim := simnet.NewSim()
+	net := simnet.NewNetwork(sim, simnet.Config{
+		N:              opts.Core.N,
+		Delay:          opts.Delay,
+		Egress:         opts.Egress,
+		Ingress:        opts.Ingress,
+		PriorityWeight: opts.PriorityWeight,
+	})
+	c := &Cluster{Sim: sim, Net: net, opts: opts}
+	for i := 0; i < opts.Core.N; i++ {
+		r, err := replica.New(opts.Core, i, opts.Replica, &simCtx{sim: sim, net: net, self: i})
+		if err != nil {
+			return nil, err
+		}
+		i := i
+		net.SetHandler(i, func(env wire.Envelope) { r.OnEnvelope(env) })
+		c.Replicas = append(c.Replicas, r)
+	}
+	return c, nil
+}
+
+// Start boots all replicas and installs the workload.
+func (c *Cluster) Start() {
+	for _, r := range c.Replicas {
+		r.Start()
+	}
+	if c.opts.InfiniteBacklog {
+		c.installBacklog()
+	} else if c.opts.LoadPerNode > 0 {
+		c.installPoisson()
+	}
+}
+
+// installBacklog keeps every mempool saturated so proposals are never
+// demand-limited — the paper's throughput measurement methodology
+// ("generate a high load ... to create an infinitely-backlogged system").
+func (c *Cluster) installBacklog() {
+	target := 4 * c.opts.Replica.BatchBytes
+	if c.opts.Replica.FixedBlockBytes > 0 {
+		target = 4 * c.opts.Replica.FixedBlockBytes
+	}
+	if target == 0 {
+		target = 4 * (150 << 10)
+	}
+	var seq uint32
+	for i, r := range c.Replicas {
+		i, r := i, r
+		var refill func()
+		refill = func() {
+			for r.PendingBytes() < target {
+				seq++
+				r.Submit(workload.Make(i, seq, c.Sim.Now(), c.opts.TxSize))
+			}
+			c.Sim.After(20*time.Millisecond, refill)
+		}
+		refill()
+	}
+}
+
+// installPoisson starts the per-node Poisson generators of §6.1.
+func (c *Cluster) installPoisson() {
+	for i, r := range c.Replicas {
+		i, r := i, r
+		gen := workload.NewGenerator(i, c.opts.TxSize, c.opts.LoadPerNode, c.opts.Seed+int64(i)*7919)
+		var arm func()
+		arm = func() {
+			tx, gap := gen.Next(c.Sim.Now())
+			c.Sim.After(gap, func() {
+				r.Submit(tx)
+				arm()
+			})
+		}
+		arm()
+	}
+}
+
+// Run advances simulated time to the horizon.
+func (c *Cluster) Run(horizon time.Duration) {
+	c.Sim.Run(horizon)
+}
+
+// Throughput returns node i's confirmed-payload rate (bytes/second)
+// between warmup and end, the paper's per-server throughput metric.
+func (c *Cluster) Throughput(i int, warmup, end time.Duration) float64 {
+	return c.Replicas[i].Stats.Progress.Rate(warmup, end)
+}
+
+// DispersalFraction returns the ratio of dispersal-class bytes to total
+// bytes a node must move per epoch (Fig 13's metric). Both classes are
+// normalized per epoch — dispersal bytes per epoch whose dispersal phase
+// finished, retrieval bytes per epoch fully delivered — because under
+// infinite backlog the retrieval pipeline lags the dispersal pipeline by
+// design, and raw byte totals at the end of a finite run would
+// undercount retrieval for exactly the configurations with the largest
+// backlog.
+func (c *Cluster) DispersalFraction(i int) float64 {
+	d, r := c.Net.BytesReceived(i)
+	st := &c.Replicas[i].Stats
+	if st.EpochsDecided == 0 || st.EpochsDelivered == 0 || d+r == 0 {
+		return 0
+	}
+	dPer := float64(d) / float64(st.EpochsDecided)
+	rPer := float64(r) / float64(st.EpochsDelivered)
+	return dPer / (dPer + rPer)
+}

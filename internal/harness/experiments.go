@@ -1,0 +1,485 @@
+package harness
+
+import (
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/replica"
+	"dledger/internal/stats"
+	"dledger/internal/trace"
+)
+
+// Scale is the default down-scaling factor applied to bandwidths and
+// batch sizes so that simulated minutes of a 16-node WAN run in seconds
+// of CPU. Rates and block sizes shrink together, so the queueing shapes
+// (who waits on whom) are preserved; reported throughputs are divided by
+// the factor again, i.e. printed in paper-equivalent MB/s. EXPERIMENTS.md
+// discusses the fidelity of this substitution.
+const Scale = 1.0 / 64
+
+// GeoParams configures the geo-distributed experiments (Fig 8, 9, 15).
+type GeoParams struct {
+	Cities   []trace.City
+	Mode     core.Mode
+	Scale    float64
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+	// StagedRetrieval enables the staged chunk-request extension (see
+	// core.Config.StagedRetrieval and the abl-retrieval benchmark).
+	StagedRetrieval bool
+}
+
+func (p *GeoParams) defaults() {
+	if p.Cities == nil {
+		p.Cities = trace.AWSCities
+	}
+	if p.Scale == 0 {
+		p.Scale = Scale
+	}
+	if p.Duration == 0 {
+		p.Duration = 60 * time.Second
+	}
+	if p.Warmup == 0 {
+		p.Warmup = p.Duration / 5
+	}
+}
+
+// geoDelay derives a deterministic 40–140 ms one-way delay per city pair,
+// standing in for real inter-city latencies.
+func geoDelay(n int, seed int64) func(from, to int) time.Duration {
+	d := make([][]time.Duration, n)
+	rng := newSplitMix(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	for i := range d {
+		d[i] = make([]time.Duration, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ms := 40 + rng.next()%101
+			d[i][j] = time.Duration(ms) * time.Millisecond
+			d[j][i] = d[i][j]
+		}
+	}
+	return func(from, to int) time.Duration {
+		if from == to {
+			return 0
+		}
+		return d[from][to]
+	}
+}
+
+type splitMix struct{ x uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{x: seed} }
+func (s *splitMix) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ScaledReplicaParams returns replica params with the paper's Nagle
+// thresholds (100 ms / 150 KB), the byte threshold scaled alongside
+// bandwidth.
+func ScaledReplicaParams(scale float64) replica.Params {
+	return replica.Params{
+		BatchDelay: 100 * time.Millisecond,
+		BatchBytes: int(float64(150<<10) * scale),
+	}
+}
+
+func scaledReplica(scale float64) replica.Params { return ScaledReplicaParams(scale) }
+
+// GeoResult is a per-node throughput profile in paper-equivalent MB/s.
+type GeoResult struct {
+	Mode       core.Mode
+	Names      []string
+	Throughput []float64 // per node, MB/s (already re-scaled)
+	Mean       float64
+}
+
+// RunGeo measures per-server throughput on a geo profile under infinite
+// backlog (Fig 8 / Fig 15 methodology).
+func RunGeo(p GeoParams) (*GeoResult, error) {
+	p.defaults()
+	n := len(p.Cities)
+	samples := int(p.Duration/time.Second) + 2
+	c, err := NewCluster(ClusterOptions{
+		Core:            core.Config{N: n, F: (n - 1) / 3, Mode: p.Mode, StagedRetrieval: p.StagedRetrieval},
+		Replica:         scaledReplica(p.Scale),
+		Egress:          trace.CityTraces(p.Cities, p.Scale, samples, time.Second, p.Seed),
+		Delay:           geoDelay(n, p.Seed),
+		TxSize:          256,
+		InfiniteBacklog: true,
+		Seed:            p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	c.Run(p.Duration)
+	res := &GeoResult{Mode: p.Mode, Names: trace.Names(p.Cities)}
+	var sum float64
+	for i := range c.Replicas {
+		mbps := c.Throughput(i, p.Warmup, p.Duration) / p.Scale / trace.MB
+		res.Throughput = append(res.Throughput, mbps)
+		sum += mbps
+	}
+	res.Mean = sum / float64(n)
+	return res, nil
+}
+
+// ProgressResult is Fig 9: per-node confirmed bytes over time.
+type ProgressResult struct {
+	Mode  core.Mode
+	Names []string
+	// Series is per node; values are cumulative confirmed bytes divided
+	// by scale (paper-equivalent bytes).
+	Series []*stats.TimeSeries
+}
+
+// RunProgress records each node's confirmation progress on the geo
+// profile (Fig 9 plots DL vs HB-Link on the same scale).
+func RunProgress(p GeoParams) (*ProgressResult, error) {
+	p.defaults()
+	n := len(p.Cities)
+	samples := int(p.Duration/time.Second) + 2
+	c, err := NewCluster(ClusterOptions{
+		Core:            core.Config{N: n, F: (n - 1) / 3, Mode: p.Mode},
+		Replica:         scaledReplica(p.Scale),
+		Egress:          trace.CityTraces(p.Cities, p.Scale, samples, time.Second, p.Seed),
+		Delay:           geoDelay(n, p.Seed),
+		TxSize:          256,
+		InfiniteBacklog: true,
+		Seed:            p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range c.Replicas {
+		c.Replicas[i].Stats.Progress.MinGap = 100 * time.Millisecond
+	}
+	c.Start()
+	c.Run(p.Duration)
+	res := &ProgressResult{Mode: p.Mode, Names: trace.Names(p.Cities)}
+	for i := range c.Replicas {
+		ts := &stats.TimeSeries{}
+		src := &c.Replicas[i].Stats.Progress
+		for k := range src.Times {
+			ts.Force(src.Times[k], src.Values[k]/p.Scale)
+		}
+		res.Series = append(res.Series, ts)
+	}
+	return res, nil
+}
+
+// LatencyParams configures the load-sweep latency experiment (Fig 10).
+type LatencyParams struct {
+	Cities   []trace.City
+	Mode     core.Mode
+	Scale    float64
+	Duration time.Duration
+	Warmup   time.Duration
+	// LoadPerNode is the offered load per node in paper-equivalent
+	// bytes/second (it is multiplied by Scale internally).
+	LoadPerNode float64
+	Seed        int64
+
+	batchDelay time.Duration // optional override (abl-batch)
+	batchBytes int           // optional override, paper-equivalent (abl-batch)
+}
+
+// LagGuardResult reports the abl-lag ablation: throughput and the final
+// dispersal-vs-delivery gap under a given §4.5 P bound.
+type LagGuardResult struct {
+	MaxEpochLag uint64
+	Throughput  float64 // mean per-node, paper-equivalent MB/s
+	FinalLag    float64 // mean over nodes, epochs
+}
+
+// RunLagGuard measures the effect of the §4.5 "stop proposing when more
+// than P epochs behind" mitigation on a saturated fixed-block cluster.
+func RunLagGuard(maxLag uint64, duration time.Duration, seed int64) (*LagGuardResult, error) {
+	const n = 16
+	scale := ScalabilityScale
+	traces := make([]trace.Trace, n)
+	for i := range traces {
+		traces[i] = trace.Constant(10 * trace.MB * scale)
+	}
+	rp := scaledReplica(scale)
+	rp.FixedBlockBytes = int(float64(500<<10) * scale)
+	c, err := NewCluster(ClusterOptions{
+		Core:            core.Config{N: n, F: (n - 1) / 3, Mode: core.ModeDL, MaxEpochLag: maxLag},
+		Replica:         rp,
+		Egress:          traces,
+		TxSize:          256,
+		InfiniteBacklog: true,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	c.Run(duration)
+	res := &LagGuardResult{MaxEpochLag: maxLag}
+	var th, lag stats.Welford
+	for i := 0; i < n; i++ {
+		th.Add(c.Throughput(i, duration/5, duration) / scale / trace.MB)
+		eng := c.Replicas[i].Engine()
+		lag.Add(float64(eng.DispersalEpoch()) - float64(eng.DeliveredEpoch()))
+	}
+	res.Throughput, res.FinalLag = th.Mean(), lag.Mean()
+	return res, nil
+}
+
+// RunGeoStaged is RunGeo with the retrieval policy made explicit, used by
+// the abl-retrieval benchmark.
+func RunGeoStaged(p GeoParams, staged bool) (*GeoResult, error) {
+	p.StagedRetrieval = staged
+	return RunGeo(p)
+}
+
+// RunLatencyWithBatch is RunLatency with overridden Nagle thresholds,
+// used by the abl-batch benchmark. batchBytes is paper-equivalent (it is
+// scaled internally alongside bandwidth); zero keeps the default.
+func RunLatencyWithBatch(p LatencyParams, batchDelay time.Duration, batchBytes int) (*LatencyResult, error) {
+	p.batchDelay = batchDelay
+	p.batchBytes = batchBytes
+	return RunLatency(p)
+}
+
+// LatencyResult reports per-node latency percentiles for one load point.
+type LatencyResult struct {
+	Mode        core.Mode
+	LoadPerNode float64 // paper-equivalent bytes/s
+	Names       []string
+	P5, P50, P95, P99 []time.Duration // local-transaction latency per node
+	AllP50, AllP95    []time.Duration // all-transaction latency (Fig 14)
+	DeliveredPayload  []int64
+}
+
+// LatencyScale is the default scale for latency experiments. Latency runs
+// are load-limited rather than bandwidth-limited, so they can afford a
+// larger scale; a larger scale keeps per-message fixed overheads (headers,
+// proofs — which do not shrink with the scale factor) a small fraction of
+// the scaled bandwidth, as they are at paper scale.
+const LatencyScale = 1.0 / 8
+
+// RunLatency measures confirmation latency at one offered load.
+func RunLatency(p LatencyParams) (*LatencyResult, error) {
+	if p.Cities == nil {
+		p.Cities = trace.AWSCities
+	}
+	if p.Scale == 0 {
+		p.Scale = LatencyScale
+	}
+	if p.Duration == 0 {
+		p.Duration = 60 * time.Second
+	}
+	if p.Warmup == 0 {
+		p.Warmup = p.Duration / 5
+	}
+	n := len(p.Cities)
+	samples := int(p.Duration/time.Second) + 2
+	rp := scaledReplica(p.Scale)
+	if p.batchDelay != 0 {
+		rp.BatchDelay = p.batchDelay
+	}
+	if p.batchBytes != 0 {
+		rp.BatchBytes = int(float64(p.batchBytes) * p.Scale)
+	}
+	c, err := NewCluster(ClusterOptions{
+		Core:        core.Config{N: n, F: (n - 1) / 3, Mode: p.Mode},
+		Replica:     rp,
+		Egress:      trace.CityTraces(p.Cities, p.Scale, samples, time.Second, p.Seed),
+		Delay:       geoDelay(n, p.Seed),
+		TxSize:      256,
+		LoadPerNode: p.LoadPerNode * p.Scale,
+		Seed:        p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	c.Run(p.Duration)
+	res := &LatencyResult{Mode: p.Mode, LoadPerNode: p.LoadPerNode, Names: trace.Names(p.Cities)}
+	for i := range c.Replicas {
+		local := c.Replicas[i].Stats.LatLocal
+		all := c.Replicas[i].Stats.LatAll
+		res.P5 = append(res.P5, stats.DurationPercentile(local, 5))
+		res.P50 = append(res.P50, stats.DurationPercentile(local, 50))
+		res.P95 = append(res.P95, stats.DurationPercentile(local, 95))
+		res.P99 = append(res.P99, stats.DurationPercentile(local, 99))
+		res.AllP50 = append(res.AllP50, stats.DurationPercentile(all, 50))
+		res.AllP95 = append(res.AllP95, stats.DurationPercentile(all, 95))
+		res.DeliveredPayload = append(res.DeliveredPayload, c.Replicas[i].Stats.DeliveredPayload)
+	}
+	return res, nil
+}
+
+// ControlledParams configures the controlled experiments of §6.3
+// (Fig 11a/11b): 16 nodes, flat 100 ms delay, synthetic bandwidth.
+type ControlledParams struct {
+	N        int
+	Mode     core.Mode
+	Scale    float64
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+	// Temporal selects Gauss-Markov traces (Fig 11b); otherwise constant
+	// rates are used. Spatial selects the 10+0.5i MB/s profile (Fig 11a);
+	// otherwise all nodes get 10 MB/s.
+	Temporal bool
+	Spatial  bool
+	// PriorityWeight overrides T (for the priority ablation); 0 = 30.
+	PriorityWeight float64
+}
+
+func (p *ControlledParams) defaults() {
+	if p.N == 0 {
+		p.N = 16
+	}
+	if p.Scale == 0 {
+		p.Scale = Scale
+	}
+	if p.Duration == 0 {
+		p.Duration = 60 * time.Second
+	}
+	if p.Warmup == 0 {
+		p.Warmup = p.Duration / 5
+	}
+}
+
+// ControlledResult reports per-node and aggregate throughput.
+type ControlledResult struct {
+	Mode       core.Mode
+	Throughput []float64 // per node, paper-equivalent MB/s
+	Mean, Std  float64
+	// EpochRate is the mean dispersal-pipeline progress in epochs/second
+	// — the quantity the §5 priority scheme protects.
+	EpochRate float64
+}
+
+// RunControlled runs one controlled-setting experiment.
+func RunControlled(p ControlledParams) (*ControlledResult, error) {
+	p.defaults()
+	traces := make([]trace.Trace, p.N)
+	samples := int(p.Duration/time.Second) + 2
+	for i := 0; i < p.N; i++ {
+		mean := 10.0 * trace.MB * p.Scale
+		if p.Spatial {
+			mean = (10.0 + 0.5*float64(i)) * trace.MB * p.Scale
+		}
+		if p.Temporal {
+			traces[i] = trace.GaussMarkov(trace.GaussMarkovParams{
+				Mean:  mean,
+				Sigma: 5.0 * trace.MB * p.Scale,
+				Alpha: 0.98,
+				Tick:  time.Second,
+			}, samples, p.Seed+int64(i)*131)
+		} else {
+			traces[i] = trace.Constant(mean)
+		}
+	}
+	c, err := NewCluster(ClusterOptions{
+		Core:            core.Config{N: p.N, F: (p.N - 1) / 3, Mode: p.Mode},
+		Replica:         scaledReplica(p.Scale),
+		Egress:          traces,
+		TxSize:          256,
+		InfiniteBacklog: true,
+		Seed:            p.Seed,
+		PriorityWeight:  p.PriorityWeight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	c.Run(p.Duration)
+	res := &ControlledResult{Mode: p.Mode}
+	var w, er stats.Welford
+	for i := 0; i < p.N; i++ {
+		mbps := c.Throughput(i, p.Warmup, p.Duration) / p.Scale / trace.MB
+		res.Throughput = append(res.Throughput, mbps)
+		w.Add(mbps)
+		er.Add(float64(c.Replicas[i].Engine().DispersalEpoch()) / p.Duration.Seconds())
+	}
+	res.Mean, res.Std = w.Mean(), w.StdDev()
+	res.EpochRate = er.Mean()
+	return res, nil
+}
+
+// ScaleParams configures the scalability experiments (Fig 12, 13).
+type ScaleParams struct {
+	N          int
+	BlockBytes int // paper-equivalent block size (scaled internally)
+	Scale      float64
+	Duration   time.Duration
+	Warmup     time.Duration
+	Seed       int64
+}
+
+// ScaleResult reports Fig 12's throughput and Fig 13's dispersal-traffic
+// fraction for one (N, block size) point.
+type ScaleResult struct {
+	N                 int
+	BlockBytes        int
+	Throughput        float64 // mean per-node, paper-equivalent MB/s
+	ThroughputStd     float64
+	DispersalFraction float64 // mean across nodes
+}
+
+// ScalabilityScale is the default scale of the cluster-size sweeps.
+// Per-message fixed costs (headers, quorum votes) do not shrink with the
+// scale factor, and at N >= 31 they are Θ(N²) per epoch; a deeper
+// down-scaling would let them dominate the scaled bandwidth, which no
+// paper-scale deployment experiences.
+const ScalabilityScale = 1.0 / 8
+
+// RunScalability runs one point of the cluster-size sweep: uniform
+// 10 MB/s caps, 100 ms delays, fixed-size blocks.
+func RunScalability(p ScaleParams) (*ScaleResult, error) {
+	if p.Scale == 0 {
+		p.Scale = ScalabilityScale
+	}
+	if p.Duration == 0 {
+		p.Duration = 60 * time.Second
+	}
+	if p.Warmup == 0 {
+		p.Warmup = p.Duration / 5
+	}
+	traces := make([]trace.Trace, p.N)
+	for i := range traces {
+		traces[i] = trace.Constant(10 * trace.MB * p.Scale)
+	}
+	rp := scaledReplica(p.Scale)
+	rp.FixedBlockBytes = int(float64(p.BlockBytes) * p.Scale)
+	c, err := NewCluster(ClusterOptions{
+		// The sweep enables the §4.5 lag guard (P = 8): with fixed-size
+		// blocks and infinite backlog, unbounded dispersal pipelining
+		// would otherwise starve retrieval entirely at large N, where
+		// the Θ(N²) per-epoch agreement traffic is a large fraction of
+		// each node's (scaled) bandwidth.
+		Core:            core.Config{N: p.N, F: (p.N - 1) / 3, Mode: core.ModeDL, MaxEpochLag: 8},
+		Replica:         rp,
+		Egress:          traces,
+		TxSize:          256,
+		InfiniteBacklog: true,
+		Seed:            p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	c.Run(p.Duration)
+	res := &ScaleResult{N: p.N, BlockBytes: p.BlockBytes}
+	var w stats.Welford
+	var frac stats.Welford
+	for i := 0; i < p.N; i++ {
+		w.Add(c.Throughput(i, p.Warmup, p.Duration) / p.Scale / trace.MB)
+		frac.Add(c.DispersalFraction(i))
+	}
+	res.Throughput, res.ThroughputStd = w.Mean(), w.StdDev()
+	res.DispersalFraction = frac.Mean()
+	return res, nil
+}

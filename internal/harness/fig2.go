@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dledger/internal/avid"
+	"dledger/internal/avidfp"
+	"dledger/internal/wire"
+)
+
+// Fig2Point is one point of Fig 2: the mean per-node dispersal download,
+// normalized by block size, for both protocols.
+type Fig2Point struct {
+	N          int
+	BlockSize  int
+	AVIDM      float64 // per-node bytes / block size
+	AVIDFP     float64
+	LowerBound float64 // 1/(N-2f): each node must hold its share
+}
+
+// avidmDispersalCost runs one AVID-M dispersal in-process and returns the
+// bytes each server downloads, mirroring avidfp.DispersalCost so the
+// Fig 2 comparison measures both protocols identically.
+func avidmDispersalCost(p avid.Params, block []byte) ([]int64, error) {
+	servers := make([]*avid.Server, p.N)
+	for i := range servers {
+		servers[i] = avid.NewServer(p, i)
+	}
+	recv := make([]int64, p.N)
+
+	type qmsg struct {
+		from, to int
+		msg      wire.Msg
+	}
+	var queue []qmsg
+	chunks, _, err := avid.Disperse(p, block)
+	if err != nil {
+		return nil, err
+	}
+	// The dispersing client is external (the AVID model), so every server
+	// pays for its chunk download; this matches avidfp.DispersalCost.
+	const clientID = -2
+	for i, c := range chunks {
+		queue = append(queue, qmsg{clientID, i, c})
+	}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		if m.from != m.to {
+			env := wire.Envelope{From: m.from, Epoch: 1, Proposer: clientID, Payload: m.msg}
+			recv[m.to] += int64(env.WireSize())
+		}
+		outs, _ := servers[m.to].Handle(m.from, m.msg)
+		for _, s := range outs {
+			if s.To == wire.Broadcast {
+				for to := range servers {
+					queue = append(queue, qmsg{m.to, to, s.Msg})
+				}
+			} else {
+				queue = append(queue, qmsg{m.to, s.To, s.Msg})
+			}
+		}
+	}
+	for i, s := range servers {
+		if done, _ := s.Completed(); !done {
+			return nil, fmt.Errorf("harness: server %d did not complete", i)
+		}
+	}
+	return recv, nil
+}
+
+// RunFig2 measures per-node dispersal communication cost for AVID-M and
+// AVID-FP across cluster sizes and block sizes (Fig 2 of the paper).
+// Cluster sizes use N = 3f+1 with the largest f fitting N.
+func RunFig2(clusterSizes []int, blockSizes []int) ([]Fig2Point, error) {
+	var out []Fig2Point
+	rng := rand.New(rand.NewSource(2))
+	for _, bs := range blockSizes {
+		block := make([]byte, bs)
+		rng.Read(block)
+		for _, n := range clusterSizes {
+			f := (n - 1) / 3
+			pm, err := avid.NewParams(n, f)
+			if err != nil {
+				return nil, err
+			}
+			pf, err := avidfp.NewParams(n, f)
+			if err != nil {
+				return nil, err
+			}
+			mcost, err := avidmDispersalCost(pm, block)
+			if err != nil {
+				return nil, err
+			}
+			fcost, err := avidfp.DispersalCost(pf, block)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig2Point{
+				N:          n,
+				BlockSize:  bs,
+				AVIDM:      meanInt64(mcost) / float64(bs),
+				AVIDFP:     meanInt64(fcost) / float64(bs),
+				LowerBound: 1 / float64(n-2*f),
+			})
+		}
+	}
+	return out, nil
+}
+
+func meanInt64(xs []int64) float64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}

@@ -1,0 +1,273 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/trace"
+)
+
+// Short, scaled-down runs: the full paper-shaped sweeps live in the
+// benchmark harness (bench_test.go, cmd/dlbench); these tests verify the
+// runners work and the headline qualitative claims hold.
+
+func TestFig2ShapeAVIDMBeatsAVIDFP(t *testing.T) {
+	pts, err := RunFig2([]int{4, 16, 31}, []int{100 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.AVIDM <= 0 || p.AVIDFP <= 0 {
+			t.Fatalf("degenerate cost at N=%d: %+v", p.N, p)
+		}
+		if p.N >= 16 && p.AVIDM >= p.AVIDFP {
+			t.Fatalf("N=%d: AVID-M (%.3f|B|) should beat AVID-FP (%.3f|B|)", p.N, p.AVIDM, p.AVIDFP)
+		}
+		if p.AVIDM < p.LowerBound {
+			t.Fatalf("N=%d: AVID-M cost %.4f below the information-theoretic bound %.4f",
+				p.N, p.AVIDM, p.LowerBound)
+		}
+	}
+	// The gap must widen with N (the whole point of Fig 2).
+	gap16 := pts[1].AVIDFP / pts[1].AVIDM
+	gap31 := pts[2].AVIDFP / pts[2].AVIDM
+	if gap31 <= gap16 {
+		t.Fatalf("AVID-FP/AVID-M cost ratio should grow with N: %.2f at 16, %.2f at 31", gap16, gap31)
+	}
+}
+
+func smallGeo() []trace.City {
+	// A 7-node slice of the AWS profile keeps tests fast while preserving
+	// the fast/slow spread.
+	return []trace.City{
+		trace.AWSCities[0],  // Ohio (fast)
+		trace.AWSCities[2],
+		trace.AWSCities[5],
+		trace.AWSCities[8],
+		trace.AWSCities[11],
+		trace.AWSCities[13],
+		trace.AWSCities[15], // Mumbai (slow)
+	}
+}
+
+func TestGeoThroughputDLBeatsHB(t *testing.T) {
+	p := GeoParams{Cities: smallGeo(), Scale: 1.0 / 64, Duration: 25 * time.Second, Seed: 1}
+
+	p.Mode = core.ModeDL
+	dl, err := RunGeo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Mode = core.ModeHB
+	hb, err := RunGeo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.Mean <= 0 || hb.Mean <= 0 {
+		t.Fatalf("degenerate throughputs: DL %.2f, HB %.2f", dl.Mean, hb.Mean)
+	}
+	// §6.2 headline: DL substantially outperforms HB (2x in the paper; we
+	// only require a clear win at this scale).
+	if dl.Mean < hb.Mean*1.3 {
+		t.Fatalf("DL mean %.2f MB/s not clearly above HB %.2f MB/s", dl.Mean, hb.Mean)
+	}
+	// Decoupling: the fastest DL node should outrun the slowest DL node
+	// (nodes run at their own pace), while HB is coupled to a straggler.
+	if dl.Throughput[0] <= dl.Throughput[len(dl.Throughput)-1] {
+		t.Fatalf("DL fast node (%.2f) not faster than slow node (%.2f)",
+			dl.Throughput[0], dl.Throughput[len(dl.Throughput)-1])
+	}
+}
+
+func TestGeoHBLinkBetweenHBAndDL(t *testing.T) {
+	p := GeoParams{Cities: smallGeo(), Scale: 1.0 / 64, Duration: 25 * time.Second, Seed: 2}
+	means := map[core.Mode]float64{}
+	for _, m := range []core.Mode{core.ModeHB, core.ModeHBLink, core.ModeDL} {
+		p.Mode = m
+		r, err := RunGeo(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[m] = r.Mean
+	}
+	if !(means[core.ModeHBLink] > means[core.ModeHB]) {
+		t.Fatalf("HB-Link (%.2f) should beat HB (%.2f): linking stops wasted blocks",
+			means[core.ModeHBLink], means[core.ModeHB])
+	}
+	if !(means[core.ModeDL] > means[core.ModeHBLink]) {
+		t.Fatalf("DL (%.2f) should beat HB-Link (%.2f): decoupled retrieval",
+			means[core.ModeDL], means[core.ModeHBLink])
+	}
+}
+
+func TestProgressSeriesShape(t *testing.T) {
+	p := GeoParams{Cities: smallGeo(), Mode: core.ModeDL, Scale: 1.0 / 64,
+		Duration: 15 * time.Second, Seed: 3}
+	r, err := RunProgress(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 7 {
+		t.Fatalf("got %d series", len(r.Series))
+	}
+	for i, ts := range r.Series {
+		if len(ts.Times) < 3 {
+			t.Fatalf("node %d has only %d progress points", i, len(ts.Times))
+		}
+		if ts.Values[len(ts.Values)-1] <= 0 {
+			t.Fatalf("node %d confirmed nothing", i)
+		}
+	}
+}
+
+func TestLatencyLowLoadStaysLow(t *testing.T) {
+	// At genuinely low load every node should confirm within a few
+	// seconds (the paper sees ~800 ms at full scale; our scaled runs pay
+	// relatively more per-message fixed overhead, so the bar is looser).
+	p := LatencyParams{
+		Cities: smallGeo(), Mode: core.ModeDL, Scale: 1.0 / 8,
+		Duration: 20 * time.Second, LoadPerNode: 0.25 * trace.MB, Seed: 4,
+	}
+	r, err := RunLatency(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p50 := range r.P50 {
+		if p50 == 0 {
+			t.Fatalf("node %d (%s) has no local latency samples", i, r.Names[i])
+		}
+		if p50 > 4*time.Second {
+			t.Fatalf("node %d (%s) median latency %v too high at low load", i, r.Names[i], p50)
+		}
+	}
+	// The well-connected site should be comfortably fast.
+	if r.P50[0] > 2500*time.Millisecond {
+		t.Fatalf("fast site median %v too high at low load", r.P50[0])
+	}
+}
+
+func TestLatencyDLFlatterThanHBUnderLoad(t *testing.T) {
+	// Fig 10: as load rises toward HB's capacity, HB's median latency
+	// grows much more than DL's.
+	load := 2.0 * trace.MB
+	base := LatencyParams{Cities: smallGeo(), Scale: 1.0 / 8,
+		Duration: 25 * time.Second, LoadPerNode: load, Seed: 5}
+
+	base.Mode = core.ModeDL
+	dl, err := RunLatency(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Mode = core.ModeHB
+	hb, err := RunLatency(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the fast site (index 0 = Ohio-like).
+	if dl.P50[0] >= hb.P50[0] {
+		t.Fatalf("DL median %v should be below HB median %v under load", dl.P50[0], hb.P50[0])
+	}
+}
+
+func TestSpatialVariationDecoupling(t *testing.T) {
+	// Fig 11a: with bandwidth 10+0.5i, HB's throughput is flat (capped by
+	// the straggler quorum) while DL's grows with node bandwidth.
+	pDL := ControlledParams{N: 10, Mode: core.ModeDL, Scale: 1.0 / 64,
+		Duration: 25 * time.Second, Spatial: true, Seed: 6}
+	dl, err := RunControlled(pDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHB := pDL
+	pHB.Mode = core.ModeHB
+	hb, err := RunControlled(pHB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := pDL.N
+	// DL: fastest node clearly above slowest.
+	if dl.Throughput[n-1] < dl.Throughput[0]*1.1 {
+		t.Fatalf("DL did not decouple: node0 %.2f vs node%d %.2f",
+			dl.Throughput[0], n-1, dl.Throughput[n-1])
+	}
+	// HB: fast nodes gated near the straggler rate — spread stays small.
+	if hb.Throughput[n-1] > hb.Throughput[0]*1.35 {
+		t.Fatalf("HB spread too large for coupled protocol: %.2f vs %.2f",
+			hb.Throughput[0], hb.Throughput[n-1])
+	}
+}
+
+func TestTemporalVariationRobustness(t *testing.T) {
+	// Fig 11b: DL's throughput under Gauss-Markov variation stays close
+	// to its fixed-bandwidth throughput; HB's drops.
+	base := ControlledParams{N: 10, Scale: 1.0 / 64, Duration: 25 * time.Second, Seed: 7}
+
+	run := func(mode core.Mode, temporal bool) float64 {
+		p := base
+		p.Mode = mode
+		p.Temporal = temporal
+		r, err := RunControlled(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Mean
+	}
+	dlFixed := run(core.ModeDL, false)
+	dlVar := run(core.ModeDL, true)
+	hbFixed := run(core.ModeHB, false)
+	hbVar := run(core.ModeHB, true)
+
+	if dlVar < dlFixed*0.85 {
+		t.Fatalf("DL lost %.0f%% under temporal variation; paper says ~none",
+			100*(1-dlVar/dlFixed))
+	}
+	hbDrop := 1 - hbVar/hbFixed
+	dlDrop := 1 - dlVar/dlFixed
+	if hbDrop <= dlDrop {
+		t.Fatalf("HB drop (%.1f%%) should exceed DL drop (%.1f%%)", 100*hbDrop, 100*dlDrop)
+	}
+}
+
+func TestScalabilityRunnerAndDispersalFraction(t *testing.T) {
+	small, err := RunScalability(ScaleParams{N: 7, BlockBytes: 500 << 10,
+		Scale: 1.0 / 64, Duration: 20 * time.Second, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Throughput <= 0 {
+		t.Fatal("no throughput in scalability run")
+	}
+	if small.DispersalFraction <= 0 || small.DispersalFraction >= 1 {
+		t.Fatalf("dispersal fraction %.3f out of range", small.DispersalFraction)
+	}
+	// Fig 13: larger blocks amortize VID/BA overhead, shrinking the
+	// dispersal fraction.
+	big, err := RunScalability(ScaleParams{N: 7, BlockBytes: 2 << 20,
+		Scale: 1.0 / 64, Duration: 20 * time.Second, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.DispersalFraction >= small.DispersalFraction {
+		t.Fatalf("dispersal fraction should fall with block size: %.3f (500K) vs %.3f (2M)",
+			small.DispersalFraction, big.DispersalFraction)
+	}
+}
+
+func TestDLCoupledStillBeatsHB(t *testing.T) {
+	// §6.2: DL-Coupled retains most of DL's gains.
+	p := GeoParams{Cities: smallGeo(), Scale: 1.0 / 64, Duration: 25 * time.Second, Seed: 9}
+	p.Mode = core.ModeDLCoupled
+	dlc, err := RunGeo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Mode = core.ModeHB
+	hb, err := RunGeo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dlc.Mean <= hb.Mean {
+		t.Fatalf("DL-Coupled (%.2f) should beat HB (%.2f)", dlc.Mean, hb.Mean)
+	}
+}

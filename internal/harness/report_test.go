@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/stats"
+)
+
+func TestFormatFig2(t *testing.T) {
+	out := FormatFig2([]Fig2Point{
+		{N: 16, BlockSize: 100 << 10, AVIDM: 0.18, AVIDFP: 0.35, LowerBound: 0.166},
+	})
+	for _, want := range []string{"AVID-M", "AVID-FP", "16", "100KB", "0.1800"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatGeo(t *testing.T) {
+	r := &GeoResult{
+		Mode:       core.ModeDL,
+		Names:      []string{"Ohio", "Mumbai"},
+		Throughput: []float64{5.5, 1.25},
+		Mean:       3.375,
+	}
+	out := FormatGeo([]*GeoResult{r})
+	for _, want := range []string{"Ohio", "Mumbai", "5.50", "1.25", "MEAN", "3.38", "DL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("geo output missing %q:\n%s", want, out)
+		}
+	}
+	if FormatGeo(nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+}
+
+func TestFormatProgress(t *testing.T) {
+	ts := &stats.TimeSeries{}
+	ts.Force(0, 0)
+	ts.Force(10*time.Second, float64(1<<30))
+	r := &ProgressResult{Mode: core.ModeHBLink, Names: []string{"A"}, Series: []*stats.TimeSeries{ts}}
+	out := FormatProgress(r, 5*time.Second, 10*time.Second)
+	if !strings.Contains(out, "HB-Link") || !strings.Contains(out, "1.000") {
+		t.Fatalf("progress output wrong:\n%s", out)
+	}
+}
+
+func TestFormatLatency(t *testing.T) {
+	r := &LatencyResult{
+		Mode: core.ModeDL, LoadPerNode: 2 << 20,
+		Names: []string{"Ohio"},
+		P5:    []time.Duration{500 * time.Millisecond},
+		P50:   []time.Duration{800 * time.Millisecond},
+		P95:   []time.Duration{1500 * time.Millisecond},
+		P99:   []time.Duration{2 * time.Second},
+	}
+	out := FormatLatency([]*LatencyResult{r})
+	for _, want := range []string{"Ohio", "800ms", "500ms", "1.5s", "2.0 MB/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("latency output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatControlledAndScale(t *testing.T) {
+	cr := &ControlledResult{Mode: core.ModeHB, Throughput: []float64{1, 2}, Mean: 1.5, Std: 0.5}
+	out := FormatControlled("title", []*ControlledResult{cr})
+	for _, want := range []string{"title", "HB", "mean", "1.50", "std", "0.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("controlled output missing %q:\n%s", want, out)
+		}
+	}
+	sr := &ScaleResult{N: 16, BlockBytes: 1 << 20, Throughput: 3.0, DispersalFraction: 0.07}
+	out = FormatScale([]*ScaleResult{sr})
+	for _, want := range []string{"16", "1.0MB", "3.00", "0.0700"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scale output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatHeadline(t *testing.T) {
+	mk := func(mean float64) *GeoResult { return &GeoResult{Mean: mean} }
+	out := FormatHeadline(mk(1), mk(1.5), mk(2), mk(1.8))
+	for _, want := range []string{"DL / HB         = 2.00x", "HB-Link / HB    = 1.50x", "DL-Coupled / DL = 0.90x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("headline output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByteSizeAndHelpers(t *testing.T) {
+	cases := map[int]string{
+		100:     "100B",
+		2 << 10: "2KB",
+		3 << 20: "3.0MB",
+	}
+	for n, want := range cases {
+		if got := byteSize(n); got != want {
+			t.Fatalf("byteSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+	if got := truncate("abcdefgh", 3); got != "abc" {
+		t.Fatalf("truncate = %q", got)
+	}
+	if got := truncate("ab", 3); got != "ab" {
+		t.Fatalf("truncate = %q", got)
+	}
+}

@@ -1,0 +1,73 @@
+// Package mempool implements the per-node transaction input queue of
+// Fig 5: clients submit transactions to their node, the node batches
+// them into block proposals, and — in HoneyBadger mode — transactions of
+// dropped blocks return to the front of the queue for re-proposal.
+package mempool
+
+// Pool is a FIFO transaction queue. It is not safe for concurrent use;
+// the replica event loop owns it.
+type Pool struct {
+	txs   [][]byte
+	bytes int
+}
+
+// New returns an empty pool.
+func New() *Pool { return &Pool{} }
+
+// Push appends a transaction to the back of the queue.
+func (p *Pool) Push(tx []byte) {
+	p.txs = append(p.txs, tx)
+	p.bytes += len(tx)
+}
+
+// PushFront returns a batch to the head of the queue, preserving its
+// order (used when a proposed block is dropped and must be re-proposed).
+func (p *Pool) PushFront(batch [][]byte) {
+	if len(batch) == 0 {
+		return
+	}
+	p.txs = append(append(make([][]byte, 0, len(batch)+len(p.txs)), batch...), p.txs...)
+	for _, tx := range batch {
+		p.bytes += len(tx)
+	}
+}
+
+// PopBatch removes and returns transactions from the head of the queue
+// until maxBytes would be exceeded (at least one transaction is returned
+// if the pool is non-empty, so oversized transactions cannot wedge the
+// queue). maxBytes <= 0 drains the whole pool.
+func (p *Pool) PopBatch(maxBytes int) [][]byte {
+	if len(p.txs) == 0 {
+		return nil
+	}
+	if maxBytes <= 0 {
+		out := p.txs
+		p.txs = nil
+		p.bytes = 0
+		return out
+	}
+	total := 0
+	n := 0
+	for n < len(p.txs) {
+		total += len(p.txs[n])
+		if n > 0 && total > maxBytes {
+			break
+		}
+		n++
+		if total >= maxBytes {
+			break
+		}
+	}
+	out := p.txs[:n:n]
+	p.txs = p.txs[n:]
+	for _, tx := range out {
+		p.bytes -= len(tx)
+	}
+	return out
+}
+
+// Len returns the number of queued transactions.
+func (p *Pool) Len() int { return len(p.txs) }
+
+// PendingBytes returns the total queued transaction bytes.
+func (p *Pool) PendingBytes() int { return p.bytes }

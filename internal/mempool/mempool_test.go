@@ -1,0 +1,106 @@
+package mempool
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	p := New()
+	for i := 0; i < 5; i++ {
+		p.Push([]byte{byte(i)})
+	}
+	if p.Len() != 5 || p.PendingBytes() != 5 {
+		t.Fatalf("len=%d bytes=%d", p.Len(), p.PendingBytes())
+	}
+	out := p.PopBatch(0)
+	for i, tx := range out {
+		if tx[0] != byte(i) {
+			t.Fatal("FIFO order violated")
+		}
+	}
+	if p.Len() != 0 || p.PendingBytes() != 0 {
+		t.Fatal("pool not drained")
+	}
+}
+
+func TestPopBatchRespectsMaxBytes(t *testing.T) {
+	p := New()
+	for i := 0; i < 10; i++ {
+		p.Push(make([]byte, 100))
+	}
+	out := p.PopBatch(350)
+	if len(out) != 3 { // 300 <= 350, a fourth would exceed the cap
+		t.Fatalf("popped %d txs, want 3", len(out))
+	}
+	if p.Len() != 7 {
+		t.Fatalf("pool has %d left", p.Len())
+	}
+	if p.PendingBytes() != 700 {
+		t.Fatalf("pending bytes %d", p.PendingBytes())
+	}
+	// An exact fit pops exactly.
+	if out := p.PopBatch(200); len(out) != 2 {
+		t.Fatalf("exact-fit pop returned %d txs, want 2", len(out))
+	}
+}
+
+func TestPopBatchOversizedTx(t *testing.T) {
+	p := New()
+	p.Push(make([]byte, 1000))
+	out := p.PopBatch(10)
+	if len(out) != 1 {
+		t.Fatal("oversized tx must still pop to avoid wedging")
+	}
+}
+
+func TestPopBatchEmpty(t *testing.T) {
+	p := New()
+	if out := p.PopBatch(100); out != nil {
+		t.Fatal("empty pool should return nil")
+	}
+}
+
+func TestPushFrontOrder(t *testing.T) {
+	p := New()
+	p.Push([]byte("c"))
+	p.Push([]byte("d"))
+	p.PushFront([][]byte{[]byte("a"), []byte("b")})
+	if p.PendingBytes() != 4 {
+		t.Fatalf("bytes = %d", p.PendingBytes())
+	}
+	out := p.PopBatch(0)
+	want := "abcd"
+	var got bytes.Buffer
+	for _, tx := range out {
+		got.Write(tx)
+	}
+	if got.String() != want {
+		t.Fatalf("order %q, want %q", got.String(), want)
+	}
+}
+
+func TestPushFrontEmpty(t *testing.T) {
+	p := New()
+	p.Push([]byte("x"))
+	p.PushFront(nil)
+	if p.Len() != 1 {
+		t.Fatal("empty PushFront changed the pool")
+	}
+}
+
+func TestPopBatchSliceIsolation(t *testing.T) {
+	// The popped batch must not share backing storage growth with the
+	// pool (appending to it must not clobber remaining txs).
+	p := New()
+	for i := 0; i < 4; i++ {
+		p.Push([]byte(fmt.Sprintf("tx%d", i)))
+	}
+	batch := p.PopBatch(7) // pops tx0, tx1
+	_ = append(batch, []byte("evil"))
+	rest := p.PopBatch(0)
+	if string(rest[0]) != "tx2" {
+		t.Fatalf("pool corrupted by append to popped batch: %q", rest[0])
+	}
+}

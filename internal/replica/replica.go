@@ -1,0 +1,273 @@
+// Package replica wires a consensus engine to a transport, a mempool and
+// timers, forming a complete DispersedLedger node.
+//
+// The replica owns the paper's rate control for block proposals (§5): a
+// node proposes its next block once (i) BatchDelay has passed since its
+// last proposal, or (ii) BatchBytes of transactions have accumulated —
+// Nagle's algorithm applied to batching. It also implements the
+// fixed-block-size mode used by the scalability experiments (Fig 12/13),
+// and records the per-node statistics every figure of the evaluation is
+// built from.
+//
+// A Replica is single-threaded: all methods must be called from one
+// goroutine (the emulator event loop, or a transport's reader loop).
+package replica
+
+import (
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/mempool"
+	"dledger/internal/stats"
+	"dledger/internal/wire"
+	"dledger/internal/workload"
+)
+
+// Context is the environment a replica runs in: a clock, timers, and a
+// way to send messages. Package simnet provides a deterministic
+// implementation; package transport provides a live TCP one.
+type Context interface {
+	Now() time.Duration
+	Send(to int, env wire.Envelope, prio wire.Priority, stream uint64)
+	After(d time.Duration, fn func())
+}
+
+// Unsender is optionally implemented by Contexts whose transport can
+// discard queued-but-unsent retrieval chunks (the QUIC-style stream
+// cancellation of the paper's implementation).
+type Unsender interface {
+	Unsend(to int, epoch uint64, proposer int)
+}
+
+// Params tunes the replica.
+type Params struct {
+	// BatchDelay and BatchBytes are the Nagle thresholds; the paper uses
+	// 100 ms and 150 KB. Zero values take those defaults.
+	BatchDelay time.Duration
+	BatchBytes int
+	// FixedBlockBytes, when positive, switches to the scalability
+	// experiments' mode: propose only when this many bytes are pending
+	// and make every block exactly this large.
+	FixedBlockBytes int
+}
+
+func (p Params) batchDelay() time.Duration {
+	if p.BatchDelay == 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BatchDelay
+}
+
+func (p Params) batchBytes() int {
+	if p.BatchBytes == 0 {
+		return 150 << 10
+	}
+	return p.BatchBytes
+}
+
+// Delivery describes one delivered block, passed to the OnDeliver hook.
+type Delivery struct {
+	At       time.Duration
+	Epoch    uint64
+	Proposer int
+	Txs      [][]byte
+	Payload  int
+	Linked   bool
+}
+
+// Stats aggregates the measurements the evaluation needs.
+type Stats struct {
+	Submitted        int64
+	SubmittedBytes   int64
+	DeliveredTxs     int64
+	DeliveredPayload int64
+	LinkedBlocks     int64
+	BADeliveries     int64
+	EpochsDecided    int64
+	EpochsDelivered  int64
+	// Progress is cumulative confirmed payload bytes over time (Fig 9).
+	Progress stats.TimeSeries
+	// LatAll / LatLocal are confirmation latencies of all transactions
+	// and of locally-submitted ones (§6.2's metric and Fig 14's).
+	LatAll   []time.Duration
+	LatLocal []time.Duration
+}
+
+// Replica is one node.
+type Replica struct {
+	self   int
+	ctx    Context
+	engine *core.Engine
+	pool   *mempool.Pool
+	params Params
+
+	pendingProposal bool
+	proposalEmpty   bool
+	lastProposal    time.Duration
+	timerArmed      bool
+	started         bool
+
+	// OnDeliver, when set, observes every delivered block.
+	OnDeliver func(Delivery)
+
+	Stats Stats
+}
+
+// New builds a replica for node self.
+func New(cfg core.Config, self int, params Params, ctx Context) (*Replica, error) {
+	eng, err := core.NewEngine(cfg, self)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{
+		self:   self,
+		ctx:    ctx,
+		engine: eng,
+		pool:   mempool.New(),
+		params: params,
+	}, nil
+}
+
+// Self returns the node id.
+func (r *Replica) Self() int { return r.self }
+
+// Engine exposes the underlying engine (read-only use).
+func (r *Replica) Engine() *core.Engine { return r.engine }
+
+// Start boots the replica. Call exactly once.
+func (r *Replica) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	// Allow an immediate first proposal.
+	r.lastProposal = r.ctx.Now() - r.params.batchDelay()
+	r.apply(r.engine.Start())
+}
+
+// Submit enqueues a client transaction.
+func (r *Replica) Submit(tx []byte) {
+	r.Stats.Submitted++
+	r.Stats.SubmittedBytes += int64(len(tx))
+	r.pool.Push(tx)
+	r.tryPropose()
+}
+
+// OnEnvelope feeds one network message into the engine.
+func (r *Replica) OnEnvelope(env wire.Envelope) {
+	r.apply(r.engine.Handle(env))
+}
+
+// PendingBytes returns the mempool backlog.
+func (r *Replica) PendingBytes() int { return r.pool.PendingBytes() }
+
+func (r *Replica) apply(actions []core.Action) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case core.SendAction:
+			r.ctx.Send(act.To, act.Env, act.Prio, act.Stream)
+		case core.DeliverAction:
+			r.onDeliver(act)
+		case core.ProposalNeededAction:
+			r.pendingProposal = true
+			r.proposalEmpty = act.Empty
+			r.tryPropose()
+		case core.ResubmitAction:
+			r.pool.PushFront(act.Txs)
+		case core.TimerAction:
+			token := act.Token
+			r.ctx.After(act.After, func() {
+				r.apply(r.engine.HandleTimer(token))
+			})
+		case core.UnsendAction:
+			if u, ok := r.ctx.(Unsender); ok {
+				u.Unsend(act.To, act.Epoch, act.Proposer)
+			}
+		case core.EpochDecidedAction:
+			r.Stats.EpochsDecided++
+		case core.EpochDeliveredAction:
+			r.Stats.EpochsDelivered++
+		}
+	}
+}
+
+func (r *Replica) onDeliver(act core.DeliverAction) {
+	now := r.ctx.Now()
+	r.Stats.DeliveredTxs += int64(len(act.Txs))
+	r.Stats.DeliveredPayload += int64(act.Payload)
+	if act.Linked {
+		r.Stats.LinkedBlocks++
+	} else {
+		r.Stats.BADeliveries++
+	}
+	r.Stats.Progress.Add(now, float64(r.Stats.DeliveredPayload))
+	for _, tx := range act.Txs {
+		meta, err := workload.Parse(tx)
+		if err != nil {
+			continue
+		}
+		lat := now - meta.Submitted
+		if lat < 0 {
+			lat = 0
+		}
+		r.Stats.LatAll = append(r.Stats.LatAll, lat)
+		if meta.Origin == r.self {
+			r.Stats.LatLocal = append(r.Stats.LatLocal, lat)
+		}
+	}
+	if r.OnDeliver != nil {
+		r.OnDeliver(Delivery{
+			At: now, Epoch: act.Epoch, Proposer: act.Proposer,
+			Txs: act.Txs, Payload: act.Payload, Linked: act.Linked,
+		})
+	}
+}
+
+// tryPropose applies the rate-control rules and, when they allow, answers
+// the engine's pending proposal solicitation.
+func (r *Replica) tryPropose() {
+	if !r.pendingProposal {
+		return
+	}
+	if r.proposalEmpty {
+		// DL-Coupled lag rule: the node must propose an empty block.
+		r.propose(nil)
+		return
+	}
+	if r.params.FixedBlockBytes > 0 {
+		if r.pool.PendingBytes() >= r.params.FixedBlockBytes {
+			r.propose(r.pool.PopBatch(r.params.FixedBlockBytes))
+		}
+		return
+	}
+	now := r.ctx.Now()
+	if r.pool.PendingBytes() >= r.params.batchBytes() {
+		r.propose(r.pool.PopBatch(0))
+		return
+	}
+	if now-r.lastProposal >= r.params.batchDelay() {
+		r.propose(r.pool.PopBatch(0))
+		return
+	}
+	// Neither condition holds yet: arm the delay timer once.
+	if !r.timerArmed {
+		r.timerArmed = true
+		r.ctx.After(r.lastProposal+r.params.batchDelay()-now, func() {
+			r.timerArmed = false
+			r.tryPropose()
+		})
+	}
+}
+
+func (r *Replica) propose(txs [][]byte) {
+	r.pendingProposal = false
+	r.proposalEmpty = false
+	r.lastProposal = r.ctx.Now()
+	actions, err := r.engine.Propose(txs)
+	if err != nil {
+		// Propose is only called in response to a solicitation, so this
+		// indicates a bug; surface it loudly in tests via panic.
+		panic("replica: " + err.Error())
+	}
+	r.apply(actions)
+}

@@ -1,0 +1,256 @@
+package replica
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/wire"
+	"dledger/internal/workload"
+)
+
+// fakeNet is a zero-latency, infinite-bandwidth test context with a
+// deterministic virtual clock shared by all replicas.
+type fakeNet struct {
+	now      time.Duration
+	seq      uint64
+	events   eventHeap
+	replicas []*Replica
+}
+
+type fakeCtx struct {
+	net  *fakeNet
+	self int
+}
+
+func (c *fakeCtx) Now() time.Duration { return c.net.now }
+func (c *fakeCtx) Send(to int, env wire.Envelope, prio wire.Priority, stream uint64) {
+	c.net.schedule(c.net.now, func() { c.net.replicas[to].OnEnvelope(env) })
+}
+func (c *fakeCtx) After(d time.Duration, fn func()) {
+	c.net.schedule(c.net.now+d, fn)
+}
+
+type fakeEvent struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+type eventHeap []fakeEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(fakeEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	ev := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return ev
+}
+
+func (n *fakeNet) schedule(at time.Duration, fn func()) {
+	n.seq++
+	heap.Push(&n.events, fakeEvent{at, n.seq, fn})
+}
+
+func (n *fakeNet) run(until time.Duration) {
+	for len(n.events) > 0 {
+		ev := n.events[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&n.events)
+		n.now = ev.at
+		ev.fn()
+	}
+	if n.now < until {
+		n.now = until
+	}
+}
+
+func newFakeCluster(t *testing.T, cfg core.Config, params Params) *fakeNet {
+	t.Helper()
+	if cfg.CoinSecret == nil {
+		cfg.CoinSecret = []byte("replica test")
+	}
+	net := &fakeNet{}
+	for i := 0; i < cfg.N; i++ {
+		r, err := New(cfg, i, params, &fakeCtx{net: net, self: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.replicas = append(net.replicas, r)
+	}
+	return net
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	net := newFakeCluster(t, core.Config{N: 4, F: 1, Mode: core.ModeDL}, Params{})
+	for _, r := range net.replicas {
+		r.Start()
+	}
+	// Submit one tagged transaction per node at t=0.
+	for i, r := range net.replicas {
+		r.Submit(workload.Make(i, 1, 0, 64))
+	}
+	net.run(10 * time.Second)
+	for i, r := range net.replicas {
+		if r.Stats.DeliveredTxs < 4 {
+			t.Fatalf("node %d delivered %d txs, want >= 4", i, r.Stats.DeliveredTxs)
+		}
+		if len(r.Stats.LatLocal) != 1 {
+			t.Fatalf("node %d has %d local latencies, want 1", i, len(r.Stats.LatLocal))
+		}
+		if len(r.Stats.LatAll) < 4 {
+			t.Fatalf("node %d has %d latency samples", i, len(r.Stats.LatAll))
+		}
+	}
+}
+
+func TestBatchingDelayGate(t *testing.T) {
+	// With BatchDelay 100ms and a trickle of tiny transactions, blocks
+	// must not be proposed faster than every ~100ms.
+	net := newFakeCluster(t, core.Config{N: 4, F: 1, Mode: core.ModeDL}, Params{
+		BatchDelay: 100 * time.Millisecond,
+		BatchBytes: 1 << 20,
+	})
+	for _, r := range net.replicas {
+		r.Start()
+	}
+	// Trickle txs to node 0 every 10 ms for 1 s.
+	for k := 0; k < 100; k++ {
+		k := k
+		net.schedule(time.Duration(k)*10*time.Millisecond, func() {
+			net.replicas[0].Submit(workload.Make(0, uint32(k), net.now, 32))
+		})
+	}
+	net.run(5 * time.Second)
+	// <= ~1s/100ms + slack epochs should have been decided.
+	if got := net.replicas[0].Engine().DispersalEpoch(); got > 55 {
+		t.Fatalf("node proposed %d epochs in 5s with a 100ms Nagle gate", got)
+	}
+	if net.replicas[0].Stats.DeliveredTxs != 100*1 {
+		// All 100 of node 0's txs delivered at node 0 (plus empties from
+		// others carry no txs).
+		t.Fatalf("delivered %d txs, want 100", net.replicas[0].Stats.DeliveredTxs)
+	}
+}
+
+func TestBatchBytesTriggersEarly(t *testing.T) {
+	// A large burst must trigger an immediate proposal without waiting
+	// for the BatchDelay gate: node 0 must reach epoch 2 well before its
+	// 200 ms timer, while the others are still waiting on theirs.
+	net := newFakeCluster(t, core.Config{N: 4, F: 1, Mode: core.ModeDL}, Params{
+		BatchDelay: 200 * time.Millisecond,
+		BatchBytes: 1000,
+	})
+	for _, r := range net.replicas {
+		r.Start()
+	}
+	net.schedule(time.Millisecond, func() {
+		for k := 0; k < 20; k++ {
+			net.replicas[0].Submit(workload.Make(0, uint32(k), net.now, 100))
+		}
+	})
+	net.schedule(50*time.Millisecond, func() {
+		if got := net.replicas[0].Engine().DispersalEpoch(); got < 2 {
+			t.Errorf("node 0 at epoch %d by 50ms; byte threshold should have fired", got)
+		}
+		if got := net.replicas[1].Engine().DispersalEpoch(); got > 1 {
+			t.Errorf("idle node 1 at epoch %d by 50ms; should still be on its delay timer", got)
+		}
+	})
+	net.run(3 * time.Second)
+	if net.replicas[0].Stats.DeliveredTxs != 20 {
+		t.Fatalf("delivered %d txs, want 20", net.replicas[0].Stats.DeliveredTxs)
+	}
+}
+
+func TestFixedBlockMode(t *testing.T) {
+	net := newFakeCluster(t, core.Config{N: 4, F: 1, Mode: core.ModeDL}, Params{
+		FixedBlockBytes: 1000,
+	})
+	for _, r := range net.replicas {
+		r.Start()
+	}
+	// 950 bytes pending: below the fixed size, no proposal.
+	net.replicas[0].Submit(workload.Make(0, 1, 0, 950))
+	net.run(time.Second)
+	if got := net.replicas[0].Engine().DispersalEpoch(); got != 0 {
+		t.Fatalf("fixed-size node proposed with only 950 bytes pending (epoch %d)", got)
+	}
+	// Crossing the threshold triggers the proposal.
+	net.replicas[0].Submit(workload.Make(0, 2, net.now, 100))
+	net.run(2 * time.Second)
+	if got := net.replicas[0].Engine().DispersalEpoch(); got != 1 {
+		t.Fatalf("fixed-size node at epoch %d, want 1", got)
+	}
+}
+
+func TestStatsProgressMonotone(t *testing.T) {
+	net := newFakeCluster(t, core.Config{N: 4, F: 1, Mode: core.ModeDL}, Params{})
+	for _, r := range net.replicas {
+		r.Start()
+	}
+	for k := 0; k < 50; k++ {
+		k := k
+		net.schedule(time.Duration(k)*20*time.Millisecond, func() {
+			for i, r := range net.replicas {
+				r.Submit(workload.Make(i, uint32(k), net.now, 200))
+			}
+		})
+	}
+	net.run(10 * time.Second)
+	r := net.replicas[1]
+	if r.Stats.DeliveredPayload == 0 {
+		t.Fatal("no payload delivered")
+	}
+	prev := -1.0
+	for _, v := range r.Stats.Progress.Values {
+		if v < prev {
+			t.Fatal("progress series not monotone")
+		}
+		prev = v
+	}
+	if r.Stats.EpochsDelivered == 0 || r.Stats.EpochsDecided < r.Stats.EpochsDelivered {
+		t.Fatalf("epoch stats inconsistent: decided %d delivered %d",
+			r.Stats.EpochsDecided, r.Stats.EpochsDelivered)
+	}
+}
+
+func TestOnDeliverHook(t *testing.T) {
+	net := newFakeCluster(t, core.Config{N: 4, F: 1, Mode: core.ModeDL}, Params{})
+	var got []Delivery
+	net.replicas[2].OnDeliver = func(d Delivery) { got = append(got, d) }
+	for _, r := range net.replicas {
+		r.Start()
+	}
+	net.replicas[0].Submit(workload.Make(0, 1, 0, 64))
+	net.run(5 * time.Second)
+	found := false
+	for _, d := range got {
+		if d.Proposer == 0 && d.Payload > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("OnDeliver hook never saw node 0's block")
+	}
+}
+
+func TestDoubleStartIsNoop(t *testing.T) {
+	net := newFakeCluster(t, core.Config{N: 4, F: 1, Mode: core.ModeDL}, Params{})
+	net.replicas[0].Start()
+	net.replicas[0].Start() // must not double-solicit or panic
+	for _, r := range net.replicas[1:] {
+		r.Start()
+	}
+	net.run(time.Second)
+}

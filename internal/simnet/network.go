@@ -1,0 +1,124 @@
+package simnet
+
+import (
+	"time"
+
+	"dledger/internal/trace"
+	"dledger/internal/wire"
+)
+
+// Handler consumes messages delivered to a node.
+type Handler func(env wire.Envelope)
+
+// Config describes the emulated network.
+type Config struct {
+	N int
+	// Delay returns the one-way propagation delay between a node pair.
+	// The paper's controlled setup uses a flat 100 ms.
+	Delay func(from, to int) time.Duration
+	// Egress and Ingress are per-node bandwidth traces. If Ingress is
+	// nil, the egress traces are used for both directions (the paper
+	// throttles both with the same trace).
+	Egress  []trace.Trace
+	Ingress []trace.Trace
+	// PriorityWeight is T from §5: the bandwidth share multiplier of
+	// dispersal over retrieval traffic. Zero means the paper's T = 30.
+	PriorityWeight float64
+}
+
+// Network emulates the WAN between N nodes.
+type Network struct {
+	sim     *Sim
+	cfg     Config
+	egress  []*pipe
+	ingress []*pipe
+	handler []Handler
+
+	// Per-node, per-class byte counters (bytes that completed ingress),
+	// feeding Fig 13's dispersal-fraction measurement.
+	recv [][2]int64
+	sent [][2]int64
+}
+
+// NewNetwork builds the emulated network on top of sim.
+func NewNetwork(sim *Sim, cfg Config) *Network {
+	if cfg.PriorityWeight == 0 {
+		cfg.PriorityWeight = 30
+	}
+	if cfg.Ingress == nil {
+		cfg.Ingress = cfg.Egress
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = func(int, int) time.Duration { return 100 * time.Millisecond }
+	}
+	n := &Network{
+		sim:     sim,
+		cfg:     cfg,
+		handler: make([]Handler, cfg.N),
+		recv:    make([][2]int64, cfg.N),
+		sent:    make([][2]int64, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		n.egress = append(n.egress, newPipe(sim, cfg.Egress[i], cfg.PriorityWeight, func(pkt *packet) {
+			// Egress done: propagate, then enter the receiver's ingress.
+			n.sim.After(cfg.Delay(pkt.from, pkt.to), func() {
+				n.ingress[pkt.to].enqueue(pkt)
+			})
+		}))
+		n.ingress = append(n.ingress, newPipe(sim, ingressTrace(cfg, i), cfg.PriorityWeight, func(pkt *packet) {
+			n.recv[pkt.to][pkt.prio] += int64(pkt.size)
+			if h := n.handler[pkt.to]; h != nil {
+				h(pkt.env)
+			}
+		}))
+	}
+	return n
+}
+
+func ingressTrace(cfg Config, i int) trace.Trace { return cfg.Ingress[i] }
+
+// SetHandler installs the message sink of node i.
+func (n *Network) SetHandler(i int, h Handler) { n.handler[i] = h }
+
+// Send injects a message from `from` to `to`. Size is charged at both the
+// sender's egress and the receiver's ingress.
+func (n *Network) Send(from, to int, env wire.Envelope, prio wire.Priority, stream uint64) {
+	if to == from {
+		// Self-sends shouldn't occur (the engine loops back internally);
+		// deliver instantly if they do.
+		if h := n.handler[to]; h != nil {
+			h(env)
+		}
+		return
+	}
+	pkt := &packet{from: from, to: to, env: env, size: env.WireSize(), prio: prio, stream: stream}
+	n.sent[from][prio] += int64(pkt.size)
+	n.egress[from].enqueue(pkt)
+}
+
+// Unsend drops queued-but-unsent ReturnChunk packets from `from`'s egress
+// that are addressed to `to` for the given VID instance — the emulator's
+// analogue of canceling a QUIC stream. Bytes already "on the wire"
+// (in service, propagating, or queued at the receiver's ingress) are
+// unaffected, as in a real network.
+func (n *Network) Unsend(from, to int, epoch uint64, proposer int) {
+	dropped := n.egress[from].unsend(func(pkt *packet) bool {
+		if pkt.to != to || pkt.env.Epoch != epoch || pkt.env.Proposer != proposer {
+			return false
+		}
+		_, isReturn := pkt.env.Payload.(wire.ReturnChunk)
+		return isReturn
+	})
+	n.sent[from][wire.PrioRetrieval] -= dropped
+}
+
+// BytesReceived returns node i's completed ingress bytes per class.
+func (n *Network) BytesReceived(i int) (dispersal, retrieval int64) {
+	return n.recv[i][wire.PrioDispersal], n.recv[i][wire.PrioRetrieval]
+}
+
+// BytesSent returns node i's egress bytes per class (counted at enqueue).
+func (n *Network) BytesSent(i int) (dispersal, retrieval int64) {
+	return n.sent[i][wire.PrioDispersal], n.sent[i][wire.PrioRetrieval]
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := map[float64]float64{0: 1, 20: 1, 50: 3, 95: 5, 100: 5}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Fatalf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestDurationPercentile(t *testing.T) {
+	ds := []time.Duration{time.Second, 3 * time.Second, 2 * time.Second}
+	if got := DurationPercentile(ds, 50); got != 2*time.Second {
+		t.Fatalf("median = %v", got)
+	}
+	if DurationPercentile(nil, 50) != 0 {
+		t.Fatal("empty duration percentile should be 0")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Fatal("single-sample stddev should be 0")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 10_000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		w.Add(x)
+		xs = append(xs, x)
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatalf("Welford mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.StdDev()-StdDev(xs)) > 1e-9 {
+		t.Fatalf("Welford stddev %v vs batch %v", w.StdDev(), StdDev(xs))
+	}
+	if w.N() != 10_000 {
+		t.Fatalf("N = %d", w.N())
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := &TimeSeries{MinGap: time.Second}
+	ts.Add(0, 10)
+	ts.Add(500*time.Millisecond, 20) // suppressed by MinGap
+	ts.Add(time.Second, 30)
+	ts.Force(1100*time.Millisecond, 40) // forced through
+	if len(ts.Times) != 3 {
+		t.Fatalf("kept %d points, want 3", len(ts.Times))
+	}
+	if got := ts.At(0); got != 10 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := ts.At(999 * time.Millisecond); got != 10 {
+		t.Fatalf("At(0.999s) = %v", got)
+	}
+	if got := ts.At(time.Second); got != 30 {
+		t.Fatalf("At(1s) = %v", got)
+	}
+	if got := ts.At(-time.Second); got != 0 {
+		t.Fatalf("At(-1s) = %v", got)
+	}
+	if got := ts.At(time.Hour); got != 40 {
+		t.Fatalf("At(1h) = %v", got)
+	}
+}
+
+func TestTimeSeriesRate(t *testing.T) {
+	ts := &TimeSeries{}
+	ts.Force(0, 0)
+	ts.Force(10*time.Second, 1000)
+	if got := ts.Rate(0, 10*time.Second); got != 100 {
+		t.Fatalf("rate = %v, want 100/s", got)
+	}
+	if got := ts.Rate(10*time.Second, 10*time.Second); got != 0 {
+		t.Fatal("degenerate window should be 0")
+	}
+}

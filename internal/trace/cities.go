@@ -1,0 +1,86 @@
+package trace
+
+import "time"
+
+// City describes one node site of a geo-distributed testbed profile.
+// Bandwidth is the site's access capacity in bytes/second; Jitter scales
+// a Gauss-Markov fluctuation around it (the paper observes that real WAN
+// capacity fluctuates due to cross traffic and congestion control).
+type City struct {
+	Name      string
+	Bandwidth float64
+	Jitter    float64 // sigma as a fraction of Bandwidth
+}
+
+// AWSCities is the 16-city profile standing in for the paper's
+// geo-distributed AWS testbed (§6.1). The paper does not publish
+// per-site capacities; these are chosen to span the ~4x spread visible in
+// Fig 8 (Mumbai's throughput is about a third of Ohio's), with
+// well-connected North American/European sites at the top and
+// longer-haul sites lower. DESIGN.md records this substitution.
+var AWSCities = []City{
+	{Name: "Ohio", Bandwidth: 16 * MB, Jitter: 0.15},
+	{Name: "Virginia", Bandwidth: 15.5 * MB, Jitter: 0.15},
+	{Name: "Oregon", Bandwidth: 15 * MB, Jitter: 0.15},
+	{Name: "Montreal", Bandwidth: 14.5 * MB, Jitter: 0.18},
+	{Name: "Frankfurt", Bandwidth: 14 * MB, Jitter: 0.18},
+	{Name: "Ireland", Bandwidth: 13.5 * MB, Jitter: 0.18},
+	{Name: "London", Bandwidth: 13 * MB, Jitter: 0.2},
+	{Name: "Paris", Bandwidth: 12.5 * MB, Jitter: 0.2},
+	{Name: "Stockholm", Bandwidth: 12 * MB, Jitter: 0.22},
+	{Name: "Tokyo", Bandwidth: 10 * MB, Jitter: 0.25},
+	{Name: "Seoul", Bandwidth: 9.5 * MB, Jitter: 0.25},
+	{Name: "Singapore", Bandwidth: 9 * MB, Jitter: 0.28},
+	{Name: "Sydney", Bandwidth: 8 * MB, Jitter: 0.3},
+	{Name: "SaoPaulo", Bandwidth: 7 * MB, Jitter: 0.3},
+	{Name: "Bahrain", Bandwidth: 6 * MB, Jitter: 0.32},
+	{Name: "Mumbai", Bandwidth: 5 * MB, Jitter: 0.35},
+}
+
+// VultrCities is the 15-city profile standing in for the paper's Vultr
+// testbed (Appendix A.2): a low-cost provider with 1 Gbps NICs but more
+// contended, more variable links.
+var VultrCities = []City{
+	{Name: "NewJersey", Bandwidth: 12 * MB, Jitter: 0.3},
+	{Name: "Chicago", Bandwidth: 11.5 * MB, Jitter: 0.3},
+	{Name: "Dallas", Bandwidth: 11 * MB, Jitter: 0.3},
+	{Name: "Seattle", Bandwidth: 10.5 * MB, Jitter: 0.32},
+	{Name: "LosAngeles", Bandwidth: 10 * MB, Jitter: 0.32},
+	{Name: "Atlanta", Bandwidth: 9.5 * MB, Jitter: 0.32},
+	{Name: "Miami", Bandwidth: 9 * MB, Jitter: 0.35},
+	{Name: "Toronto", Bandwidth: 9 * MB, Jitter: 0.35},
+	{Name: "London", Bandwidth: 8.5 * MB, Jitter: 0.35},
+	{Name: "Amsterdam", Bandwidth: 8 * MB, Jitter: 0.35},
+	{Name: "Paris", Bandwidth: 8 * MB, Jitter: 0.38},
+	{Name: "Frankfurt", Bandwidth: 7.5 * MB, Jitter: 0.38},
+	{Name: "Tokyo", Bandwidth: 6 * MB, Jitter: 0.4},
+	{Name: "Singapore", Bandwidth: 5 * MB, Jitter: 0.4},
+	{Name: "Sydney", Bandwidth: 4.5 * MB, Jitter: 0.45},
+}
+
+// CityTraces builds per-node ingress/egress traces for a city profile,
+// scaled by scale (so benchmarks can shrink absolute rates while keeping
+// ratios). Each node's trace is an independent Gauss-Markov process
+// around the city's capacity.
+func CityTraces(cities []City, scale float64, samples int, tick time.Duration, seed int64) []Trace {
+	out := make([]Trace, len(cities))
+	for i, c := range cities {
+		out[i] = GaussMarkov(GaussMarkovParams{
+			Mean:  c.Bandwidth * scale,
+			Sigma: c.Bandwidth * scale * c.Jitter,
+			Alpha: 0.98,
+			Tick:  tick,
+			Min:   c.Bandwidth * scale * 0.1,
+		}, samples, seed+int64(i)*1000)
+	}
+	return out
+}
+
+// Names extracts the city names of a profile.
+func Names(cities []City) []string {
+	out := make([]string, len(cities))
+	for i, c := range cities {
+		out[i] = c.Name
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/replica"
+	"dledger/internal/wire"
+)
+
+// MemoryCluster runs a full cluster in one process, connecting nodes with
+// channels. Unlike the simnet emulator it runs in real time with real
+// concurrency — it is the backend of the public API and the quickstart
+// example, and doubles as a stress test of the replica's event-loop
+// threading model.
+type MemoryCluster struct {
+	nodes []*memNode
+}
+
+type memNode struct {
+	self    int
+	loop    *eventLoop
+	cluster *MemoryCluster
+	replica *replica.Replica
+	// delay is an optional artificial one-way latency between nodes.
+	delay time.Duration
+}
+
+// memCtx implements replica.Context on the node's event loop.
+func (n *memNode) Now() time.Duration { return n.loop.now() }
+
+func (n *memNode) Send(to int, env wire.Envelope, prio wire.Priority, stream uint64) {
+	peer := n.cluster.nodes[to]
+	deliver := func() { peer.loop.post(func() { peer.replica.OnEnvelope(env) }) }
+	if n.delay > 0 {
+		time.AfterFunc(n.delay, deliver)
+	} else {
+		deliver()
+	}
+}
+
+func (n *memNode) After(d time.Duration, fn func()) { n.loop.after(d, fn) }
+
+// MemoryOptions configures an in-process cluster.
+type MemoryOptions struct {
+	Core    core.Config
+	Replica replica.Params
+	// Delay is an artificial one-way message latency (0 = none).
+	Delay time.Duration
+	// OnDeliver, when set, is installed on every replica (called on the
+	// node's event loop).
+	OnDeliver func(node int, d replica.Delivery)
+}
+
+// NewMemoryCluster builds and starts an in-process cluster.
+func NewMemoryCluster(opts MemoryOptions) (*MemoryCluster, error) {
+	if opts.Core.CoinSecret == nil {
+		opts.Core.CoinSecret = []byte("memory cluster coin secret")
+	}
+	c := &MemoryCluster{}
+	for i := 0; i < opts.Core.N; i++ {
+		n := &memNode{self: i, loop: newEventLoop(), cluster: c, delay: opts.Delay}
+		r, err := replica.New(opts.Core, i, opts.Replica, n)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if opts.OnDeliver != nil {
+			i := i
+			r.OnDeliver = func(d replica.Delivery) { opts.OnDeliver(i, d) }
+		}
+		n.replica = r
+		c.nodes = append(c.nodes, n)
+	}
+	for _, n := range c.nodes {
+		n := n
+		n.loop.post(func() { n.replica.Start() })
+	}
+	return c, nil
+}
+
+// Submit hands a transaction to node i's mempool.
+func (c *MemoryCluster) Submit(i int, tx []byte) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("transport: node %d out of range", i)
+	}
+	n := c.nodes[i]
+	n.loop.post(func() { n.replica.Submit(tx) })
+	return nil
+}
+
+// Inspect runs fn on node i's event loop and waits for it, giving safe
+// access to the replica (e.g. its Stats).
+func (c *MemoryCluster) Inspect(i int, fn func(r *replica.Replica)) {
+	done := make(chan struct{})
+	n := c.nodes[i]
+	n.loop.post(func() {
+		fn(n.replica)
+		close(done)
+	})
+	<-done
+}
+
+// N returns the cluster size.
+func (c *MemoryCluster) N() int { return len(c.nodes) }
+
+// Close stops all event loops.
+func (c *MemoryCluster) Close() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.loop.close()
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/replica"
+	"dledger/internal/wire"
+)
+
+// Wire constants of the TCP backend.
+const (
+	handshakeMagic = 0x444C4544 // "DLED"
+	classHigh      = 0
+	classLow       = 1
+	// maxFrame caps inbound frame sizes so a malicious peer cannot force
+	// unbounded allocations.
+	maxFrame = 64 << 20
+	// dialRetryMax bounds the dial backoff.
+	dialRetryMax = 2 * time.Second
+)
+
+// TCPOptions configures one TCP node.
+type TCPOptions struct {
+	Core    core.Config
+	Replica replica.Params
+	Self    int
+	// Addrs[i] is node i's listen address. Addrs[Self] may use port 0;
+	// the chosen address is available from Addr() after NewTCPNode.
+	Addrs []string
+	// Listener, when set, is used instead of listening on Addrs[Self].
+	// Pre-binding listeners lets a launcher learn every node's real port
+	// before any node starts dialing.
+	Listener net.Listener
+	// Keys, when set, enables ed25519 challenge-response authentication
+	// of every connection (see auth.go). Without keys, peers are
+	// identified only by their self-declared handshake id — acceptable
+	// on trusted networks, not on open ones.
+	Keys *Keyring
+	// OnDeliver observes delivered blocks (called on the node's loop).
+	OnDeliver func(replica.Delivery)
+}
+
+// TCPNode is one DispersedLedger node on a TCP mesh.
+type TCPNode struct {
+	self  int
+	loop  *eventLoop
+	rep   *replica.Replica
+	ln    net.Listener
+	keys  *Keyring
+	peers []*tcpPeer
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// tcpPeer buffers outbound traffic to one peer: a FIFO for the
+// high-priority (dispersal) class and per-epoch queues served in epoch
+// order for the low-priority (retrieval) class, each drained by its own
+// writer over its own connection so bulk retrieval frames never delay
+// dispersal frames at the sender.
+type tcpPeer struct {
+	node *TCPNode
+	id   int
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	high   [][]byte
+	low    map[uint64][]lowFrame
+	lowN   int
+	closed bool
+}
+
+// lowFrame carries retrieval-class frames with enough metadata to purge
+// them on stream cancellation.
+type lowFrame struct {
+	data     []byte
+	epoch    uint64
+	proposer int
+	isReturn bool
+}
+
+// NewTCPNode starts the listener, the peer writers, and the replica.
+func NewTCPNode(opts TCPOptions) (*TCPNode, error) {
+	if opts.Self < 0 || opts.Self >= len(opts.Addrs) || len(opts.Addrs) != opts.Core.N {
+		return nil, fmt.Errorf("transport: bad Self/Addrs for N=%d", opts.Core.N)
+	}
+	if opts.Core.CoinSecret == nil {
+		return nil, errors.New("transport: TCP clusters must set an explicit CoinSecret")
+	}
+	if opts.Keys != nil {
+		if opts.Keys.Self != opts.Self || len(opts.Keys.Publics) != opts.Core.N {
+			return nil, errors.New("transport: keyring does not match Self/N")
+		}
+	}
+	n := &TCPNode{self: opts.Self, loop: newEventLoop(), keys: opts.Keys}
+	rep, err := replica.New(opts.Core, opts.Self, opts.Replica, (*tcpCtx)(n))
+	if err != nil {
+		n.loop.close()
+		return nil, err
+	}
+	if opts.OnDeliver != nil {
+		rep.OnDeliver = opts.OnDeliver
+	}
+	n.rep = rep
+
+	ln := opts.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", opts.Addrs[opts.Self])
+		if err != nil {
+			n.loop.close()
+			return nil, err
+		}
+	}
+	n.ln = ln
+
+	for i, addr := range opts.Addrs {
+		if i == opts.Self {
+			n.peers = append(n.peers, nil)
+			continue
+		}
+		p := &tcpPeer{node: n, id: i, addr: addr, low: map[uint64][]lowFrame{}}
+		p.cond = sync.NewCond(&p.mu)
+		n.peers = append(n.peers, p)
+		n.wg.Add(2)
+		go p.writer(classHigh)
+		go p.writer(classLow)
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	n.loop.post(func() { n.rep.Start() })
+	return n, nil
+}
+
+// tcpCtx adapts TCPNode to replica.Context.
+type tcpCtx TCPNode
+
+func (c *tcpCtx) Now() time.Duration { return c.loop.now() }
+func (c *tcpCtx) Send(to int, env wire.Envelope, prio wire.Priority, stream uint64) {
+	n := (*TCPNode)(c)
+	if to < 0 || to >= len(n.peers) || n.peers[to] == nil {
+		return
+	}
+	n.peers[to].enqueue(env, prio, stream)
+}
+func (c *tcpCtx) After(d time.Duration, fn func()) { c.loop.after(d, fn) }
+
+// Unsend implements replica.Unsender: queued-but-unsent ReturnChunk
+// frames for the canceled retrieval are dropped before they reach TCP.
+func (c *tcpCtx) Unsend(to int, epoch uint64, proposer int) {
+	n := (*TCPNode)(c)
+	if to < 0 || to >= len(n.peers) || n.peers[to] == nil {
+		return
+	}
+	n.peers[to].purge(epoch, proposer)
+}
+
+// Addr returns the node's actual listen address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// Submit hands a transaction to the node's mempool.
+func (n *TCPNode) Submit(tx []byte) {
+	n.loop.post(func() { n.rep.Submit(tx) })
+}
+
+// Inspect runs fn on the node's event loop and waits for it.
+func (n *TCPNode) Inspect(fn func(r *replica.Replica)) {
+	done := make(chan struct{})
+	n.loop.post(func() {
+		fn(n.rep)
+		close(done)
+	})
+	<-done
+}
+
+// Close shuts the node down.
+func (n *TCPNode) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	conns := n.conns
+	n.mu.Unlock()
+
+	n.ln.Close()
+	for _, p := range n.peers {
+		if p != nil {
+			p.close()
+		}
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	n.loop.close()
+}
+
+func (n *TCPNode) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+func (n *TCPNode) trackConn(c net.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	n.conns = append(n.conns, c)
+	return true
+}
+
+// acceptLoop receives inbound connections: each starts with a handshake
+// naming the sender, then carries length-prefixed envelopes.
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !n.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+
+	var from int
+	if n.keys != nil {
+		var err error
+		from, _, err = authAccept(conn, n.keys)
+		if err != nil {
+			return
+		}
+	} else {
+		var hs [7]byte
+		if _, err := io.ReadFull(conn, hs[:]); err != nil {
+			return
+		}
+		if binary.BigEndian.Uint32(hs[0:4]) != handshakeMagic {
+			return
+		}
+		from = int(binary.BigEndian.Uint16(hs[4:6]))
+	}
+	if from < 0 || from >= len(n.peers) || from == n.self {
+		return
+	}
+	br := bufio.NewReaderSize(conn, 256<<10)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size == 0 || size > maxFrame {
+			return
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		env, err := wire.Decode(buf)
+		if err != nil {
+			continue // skip undecodable frames from this peer
+		}
+		// Authenticate the sender: the connection's handshake identity
+		// overrides whatever the frame claims, so peers cannot spoof
+		// each other within the mesh. (Production deployments would add
+		// TLS or signatures on top; see README.)
+		env.From = from
+		n.loop.post(func() { n.rep.OnEnvelope(env) })
+	}
+}
+
+// enqueue adds one framed message to the peer's queues.
+func (p *tcpPeer) enqueue(env wire.Envelope, prio wire.Priority, stream uint64) {
+	payload := env.Encode()
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if prio == wire.PrioDispersal {
+		p.high = append(p.high, frame)
+	} else {
+		_, isReturn := env.Payload.(wire.ReturnChunk)
+		p.low[stream] = append(p.low[stream], lowFrame{
+			data: frame, epoch: env.Epoch, proposer: env.Proposer, isReturn: isReturn,
+		})
+		p.lowN++
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// purge drops queued ReturnChunk frames of one VID instance (stream
+// cancellation).
+func (p *tcpPeer) purge(epoch uint64, proposer int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for s, q := range p.low {
+		kept := q[:0]
+		for _, f := range q {
+			if f.isReturn && f.epoch == epoch && f.proposer == proposer {
+				p.lowN--
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == 0 {
+			delete(p.low, s)
+		} else {
+			p.low[s] = kept
+		}
+	}
+}
+
+// nextFrame pops the next frame of the given class, blocking until one is
+// available or the peer closes.
+func (p *tcpPeer) nextFrame(class int) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil, false
+		}
+		if class == classHigh {
+			if len(p.high) > 0 {
+				f := p.high[0]
+				p.high = p.high[1:]
+				return f, true
+			}
+		} else if p.lowN > 0 {
+			var best uint64
+			found := false
+			for s, q := range p.low {
+				if len(q) > 0 && (!found || s < best) {
+					best, found = s, true
+				}
+			}
+			q := p.low[best]
+			f := q[0]
+			if len(q) == 1 {
+				delete(p.low, best)
+			} else {
+				p.low[best] = q[1:]
+			}
+			p.lowN--
+			return f.data, true
+		}
+		p.cond.Wait()
+	}
+}
+
+// empty reports whether the class's queue is drained (for flushing).
+func (p *tcpPeer) empty(class int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if class == classHigh {
+		return len(p.high) == 0
+	}
+	return p.lowN == 0
+}
+
+func (p *tcpPeer) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// writer drains one class of the peer's queue over its own connection,
+// redialing with backoff on failure.
+func (p *tcpPeer) writer(class int) {
+	defer p.node.wg.Done()
+	var conn net.Conn
+	var bw *bufio.Writer
+	backoff := 50 * time.Millisecond
+
+	connect := func() bool {
+		for {
+			if p.node.isClosed() {
+				return false
+			}
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return false
+			}
+			c, err := net.DialTimeout("tcp", p.addr, time.Second)
+			if err != nil {
+				time.Sleep(backoff)
+				if backoff < dialRetryMax {
+					backoff *= 2
+				}
+				continue
+			}
+			backoff = 50 * time.Millisecond
+			if !p.node.trackConn(c) {
+				c.Close()
+				return false
+			}
+			if p.node.keys != nil {
+				if err := authDial(c, p.node.keys, byte(class)); err != nil {
+					c.Close()
+					time.Sleep(backoff)
+					continue
+				}
+			} else {
+				var hs [7]byte
+				binary.BigEndian.PutUint32(hs[0:4], handshakeMagic)
+				binary.BigEndian.PutUint16(hs[4:6], uint16(p.node.self))
+				hs[6] = byte(class)
+				if _, err := c.Write(hs[:]); err != nil {
+					c.Close()
+					continue
+				}
+			}
+			conn = c
+			bw = bufio.NewWriterSize(c, 256<<10)
+			return true
+		}
+	}
+
+	for {
+		frame, ok := p.nextFrame(class)
+		if !ok {
+			if conn != nil {
+				if bw != nil {
+					bw.Flush()
+				}
+				conn.Close()
+			}
+			return
+		}
+		for {
+			if conn == nil && !connect() {
+				return
+			}
+			if _, err := bw.Write(frame); err == nil {
+				if p.empty(class) {
+					if err := bw.Flush(); err != nil {
+						conn.Close()
+						conn = nil
+						continue
+					}
+				}
+				break
+			}
+			conn.Close()
+			conn = nil
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/replica"
+	"dledger/internal/workload"
+)
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("timeout: " + msg)
+}
+
+func TestMemoryClusterDelivers(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{} // node -> delivered tx count
+	c, err := NewMemoryCluster(MemoryOptions{
+		Core: core.Config{N: 4, F: 1, Mode: core.ModeDL},
+		Replica: replica.Params{
+			BatchDelay: 20 * time.Millisecond,
+		},
+		OnDeliver: func(node int, d replica.Delivery) {
+			mu.Lock()
+			seen[node] += len(d.Txs)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if err := c.Submit(i, workload.Make(i, 1, 0, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < 4; i++ {
+			if seen[i] < 4 {
+				return false
+			}
+		}
+		return true
+	}, "all nodes deliver all 4 txs")
+}
+
+func TestMemoryClusterIdenticalLogs(t *testing.T) {
+	var mu sync.Mutex
+	logs := make([][]string, 4)
+	c, err := NewMemoryCluster(MemoryOptions{
+		Core:    core.Config{N: 4, F: 1, Mode: core.ModeDL},
+		Replica: replica.Params{BatchDelay: 10 * time.Millisecond},
+		Delay:   2 * time.Millisecond,
+		OnDeliver: func(node int, d replica.Delivery) {
+			mu.Lock()
+			for _, tx := range d.Txs {
+				logs[node] = append(logs[node], fmt.Sprintf("%d-%d:%x", d.Epoch, d.Proposer, tx[:8]))
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const perNode = 25
+	for i := 0; i < 4; i++ {
+		for k := 0; k < perNode; k++ {
+			c.Submit(i, workload.Make(i, uint32(k), 0, 128))
+		}
+	}
+	waitFor(t, 20*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < 4; i++ {
+			if len(logs[i]) < 4*perNode {
+				return false
+			}
+		}
+		return true
+	}, "all nodes deliver 100 txs")
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < 4; i++ {
+		if len(logs[i]) != len(logs[0]) {
+			t.Fatalf("log lengths differ: %d vs %d", len(logs[i]), len(logs[0]))
+		}
+		for k := range logs[0] {
+			if logs[i][k] != logs[0][k] {
+				t.Fatalf("logs diverge at %d: %s vs %s", k, logs[i][k], logs[0][k])
+			}
+		}
+	}
+}
+
+func TestMemoryClusterSubmitOutOfRange(t *testing.T) {
+	c, err := NewMemoryCluster(MemoryOptions{
+		Core: core.Config{N: 4, F: 1, Mode: core.ModeDL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Submit(7, []byte("x")); err == nil {
+		t.Fatal("out-of-range submit accepted")
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+}
+
+func TestMemoryClusterInspect(t *testing.T) {
+	c, err := NewMemoryCluster(MemoryOptions{
+		Core:    core.Config{N: 4, F: 1, Mode: core.ModeDL},
+		Replica: replica.Params{BatchDelay: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Submit(0, workload.Make(0, 1, 0, 64))
+	waitFor(t, 10*time.Second, func() bool {
+		var done bool
+		c.Inspect(0, func(r *replica.Replica) { done = r.Stats.DeliveredTxs >= 1 })
+		return done
+	}, "node 0 delivers its tx")
+}
+
+func newTCPCluster(t *testing.T, n, f int, mode core.Mode) []*TCPNode {
+	t.Helper()
+	// Pre-bind every listener so all real ports are known before any node
+	// starts dialing.
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*TCPNode, n)
+	for i := 0; i < n; i++ {
+		node, err := NewTCPNode(TCPOptions{
+			Core:     core.Config{N: n, F: f, Mode: mode, CoinSecret: []byte("tcp test secret")},
+			Replica:  replica.Params{BatchDelay: 20 * time.Millisecond},
+			Self:     i,
+			Addrs:    addrs,
+			Listener: listeners[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	return nodes
+}
+
+func TestTCPClusterDelivers(t *testing.T) {
+	nodes := newTCPCluster(t, 4, 1, core.ModeDL)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for i, n := range nodes {
+		for k := 0; k < 5; k++ {
+			n.Submit(workload.Make(i, uint32(k), 0, 200))
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		ok := true
+		for _, n := range nodes {
+			n.Inspect(func(r *replica.Replica) {
+				if r.Stats.DeliveredTxs < 20 {
+					ok = false
+				}
+			})
+		}
+		return ok
+	}, "all TCP nodes deliver all 20 txs")
+}
+
+func TestTCPClusterHB(t *testing.T) {
+	nodes := newTCPCluster(t, 4, 1, core.ModeHB)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for i, n := range nodes {
+		n.Submit(workload.Make(i, 9, 0, 100))
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		ok := true
+		for _, n := range nodes {
+			n.Inspect(func(r *replica.Replica) {
+				if r.Stats.DeliveredTxs < 4 {
+					ok = false
+				}
+			})
+		}
+		return ok
+	}, "HB over TCP delivers")
+}
+
+func TestTCPNodeValidation(t *testing.T) {
+	if _, err := NewTCPNode(TCPOptions{
+		Core:  core.Config{N: 4, F: 1, CoinSecret: []byte("s")},
+		Self:  9,
+		Addrs: []string{"a", "b", "c", "d"},
+	}); err == nil {
+		t.Fatal("bad Self accepted")
+	}
+	if _, err := NewTCPNode(TCPOptions{
+		Core:  core.Config{N: 4, F: 1},
+		Self:  0,
+		Addrs: []string{"127.0.0.1:0", "x", "y", "z"},
+	}); err == nil {
+		t.Fatal("missing coin secret accepted")
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	nodes := newTCPCluster(t, 4, 1, core.ModeDL)
+	for _, n := range nodes {
+		n.Close()
+		n.Close() // second close must not panic or deadlock
+	}
+}

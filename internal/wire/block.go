@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// InfEpoch is the sentinel "infinity" used in V arrays for ill-formatted
+// blocks (footnote 5 of the paper): such observations never constrain the
+// (f+1)-th-largest computation from below.
+const InfEpoch = math.MaxUint64
+
+// Block is the unit of proposal. In addition to the transaction batch, a
+// block carries the proposer's V array: V[j] is the largest epoch t such
+// that all of node j's VID instances up to epoch t have Completed at the
+// proposer (§4.3, inter-node linking).
+type Block struct {
+	Proposer NodeID
+	Epoch    uint64
+	V        []uint64
+	Txs      [][]byte
+}
+
+// ErrBadBlock is returned when a retrieved byte string does not parse as a
+// block. Per the paper, such blocks are treated as having V = [∞, ∞, ...].
+var ErrBadBlock = errors.New("wire: ill-formatted block")
+
+// PayloadBytes returns the total transaction bytes in the block.
+func (b *Block) PayloadBytes() int {
+	n := 0
+	for _, tx := range b.Txs {
+		n += len(tx)
+	}
+	return n
+}
+
+// EncodedSize returns the exact size of Encode's output.
+func (b *Block) EncodedSize() int {
+	n := 2 + 8 + 2 + 8*len(b.V) + 4
+	for _, tx := range b.Txs {
+		n += 4 + len(tx)
+	}
+	return n
+}
+
+// Encode serializes the block.
+func (b *Block) Encode() []byte {
+	buf := make([]byte, 0, b.EncodedSize())
+	buf = binary.BigEndian.AppendUint16(buf, uint16(b.Proposer))
+	buf = binary.BigEndian.AppendUint64(buf, b.Epoch)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(b.V)))
+	for _, v := range b.V {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b.Txs)))
+	for _, tx := range b.Txs {
+		buf = appendBytes(buf, tx)
+	}
+	return buf
+}
+
+// DecodeBlock parses a block. Any structural problem yields ErrBadBlock.
+func DecodeBlock(data []byte) (*Block, error) {
+	if len(data) < 2+8+2 {
+		return nil, ErrBadBlock
+	}
+	b := &Block{}
+	b.Proposer = int(binary.BigEndian.Uint16(data[0:2]))
+	b.Epoch = binary.BigEndian.Uint64(data[2:10])
+	nv := int(binary.BigEndian.Uint16(data[10:12]))
+	data = data[12:]
+	if len(data) < 8*nv {
+		return nil, ErrBadBlock
+	}
+	b.V = make([]uint64, nv)
+	for i := 0; i < nv; i++ {
+		b.V[i] = binary.BigEndian.Uint64(data[8*i:])
+	}
+	data = data[8*nv:]
+	if len(data) < 4 {
+		return nil, ErrBadBlock
+	}
+	nTx := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	b.Txs = make([][]byte, 0, min(nTx, 1<<16))
+	for i := 0; i < nTx; i++ {
+		tx, rest, err := decodeBytes(data)
+		if err != nil {
+			return nil, ErrBadBlock
+		}
+		b.Txs = append(b.Txs, tx)
+		data = rest
+	}
+	if len(data) != 0 {
+		return nil, ErrBadBlock
+	}
+	return b, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

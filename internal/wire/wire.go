@@ -1,0 +1,398 @@
+// Package wire defines the protocol messages exchanged by DispersedLedger
+// nodes and their exact binary encoding.
+//
+// Every message is carried in an Envelope that names the sender and the
+// protocol instance (epoch, proposer) it belongs to. The encoding is a
+// hand-written, deterministic binary layout rather than gob/JSON for two
+// reasons: the network emulator charges transmission time by exact wire
+// size, and the paper's Fig 2 comparison is about per-message byte
+// overheads, so sizes must be honest and stable.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dledger/internal/merkle"
+)
+
+// NodeID identifies a node in the cluster, 0-based. The wire format uses
+// 16 bits, which caps clusters at 65536 nodes (the paper evaluates 128).
+type NodeID = int
+
+// Broadcast is the special destination meaning "send to every node,
+// including myself". The paper's automata assume self-delivery of
+// broadcasts.
+const Broadcast NodeID = -1
+
+// Priority classes for transport scheduling (§5 of the paper). Dispersal
+// traffic gets a 30:1 bandwidth share over retrieval traffic at a shared
+// bottleneck, emulating the MulTcp-style congestion-control split.
+type Priority uint8
+
+const (
+	// PrioDispersal is the high-priority class: VID dispersal messages and
+	// BA votes. This traffic is small but latency- and
+	// throughput-critical: it gates the progress of the whole cluster.
+	PrioDispersal Priority = iota
+	// PrioRetrieval is the low-priority class: block retrieval traffic.
+	// Within this class, transports serve lower epochs first.
+	PrioRetrieval
+)
+
+// Message type codes on the wire.
+const (
+	TChunk byte = iota + 1
+	TGotChunk
+	TReady
+	TRequestChunk
+	TReturnChunk
+	TCancelRequest
+	TBVal
+	TAux
+	TTerm
+)
+
+// Msg is implemented by every protocol message.
+type Msg interface {
+	// Type returns the wire type code.
+	Type() byte
+	// AppendTo appends the message body (excluding the type code) to buf.
+	AppendTo(buf []byte) []byte
+	// BodySize returns the exact encoded body size in bytes.
+	BodySize() int
+}
+
+// Envelope wraps a message with its routing metadata.
+type Envelope struct {
+	From     NodeID
+	Epoch    uint64
+	Proposer NodeID // which node's slot this instance belongs to
+	Payload  Msg
+}
+
+// envelopeHeader = type(1) + from(2) + epoch(8) + proposer(2).
+const envelopeHeader = 1 + 2 + 8 + 2
+
+// WireSize returns the exact encoded size of the envelope in bytes.
+func (e Envelope) WireSize() int {
+	return envelopeHeader + e.Payload.BodySize()
+}
+
+// Encode serializes the envelope.
+func (e Envelope) Encode() []byte {
+	buf := make([]byte, 0, e.WireSize())
+	buf = append(buf, e.Payload.Type())
+	buf = binary.BigEndian.AppendUint16(buf, uint16(e.From))
+	buf = binary.BigEndian.AppendUint64(buf, e.Epoch)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(e.Proposer))
+	return e.Payload.AppendTo(buf)
+}
+
+// Errors returned by Decode.
+var (
+	ErrShort       = errors.New("wire: message truncated")
+	ErrUnknownType = errors.New("wire: unknown message type")
+	ErrTrailing    = errors.New("wire: trailing bytes after message")
+)
+
+// Decode parses an envelope produced by Encode.
+func Decode(data []byte) (Envelope, error) {
+	if len(data) < envelopeHeader {
+		return Envelope{}, ErrShort
+	}
+	var e Envelope
+	t := data[0]
+	e.From = int(binary.BigEndian.Uint16(data[1:3]))
+	e.Epoch = binary.BigEndian.Uint64(data[3:11])
+	e.Proposer = int(binary.BigEndian.Uint16(data[11:13]))
+	body := data[envelopeHeader:]
+
+	var (
+		msg  Msg
+		rest []byte
+		err  error
+	)
+	switch t {
+	case TChunk:
+		msg, rest, err = decodeChunk(body)
+	case TGotChunk:
+		msg, rest, err = decodeGotChunk(body)
+	case TReady:
+		msg, rest, err = decodeReady(body)
+	case TRequestChunk:
+		msg, rest = RequestChunk{}, body
+	case TReturnChunk:
+		msg, rest, err = decodeReturnChunk(body)
+	case TCancelRequest:
+		msg, rest = CancelRequest{}, body
+	case TBVal:
+		msg, rest, err = decodeBVal(body)
+	case TAux:
+		msg, rest, err = decodeAux(body)
+	case TTerm:
+		msg, rest, err = decodeTerm(body)
+	default:
+		return Envelope{}, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+	if err != nil {
+		return Envelope{}, err
+	}
+	if len(rest) != 0 {
+		return Envelope{}, ErrTrailing
+	}
+	e.Payload = msg
+	return e, nil
+}
+
+// ----- Merkle proof wire helpers -----
+
+// proofSize = index(2) + leaves(2) + pathLen(1) + path entries.
+func proofSize(p merkle.Proof) int { return 5 + len(p.Path)*merkle.RootSize }
+
+func appendProof(buf []byte, p merkle.Proof) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Index))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Leaves))
+	buf = append(buf, byte(len(p.Path)))
+	for _, h := range p.Path {
+		buf = append(buf, h[:]...)
+	}
+	return buf
+}
+
+func decodeProof(data []byte) (merkle.Proof, []byte, error) {
+	if len(data) < 5 {
+		return merkle.Proof{}, nil, ErrShort
+	}
+	var p merkle.Proof
+	p.Index = int(binary.BigEndian.Uint16(data[0:2]))
+	p.Leaves = int(binary.BigEndian.Uint16(data[2:4]))
+	n := int(data[4])
+	data = data[5:]
+	if len(data) < n*merkle.RootSize {
+		return merkle.Proof{}, nil, ErrShort
+	}
+	p.Path = make([]merkle.Root, n)
+	for i := 0; i < n; i++ {
+		copy(p.Path[i][:], data[i*merkle.RootSize:])
+	}
+	return p, data[n*merkle.RootSize:], nil
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func decodeBytes(data []byte) ([]byte, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, ErrShort
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < n {
+		return nil, nil, ErrShort
+	}
+	return append([]byte(nil), data[:n]...), data[n:], nil
+}
+
+// ----- AVID dispersal messages (Fig 3 of the paper) -----
+
+// Chunk carries one erasure-coded chunk from the dispersing client to a
+// server, with the Merkle root commitment and the inclusion proof.
+type Chunk struct {
+	Root  merkle.Root
+	Data  []byte
+	Proof merkle.Proof
+}
+
+func (Chunk) Type() byte { return TChunk }
+func (m Chunk) BodySize() int {
+	return merkle.RootSize + 4 + len(m.Data) + proofSize(m.Proof)
+}
+func (m Chunk) AppendTo(buf []byte) []byte {
+	buf = append(buf, m.Root[:]...)
+	buf = appendBytes(buf, m.Data)
+	return appendProof(buf, m.Proof)
+}
+
+func decodeChunk(data []byte) (Msg, []byte, error) {
+	var m Chunk
+	if len(data) < merkle.RootSize {
+		return nil, nil, ErrShort
+	}
+	copy(m.Root[:], data)
+	data = data[merkle.RootSize:]
+	var err error
+	m.Data, data, err = decodeBytes(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.Proof, data, err = decodeProof(data)
+	return m, data, err
+}
+
+// GotChunk announces that the sender holds a valid chunk under Root.
+type GotChunk struct{ Root merkle.Root }
+
+func (GotChunk) Type() byte      { return TGotChunk }
+func (GotChunk) BodySize() int   { return merkle.RootSize }
+func (m GotChunk) AppendTo(buf []byte) []byte {
+	return append(buf, m.Root[:]...)
+}
+
+func decodeGotChunk(data []byte) (Msg, []byte, error) {
+	var m GotChunk
+	if len(data) < merkle.RootSize {
+		return nil, nil, ErrShort
+	}
+	copy(m.Root[:], data)
+	return m, data[merkle.RootSize:], nil
+}
+
+// Ready votes to complete the dispersal under Root.
+type Ready struct{ Root merkle.Root }
+
+func (Ready) Type() byte    { return TReady }
+func (Ready) BodySize() int { return merkle.RootSize }
+func (m Ready) AppendTo(buf []byte) []byte {
+	return append(buf, m.Root[:]...)
+}
+
+func decodeReady(data []byte) (Msg, []byte, error) {
+	var m Ready
+	if len(data) < merkle.RootSize {
+		return nil, nil, ErrShort
+	}
+	copy(m.Root[:], data)
+	return m, data[merkle.RootSize:], nil
+}
+
+// ----- AVID retrieval messages (Fig 4 of the paper) -----
+
+// RequestChunk asks a server for its stored chunk of an instance.
+type RequestChunk struct{}
+
+func (RequestChunk) Type() byte                  { return TRequestChunk }
+func (RequestChunk) BodySize() int               { return 0 }
+func (RequestChunk) AppendTo(buf []byte) []byte  { return buf }
+
+// ReturnChunk is a server's answer to RequestChunk.
+type ReturnChunk struct {
+	Root  merkle.Root
+	Data  []byte
+	Proof merkle.Proof
+}
+
+func (ReturnChunk) Type() byte { return TReturnChunk }
+func (m ReturnChunk) BodySize() int {
+	return merkle.RootSize + 4 + len(m.Data) + proofSize(m.Proof)
+}
+func (m ReturnChunk) AppendTo(buf []byte) []byte {
+	buf = append(buf, m.Root[:]...)
+	buf = appendBytes(buf, m.Data)
+	return appendProof(buf, m.Proof)
+}
+
+func decodeReturnChunk(data []byte) (Msg, []byte, error) {
+	var m ReturnChunk
+	if len(data) < merkle.RootSize {
+		return nil, nil, ErrShort
+	}
+	copy(m.Root[:], data)
+	data = data[merkle.RootSize:]
+	var err error
+	m.Data, data, err = decodeBytes(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.Proof, data, err = decodeProof(data)
+	return m, data, err
+}
+
+// CancelRequest tells a server the retriever has decoded the block and
+// needs no more chunks (the optimization discussed in §6.3 of the paper).
+type CancelRequest struct{}
+
+func (CancelRequest) Type() byte                 { return TCancelRequest }
+func (CancelRequest) BodySize() int              { return 0 }
+func (CancelRequest) AppendTo(buf []byte) []byte { return buf }
+
+// ----- Binary agreement messages (Mostéfaoui et al.) -----
+
+// BVal is the binary-value broadcast vote of a BA round.
+type BVal struct {
+	Round uint32
+	Value bool
+}
+
+func (BVal) Type() byte    { return TBVal }
+func (BVal) BodySize() int { return 5 }
+func (m BVal) AppendTo(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, m.Round)
+	return append(buf, boolByte(m.Value))
+}
+
+func decodeBVal(data []byte) (Msg, []byte, error) {
+	if len(data) < 5 {
+		return nil, nil, ErrShort
+	}
+	return BVal{Round: binary.BigEndian.Uint32(data), Value: data[4] != 0}, data[5:], nil
+}
+
+// Aux is the second-stage vote of a BA round, carrying a value from the
+// sender's bin_values set.
+type Aux struct {
+	Round uint32
+	Value bool
+}
+
+func (Aux) Type() byte    { return TAux }
+func (Aux) BodySize() int { return 5 }
+func (m Aux) AppendTo(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, m.Round)
+	return append(buf, boolByte(m.Value))
+}
+
+func decodeAux(data []byte) (Msg, []byte, error) {
+	if len(data) < 5 {
+		return nil, nil, ErrShort
+	}
+	return Aux{Round: binary.BigEndian.Uint32(data), Value: data[4] != 0}, data[5:], nil
+}
+
+// Term is the Bracha-style termination gadget: broadcast on decision so
+// that lagging nodes can adopt the value and every instance quiesces.
+type Term struct{ Value bool }
+
+func (Term) Type() byte    { return TTerm }
+func (Term) BodySize() int { return 1 }
+func (m Term) AppendTo(buf []byte) []byte {
+	return append(buf, boolByte(m.Value))
+}
+
+func decodeTerm(data []byte) (Msg, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, ErrShort
+	}
+	return Term{Value: data[0] != 0}, data[1:], nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// PriorityOf returns the transport priority class of a message: dispersal
+// and agreement traffic is high priority, retrieval traffic low (§4.5).
+func PriorityOf(m Msg) Priority {
+	switch m.Type() {
+	case TRequestChunk, TReturnChunk, TCancelRequest:
+		return PrioRetrieval
+	default:
+		return PrioDispersal
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMakeParseRoundTrip(t *testing.T) {
+	tx := Make(7, 42, 1500*time.Millisecond, 250)
+	if len(tx) != 250 {
+		t.Fatalf("tx size %d, want 250", len(tx))
+	}
+	got, err := Parse(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != 7 || got.Seq != 42 || got.Submitted != 1500*time.Millisecond {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+func TestMakeClampsSize(t *testing.T) {
+	tx := Make(0, 1, 0, 3)
+	if len(tx) != MinTxSize {
+		t.Fatalf("undersized request produced %d bytes", len(tx))
+	}
+}
+
+func TestParseRejectsShort(t *testing.T) {
+	if _, err := Parse(make([]byte, MinTxSize-1)); err == nil {
+		t.Fatal("short tx parsed")
+	}
+}
+
+func TestGeneratorRate(t *testing.T) {
+	// 1000-byte txs at 100 KB/s => 100 tx/s => mean gap 10 ms. Sum of
+	// 10k exponential gaps should be ~100 s within a few percent.
+	g := NewGenerator(0, 1000, 100_000, 1)
+	var total time.Duration
+	now := time.Duration(0)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tx, gap := g.Next(now)
+		now += gap
+		total += gap
+		parsed, err := Parse(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed.Origin != 0 || parsed.Submitted != now {
+			t.Fatalf("tx %d metadata wrong: %+v (now %v)", i, parsed, now)
+		}
+	}
+	wantMean := 10 * time.Millisecond
+	gotMean := total / n
+	if math.Abs(float64(gotMean-wantMean))/float64(wantMean) > 0.05 {
+		t.Fatalf("mean gap %v, want ~%v", gotMean, wantMean)
+	}
+	if g.Count() != n {
+		t.Fatalf("count %d", g.Count())
+	}
+}
+
+func TestGeneratorSequencesUnique(t *testing.T) {
+	g := NewGenerator(3, 100, 1000, 2)
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		tx, _ := g.Next(0)
+		p, _ := Parse(tx)
+		if seen[p.Seq] {
+			t.Fatal("duplicate sequence number")
+		}
+		seen[p.Seq] = true
+	}
+}
