@@ -14,6 +14,23 @@
 // create an identity keyring for a 4-node cluster, distribute the key
 // files, and start every node with `-keydir ./keys`. Without -keydir the
 // mesh trusts self-declared peer ids (fine on closed networks only).
+//
+// Durability: with -datadir the node persists a write-ahead log, its
+// stored AVID chunks and periodic checkpoints to the directory, and a
+// node restarted with the same -datadir recovers its log position,
+// serves retrievals for pre-crash epochs, and rejoins the cluster where
+// it left off:
+//
+//	dlnode -id 0 -peers ... -secret s3cret -datadir /var/lib/dlnode0
+//
+// fsync policy: writes are batched — one fsync covers every record of a
+// protocol step — so a host crash loses at most the newest step, which
+// recovery treats as never having happened. The log is checkpointed and
+// compacted every ~64 delivered epochs. Pair -datadir with -retain:
+// chunk segments are reclaimed in step with the -retain horizon, so
+// -retain 0 (keep everything) makes the chunk store grow with the
+// ledger, while e.g. -retain 1000 bounds it. Without -datadir the node
+// is memory-only and a restart rejoins as a fresh, empty node.
 package main
 
 import (
@@ -41,7 +58,8 @@ func main() {
 	statsEvery := flag.Duration("stats", time.Second, "statistics print interval")
 	keydir := flag.String("keydir", "", "directory with identity keys (see -genkeys)")
 	genkeys := flag.Int("genkeys", 0, "generate identity keys for this many nodes into -keydir, then exit")
-	retain := flag.Uint64("retain", 0, "garbage-collect epochs this far behind delivery (0 = keep all)")
+	retain := flag.Uint64("retain", 0, "garbage-collect epochs this far behind delivery (0 = keep all); with -datadir this also bounds the on-disk chunk store")
+	datadir := flag.String("datadir", "", "directory for the write-ahead log, chunk store and checkpoints; restarting with the same directory recovers the node (empty = memory only)")
 	flag.Parse()
 
 	if *genkeys > 0 {
@@ -97,6 +115,7 @@ func main() {
 			N: n, F: faults, Mode: mode,
 			CoinSecret:   []byte(*secret),
 			RetainEpochs: *retain,
+			DataDir:      *datadir,
 		},
 		Self:  *id,
 		Addrs: addrs,
@@ -146,6 +165,10 @@ func main() {
 			fmt.Printf("epochs=%d txs=%d confirmed=%.2fMB rate=%.2fMB/s linked=%d\n",
 				s.EpochsDelivered, s.DeliveredTxs,
 				float64(s.DeliveredPayload)/trace.MB, rate, s.LinkedBlocks)
+			if s.StoreErrors > 0 {
+				fmt.Fprintf(os.Stderr, "dlnode: WARNING: %d durable-write failures — persistence is OFF and %s is no longer a valid restart point\n",
+					s.StoreErrors, *datadir)
+			}
 		}
 	}
 }

@@ -19,12 +19,16 @@ package dispersedledger
 
 import (
 	"errors"
+	"fmt"
 	"net"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dledger/internal/core"
 	"dledger/internal/replica"
+	"dledger/internal/store"
 	"dledger/internal/transport"
 )
 
@@ -65,6 +69,21 @@ type Config struct {
 	// nodes, slightly higher confirmation latency. Off by default (the
 	// paper's policy).
 	StagedRetrieval bool
+	// DataDir, when set, makes the node durable: its write-ahead log,
+	// stored AVID chunks and periodic checkpoints live in this directory
+	// (one subdirectory per node for in-process clusters), and a node
+	// restarted from the same directory recovers its log position,
+	// serves retrievals for pre-crash epochs and rejoins the cluster.
+	// Empty (the default) keeps all state in memory: nothing survives
+	// the process, no filesystem I/O happens.
+	//
+	// Durability is fsync-batched: one fsync covers every record of a
+	// protocol step, so a host crash can lose at most the latest step
+	// (which recovery treats as never having happened — safe, because
+	// nothing was externalized before its fsync). Checkpoints compact
+	// the log every ~64 delivered epochs; chunk segments are reclaimed
+	// in step with the RetainEpochs garbage-collection horizon.
+	DataDir string
 }
 
 func (c Config) coreConfig() core.Config {
@@ -104,27 +123,55 @@ type Stats struct {
 	DeliveredPayload int64
 	EpochsDelivered  int64
 	LinkedBlocks     int64
+	// DroppedDeliveries counts blocks a slow consumer missed on this
+	// node's delivery channel (the channel drops rather than deadlock
+	// the consensus loop).
+	DroppedDeliveries int64
+	// StoreErrors counts failed durable writes. After the first failure
+	// the node stops persisting (it stays available, but its DataDir is
+	// no longer a valid restart point) — a nonzero value needs operator
+	// attention.
+	StoreErrors int64
 }
 
 // Cluster is an in-process DispersedLedger deployment.
 type Cluster struct {
-	mem *transport.MemoryCluster
+	mem    *transport.MemoryCluster
+	stores []store.Store
 
-	mu   sync.Mutex
-	subs []chan Delivery
+	mu      sync.Mutex
+	subs    []chan Delivery
+	dropped []int64 // per node, updated atomically on the consensus loops
 }
 
-// NewCluster starts an N-node in-process cluster.
+// NewCluster starts an N-node in-process cluster. With Config.DataDir
+// set, each node persists to DataDir/node-<i> and a cluster re-created
+// over the same directory recovers every node's state.
 func NewCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{}
 	cc := cfg.coreConfig()
 	c.subs = make([]chan Delivery, cc.N)
+	c.dropped = make([]int64, cc.N)
 	for i := range c.subs {
 		c.subs[i] = make(chan Delivery, 1024)
+	}
+	var stores []store.Store
+	if cfg.DataDir != "" {
+		for i := 0; i < cc.N; i++ {
+			st, err := store.OpenFile(store.FileOptions{
+				Dir: filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i)),
+			})
+			if err != nil {
+				closeStores(stores)
+				return nil, err
+			}
+			stores = append(stores, st)
+		}
 	}
 	mem, err := transport.NewMemoryCluster(transport.MemoryOptions{
 		Core:    cc,
 		Replica: cfg.replicaParams(),
+		Stores:  stores,
 		OnDeliver: func(node int, d replica.Delivery) {
 			c.mu.Lock()
 			ch := c.subs[node]
@@ -136,15 +183,26 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			}:
 			default:
 				// Slow consumers drop deliveries rather than deadlocking
-				// the consensus loop; Stats still count them.
+				// the consensus loop; Stats count the drops.
+				atomic.AddInt64(&c.dropped[node], 1)
 			}
 		},
 	})
 	if err != nil {
+		closeStores(stores)
 		return nil, err
 	}
 	c.mem = mem
+	c.stores = stores
 	return c, nil
+}
+
+func closeStores(stores []store.Store) {
+	for _, st := range stores {
+		if st != nil {
+			st.Close()
+		}
+	}
 }
 
 // ErrBadNode is returned for out-of-range node indices.
@@ -180,21 +238,28 @@ func (c *Cluster) Stats(i int) (Stats, error) {
 			DeliveredPayload: r.Stats.DeliveredPayload,
 			EpochsDelivered:  r.Stats.EpochsDelivered,
 			LinkedBlocks:     r.Stats.LinkedBlocks,
+			StoreErrors:      r.Stats.StoreErrors,
 		}
 	})
+	out.DroppedDeliveries = atomic.LoadInt64(&c.dropped[i])
 	return out, nil
 }
 
 // N returns the cluster size.
 func (c *Cluster) N() int { return c.mem.N() }
 
-// Close stops the cluster.
-func (c *Cluster) Close() { c.mem.Close() }
+// Close stops the cluster and flushes any durable stores.
+func (c *Cluster) Close() {
+	c.mem.Close()
+	closeStores(c.stores)
+}
 
 // Node is one member of a distributed TCP deployment.
 type Node struct {
-	tcp *transport.TCPNode
-	sub chan Delivery
+	tcp     *transport.TCPNode
+	st      store.Store
+	sub     chan Delivery
+	dropped int64 // updated atomically on the consensus loop
 }
 
 // Keyring re-exports the transport identity keyring: generate one set
@@ -223,9 +288,19 @@ type NodeOptions struct {
 }
 
 // NewTCPNode starts one node of a TCP cluster. Config.CoinSecret must be
-// set (all nodes must share it).
+// set (all nodes must share it). With Config.DataDir set, the node is
+// durable: restarting it over the same directory recovers its chunk
+// store and log position and rejoins the cluster where it left off.
 func NewTCPNode(opts NodeOptions) (*Node, error) {
 	n := &Node{sub: make(chan Delivery, 1024)}
+	var st store.Store
+	if opts.Config.DataDir != "" {
+		var err error
+		st, err = store.OpenFile(store.FileOptions{Dir: opts.Config.DataDir})
+		if err != nil {
+			return nil, err
+		}
+	}
 	tcp, err := transport.NewTCPNode(transport.TCPOptions{
 		Core:     opts.Config.coreConfig(),
 		Replica:  opts.Config.replicaParams(),
@@ -233,6 +308,7 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 		Addrs:    opts.Addrs,
 		Listener: opts.Listener,
 		Keys:     opts.Keys,
+		Store:    st,
 		OnDeliver: func(d replica.Delivery) {
 			select {
 			case n.sub <- Delivery{
@@ -240,13 +316,18 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 				Txs: d.Txs, Linked: d.Linked,
 			}:
 			default:
+				atomic.AddInt64(&n.dropped, 1)
 			}
 		},
 	})
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
 	n.tcp = tcp
+	n.st = st
 	return n, nil
 }
 
@@ -269,10 +350,17 @@ func (n *Node) Stats() Stats {
 			DeliveredPayload: r.Stats.DeliveredPayload,
 			EpochsDelivered:  r.Stats.EpochsDelivered,
 			LinkedBlocks:     r.Stats.LinkedBlocks,
+			StoreErrors:      r.Stats.StoreErrors,
 		}
 	})
+	out.DroppedDeliveries = atomic.LoadInt64(&n.dropped)
 	return out
 }
 
-// Close stops the node.
-func (n *Node) Close() { n.tcp.Close() }
+// Close stops the node and flushes its durable store.
+func (n *Node) Close() {
+	n.tcp.Close()
+	if n.st != nil {
+		n.st.Close()
+	}
+}

@@ -18,6 +18,14 @@ func main() {
 		N: 4, F: 1,
 		Mode:       dl.ModeDL,
 		BatchDelay: 50 * time.Millisecond,
+		// This cluster keeps all state in memory: nothing survives the
+		// process and no filesystem I/O happens. Set DataDir to make the
+		// nodes durable — each persists a write-ahead log, its AVID
+		// chunks and periodic checkpoints under DataDir/node-<i>, fsyncs
+		// are batched per protocol step, and a cluster re-created over
+		// the same directory resumes exactly where this one stopped.
+		// Pair DataDir with RetainEpochs to bound the on-disk chunk
+		// store (compaction follows the same garbage-collection horizon).
 	})
 	if err != nil {
 		log.Fatal(err)

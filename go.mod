@@ -1,0 +1,3 @@
+module dledger
+
+go 1.24

@@ -129,9 +129,37 @@ func NewServer(p Params, self int) *Server {
 	}
 }
 
+// RestoreServer rebuilds a server automaton whose dispersal had already
+// Completed when the node crashed, from the durable chunk record: the
+// agreed root and, when hasChunk is set, the stored chunk and its proof.
+// The restored server answers retrieval requests but re-broadcasts no
+// quorum messages (it already sent them in its previous life, and
+// completion is stable).
+func RestoreServer(p Params, self int, root merkle.Root, hasChunk bool, data []byte, proof merkle.Proof) *Server {
+	s := NewServer(p, self)
+	s.completed = true
+	s.chunkRoot = root
+	s.sentGot = true
+	s.sentReady = true
+	if hasChunk {
+		s.haveMy = true
+		s.myChunk = data
+		s.myProof = proof
+		s.myRoot = root
+	}
+	return s
+}
+
 // Completed reports whether dispersal has Completed at this server, and
 // the agreed root.
 func (s *Server) Completed() (bool, merkle.Root) { return s.completed, s.chunkRoot }
+
+// StoredChunk exposes the server's durable state for persistence: the
+// agreed root and, when the server holds a chunk matching it, the chunk
+// and proof. ok mirrors HasChunk. Only meaningful after completion.
+func (s *Server) StoredChunk() (root merkle.Root, data []byte, proof merkle.Proof, ok bool) {
+	return s.chunkRoot, s.myChunk, s.myProof, s.HasChunk()
+}
 
 // HasChunk reports whether this server stored a chunk matching the agreed
 // root (only meaningful after completion).
@@ -157,6 +185,14 @@ func (s *Server) Handle(from int, msg wire.Msg) (outs []Send, completed bool) {
 		}
 		outs, completed = s.onReady(from, m)
 	case wire.RequestChunk:
+		outs = s.onRequest(from)
+	case wire.RequestChunkAgain:
+		// A restarted retriever lost whatever we answered before its
+		// crash: clear the duplicate suppression and answer afresh. The
+		// amplification a Byzantine sender gains is one chunk per
+		// message — no worse than a first request.
+		delete(s.answered, from)
+		delete(s.canceled, from)
 		outs = s.onRequest(from)
 	case wire.CancelRequest:
 		s.canceled[from] = true
@@ -286,6 +322,10 @@ func (r *Retriever) Start() []Send {
 
 // Done reports completion; after Done, Block returns the retrieved block.
 func (r *Retriever) Done() bool { return r.done }
+
+// Answered reports whether a valid chunk from the given server has been
+// counted (retry logic uses it to re-ask only silent servers).
+func (r *Retriever) Answered(from int) bool { return r.from[from] }
 
 // Block returns the retrieval result. bad is true when the dispersal was
 // inconsistent (the paper's BAD_UPLOADER case); block then equals

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"dledger/internal/merkle"
 	"dledger/internal/wire"
 )
 
@@ -30,6 +31,10 @@ type DeliverAction struct {
 	Txs      [][]byte
 	Payload  int // transaction bytes in the block
 	Linked   bool
+	// V is the delivered block's observation array, persisted with the
+	// delivery record so a restarted node can still run the inter-node
+	// linking computation over pre-crash deliveries.
+	V []uint64
 }
 
 // ProposalNeededAction asks the replica to produce the next block. The
@@ -39,6 +44,16 @@ type DeliverAction struct {
 type ProposalNeededAction struct {
 	Epoch uint64
 	Empty bool
+}
+
+// ProposalMadeAction reports that the engine built and dispersed a block
+// into Epoch, carrying the encoded block. It precedes the dispersal's
+// SendActions in the action list; the replica persists (and syncs) it
+// before externalizing them, so a restarted node can re-disperse the
+// identical block instead of equivocating or losing the epoch.
+type ProposalMadeAction struct {
+	Epoch uint64
+	Block []byte
 }
 
 // ResubmitAction returns transactions of a dropped block to the mempool
@@ -79,15 +94,41 @@ type EpochDecidedAction struct {
 
 // EpochDeliveredAction reports that every block of the epoch (BA-committed
 // and linked) has been retrieved and delivered. Emitted in epoch order.
+// Floor is the linked-delivery floor after the epoch (persisted so a
+// restarted node resumes linking where it left off).
 type EpochDeliveredAction struct {
 	Epoch uint64
+	Floor []uint64
+}
+
+// CatchupDoneAction reports that the recovery status protocol finished:
+// the node has adopted every decision it slept through and participates
+// normally again. The replica holds proposals back while catching up
+// (a block proposed into an already-decided epoch can never commit, so
+// its transactions would be lost) and resumes them on this action.
+type CatchupDoneAction struct{}
+
+// ChunkStoredAction reports that a VID instance Completed locally: the
+// replica persists the agreed root (and, when HasChunk, the chunk and its
+// proof) so a restarted node keeps its availability promise — it can
+// still serve retrieval requests for every dispersal it acknowledged.
+type ChunkStoredAction struct {
+	Epoch    uint64
+	Proposer wire.NodeID
+	Root     merkle.Root
+	HasChunk bool
+	Data     []byte
+	Proof    merkle.Proof
 }
 
 func (SendAction) isAction()           {}
 func (DeliverAction) isAction()        {}
 func (ProposalNeededAction) isAction() {}
+func (ProposalMadeAction) isAction()   {}
 func (ResubmitAction) isAction()       {}
 func (TimerAction) isAction()          {}
 func (UnsendAction) isAction()         {}
 func (EpochDecidedAction) isAction()   {}
 func (EpochDeliveredAction) isAction() {}
+func (ChunkStoredAction) isAction()    {}
+func (CatchupDoneAction) isAction()    {}

@@ -104,6 +104,11 @@ type Config struct {
 	// RetrievalStageDelay is the escalation timeout of staged retrieval.
 	// Zero means the default of 1 second.
 	RetrievalStageDelay time.Duration
+	// CatchupRetry is the re-request interval of the recovery status
+	// protocol: a restarted node re-broadcasts its StatusRequest this
+	// often until it has caught up with the cluster's decisions. Zero
+	// means the default of 1 second.
+	CatchupRetry time.Duration
 	// RetainEpochs, when positive, garbage-collects per-epoch state
 	// (VID chunk stores, agreement instances, retrieval records) once an
 	// epoch is more than RetainEpochs behind this node's delivery
@@ -121,6 +126,13 @@ func (c Config) stageDelay() time.Duration {
 		return time.Second
 	}
 	return c.RetrievalStageDelay
+}
+
+func (c Config) catchupRetry() time.Duration {
+	if c.CatchupRetry == 0 {
+		return time.Second
+	}
+	return c.CatchupRetry
 }
 
 func (c Config) lagLimit() uint64 {
@@ -174,6 +186,10 @@ type retrState struct {
 	asked      []bool
 	nextServer int
 	requested  int
+	// resend marks a retrieval whose answers the node's previous (crashed)
+	// incarnation may already have consumed: requests use the
+	// duplicate-suppression-clearing variant and re-fire on a timer.
+	resend bool
 }
 
 // deliveryStage tracks the two-phase delivery of an epoch (Fig 17).
@@ -229,9 +245,34 @@ type Engine struct {
 	deliveredEpoch uint64   // epochs 1..deliveredEpoch fully delivered
 	deliveries     map[uint64]*epochDelivery
 
+	// recovered marks an engine restored from a Store, and stays set
+	// until the node has both finished the status catch-up and delivered
+	// through the frontier the catch-up found (recoveredUntil). While it
+	// is set, every started retrieval is in resend mode: requests use
+	// RequestChunkAgain (servers re-answer what the crashed incarnation
+	// already consumed) and re-fire on a timer (the transport's
+	// post-restart reconnect turbulence can eat one-shot requests or
+	// their replies). catchup drives the status protocol that re-learns
+	// decisions made while the node was down.
+	recovered      bool
+	recoveredUntil uint64
+	catchup        *catchupState
+	catchupToken   uint64
+
 	// step state: internal self-delivery queue and accumulated actions.
-	queue   []wire.Envelope
-	actions []Action
+	queue      []wire.Envelope
+	actions    []Action
+	delivering bool // tryDeliver reentrancy guard
+}
+
+// catchupState tracks the recovery status protocol for one epoch at a
+// time (always decidedThrough+1). through accumulates peers' decided
+// watermarks across the whole catch-up.
+type catchupState struct {
+	epoch      uint64
+	decided    map[int][]byte // replier -> claimed S bitmap for epoch
+	notDecided map[int]bool   // repliers claiming epoch undecided
+	through    map[int]uint64 // per-peer decided watermark claims
 }
 
 // NewEngine creates the engine for node self.
@@ -247,20 +288,20 @@ func NewEngine(cfg Config, self int) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:        cfg,
-		self:       self,
-		params:     params,
-		coins:      coin.NewScheme(cfg.CoinSecret),
-		epochs:     map[uint64]*epochState{},
-		decidedSet: map[uint64]bool{},
-		watermark:  make([]uint64, cfg.N),
-		vidDone:    make([]map[uint64]bool, cfg.N),
-		myBlocks:   map[uint64]*wire.Block{},
-		retr:       map[blockKey]*retrState{},
-		timers:     map[uint64]blockKey{},
-		delivered:  map[blockKey]bool{},
+		cfg:         cfg,
+		self:        self,
+		params:      params,
+		coins:       coin.NewScheme(cfg.CoinSecret),
+		epochs:      map[uint64]*epochState{},
+		decidedSet:  map[uint64]bool{},
+		watermark:   make([]uint64, cfg.N),
+		vidDone:     make([]map[uint64]bool, cfg.N),
+		myBlocks:    map[uint64]*wire.Block{},
+		retr:        map[blockKey]*retrState{},
+		timers:      map[uint64]blockKey{},
+		delivered:   map[blockKey]bool{},
 		linkedFloor: make([]uint64, cfg.N),
-		deliveries: map[uint64]*epochDelivery{},
+		deliveries:  map[uint64]*epochDelivery{},
 	}
 	for j := range e.vidDone {
 		e.vidDone[j] = map[uint64]bool{}
@@ -280,10 +321,21 @@ func (e *Engine) DeliveredEpoch() uint64 { return e.deliveredEpoch }
 // DispersalEpoch returns the highest epoch this node proposed into.
 func (e *Engine) DispersalEpoch() uint64 { return e.lastProposed }
 
-// Start initializes the engine and solicits the first proposal.
+// DecidedThrough returns the highest epoch t such that epochs 1..t have
+// all decided at this node.
+func (e *Engine) DecidedThrough() uint64 { return e.decidedThrough }
+
+// Start initializes the engine and solicits the first proposal. On an
+// engine restored via Restore it also re-arms the recovery machinery:
+// retrievals for decided-but-undelivered epochs, re-votes for restored
+// dispersals, and the status catch-up protocol.
 func (e *Engine) Start() []Action {
 	e.actions = nil
+	if e.recovered {
+		e.resumeRecovered()
+	}
 	e.maybeSolicitProposal()
+	e.drain()
 	return e.takeActions()
 }
 
@@ -306,10 +358,12 @@ func (e *Engine) Propose(txs [][]byte) ([]Action, error) {
 		Txs:      txs,
 	}
 	e.myBlocks[epoch] = blk
-	chunks, _, err := avid.Disperse(e.params, blk.Encode())
+	enc := blk.Encode()
+	chunks, _, err := avid.Disperse(e.params, enc)
 	if err != nil {
 		return nil, err
 	}
+	e.actions = append(e.actions, ProposalMadeAction{Epoch: epoch, Block: enc})
 	for i, c := range chunks {
 		env := wire.Envelope{From: e.self, Epoch: epoch, Proposer: e.self, Payload: c}
 		if i == e.self {
@@ -374,7 +428,28 @@ func (e *Engine) priorityFor(msg wire.Msg) wire.Priority {
 }
 
 func (e *Engine) dispatch(env wire.Envelope) {
-	if env.Epoch == 0 || env.Epoch > e.lastProposed+maxEpochAhead {
+	// The ahead-bound tracks both our dispersal epoch and our decided
+	// watermark: a recovering node holds proposals (lastProposed frozen)
+	// while catch-up advances decidedThrough, and bounding by the frozen
+	// value alone would drop the very replies catch-up needs once the
+	// outage exceeded maxEpochAhead epochs.
+	horizon := e.lastProposed
+	if e.decidedThrough > horizon {
+		horizon = e.decidedThrough
+	}
+	if env.Epoch == 0 || env.Epoch > horizon+maxEpochAhead {
+		return
+	}
+	// Recovery status traffic is served even for garbage-collected
+	// epochs (it allocates nothing): a peer asking about an epoch we
+	// pruned still deserves our decided watermark, or it could wedge
+	// re-requesting forever without learning it slept past the horizon.
+	switch msg := env.Payload.(type) {
+	case wire.StatusRequest:
+		e.onStatusRequest(env)
+		return
+	case wire.StatusReply:
+		e.onStatusReply(env, msg)
 		return
 	}
 	if env.Epoch <= e.prunedThrough {
@@ -400,6 +475,8 @@ func (e *Engine) dispatch(env wire.Envelope) {
 		// transport to drop any queued-but-unsent chunks for it.
 		e.toVID(env, msg)
 		e.actions = append(e.actions, UnsendAction{To: env.From, Epoch: env.Epoch, Proposer: env.Proposer})
+	case wire.RequestChunkAgain:
+		e.toVID(env, msg)
 	case wire.ReturnChunk:
 		e.toRetriever(env, msg)
 	case wire.BVal, wire.Aux, wire.Term:
@@ -442,6 +519,7 @@ func (e *Engine) ba(epoch uint64, proposer int) *ba.BA {
 
 func (e *Engine) toVID(env wire.Envelope, msg wire.Msg) {
 	v := e.vid(env.Epoch, env.Proposer)
+	hadChunk := v.HasChunk()
 	outs, completed := v.Handle(env.From, msg)
 	stream := env.Epoch
 	for _, o := range outs {
@@ -450,6 +528,18 @@ func (e *Engine) toVID(env wire.Envelope, msg wire.Msg) {
 	}
 	if completed {
 		e.onVIDComplete(env.Epoch, env.Proposer)
+	} else if !hadChunk && v.HasChunk() {
+		// The chunk arrived after completion (slow or restarted
+		// proposer): refresh the durable record, which was written with
+		// HasChunk=false at completion time, or a future restart would
+		// forget a chunk this node is known to serve.
+		root, data, proof, ok := v.StoredChunk()
+		if ok {
+			e.actions = append(e.actions, ChunkStoredAction{
+				Epoch: env.Epoch, Proposer: env.Proposer,
+				Root: root, HasChunk: true, Data: data, Proof: proof,
+			})
+		}
 	}
 }
 
@@ -486,6 +576,17 @@ func (e *Engine) inputBA(epoch uint64, proposer int, val bool) {
 
 // onVIDComplete fires when VID[epoch][proposer] Completes locally.
 func (e *Engine) onVIDComplete(epoch uint64, proposer int) {
+	// Hand the completed instance's durable state (agreed root, stored
+	// chunk) to the replica for persistence.
+	if v := e.epochs[epoch].vids[proposer]; v != nil {
+		root, data, proof, ok := v.StoredChunk()
+		act := ChunkStoredAction{Epoch: epoch, Proposer: proposer, Root: root, HasChunk: ok}
+		if ok {
+			act.Data, act.Proof = data, proof
+		}
+		e.actions = append(e.actions, act)
+	}
+
 	// Track the completion watermark that feeds our V arrays.
 	e.vidDone[proposer][epoch] = true
 	for e.vidDone[proposer][e.watermark[proposer]+1] {
@@ -623,11 +724,19 @@ func (e *Engine) startRetrieval(key blockKey) {
 	// Stagger the request order by instance so retrieval load spreads
 	// across servers cluster-wide.
 	rs.nextServer = (int(key.epoch) + key.proposer) % e.cfg.N
+	// During recovery the previous incarnation may have consumed this
+	// retrieval's answers (servers dedup requests), and the reconnect
+	// window can eat frames; such retrievals use the resend request
+	// variant and keep a retry timer until the block is in hand.
+	rs.resend = e.recovered
 	if e.cfg.StagedRetrieval {
 		e.requestChunks(key, rs, e.params.K())
 		e.armRetrievalTimer(key)
 	} else {
 		e.requestChunks(key, rs, e.cfg.N)
+		if rs.resend {
+			e.armRetrievalTimer(key)
+		}
 	}
 }
 
@@ -642,8 +751,12 @@ func (e *Engine) requestChunks(key blockKey, rs *retrState, count int) {
 		rs.asked[to] = true
 		rs.requested++
 		sent++
-		env := wire.Envelope{From: e.self, Epoch: key.epoch, Proposer: key.proposer, Payload: wire.RequestChunk{}}
-		e.emit(to, env, e.priorityFor(wire.RequestChunk{}), key.epoch)
+		var msg wire.Msg = wire.RequestChunk{}
+		if rs.resend {
+			msg = wire.RequestChunkAgain{}
+		}
+		env := wire.Envelope{From: e.self, Epoch: key.epoch, Proposer: key.proposer, Payload: msg}
+		e.emit(to, env, e.priorityFor(msg), key.epoch)
 	}
 }
 
@@ -653,10 +766,19 @@ func (e *Engine) armRetrievalTimer(key blockKey) {
 	e.actions = append(e.actions, TimerAction{After: e.cfg.stageDelay(), Token: e.timerSeq})
 }
 
-// HandleTimer processes a TimerAction callback: if the retrieval it
-// belongs to is still unfinished, ask another wave of servers.
+// HandleTimer processes a TimerAction callback: retrieval escalation
+// timers ask another wave of servers; the catch-up timer re-broadcasts
+// the recovery StatusRequest while the node is still behind.
 func (e *Engine) HandleTimer(token uint64) []Action {
 	e.actions = nil
+	if token != 0 && token == e.catchupToken {
+		e.catchupToken = 0
+		if e.catchup != nil {
+			e.requestStatus()
+		}
+		e.drain()
+		return e.takeActions()
+	}
 	key, ok := e.timers[token]
 	if !ok {
 		return nil
@@ -667,9 +789,26 @@ func (e *Engine) HandleTimer(token uint64) []Action {
 		return nil
 	}
 	if rs.requested >= e.cfg.N {
-		// Everyone has been asked; nothing to escalate. Correct servers
-		// answer once the dispersal completes for them, so no re-request
-		// is needed (requests are never dropped, only delayed).
+		// Everyone has been asked. In a normal run nothing needs to
+		// escalate: requests are never dropped, only delayed. A resend
+		// retrieval cannot rely on that — the previous incarnation may
+		// have consumed the answers, and the crash/reconnect window can
+		// eat frames — so it re-asks the servers still silent (only
+		// those: re-asking an answered server would make it re-send its
+		// whole chunk) until the block is in hand.
+		if rs.resend {
+			rs.requested = 0
+			for i := range rs.asked {
+				answered := rs.ret != nil && rs.ret.Answered(i)
+				rs.asked[i] = answered
+				if answered {
+					rs.requested++
+				}
+			}
+			e.requestChunks(key, rs, e.cfg.N)
+			e.armRetrievalTimer(key)
+		}
+		e.drain()
 		return e.takeActions()
 	}
 	wave := e.cfg.F
@@ -745,8 +884,18 @@ func (e *Engine) observedV(key blockKey) []uint64 {
 }
 
 // tryDeliver advances the serial delivery pipeline: epoch e is delivered
-// only after epochs < e (Fig 17), in two stages per epoch.
+// only after epochs < e (Fig 17), in two stages per epoch. The pipeline
+// can re-enter itself — deliverBAStage starts linked retrievals, and a
+// retrieval served from local storage completes synchronously, calling
+// back into tryDeliver — so reentrant calls bail out and let the outer
+// loop pick up the progress; without the guard, an epoch the inner call
+// delivered would be re-announced (and re-logged) by the outer one.
 func (e *Engine) tryDeliver() {
+	if e.delivering {
+		return
+	}
+	e.delivering = true
+	defer func() { e.delivering = false }()
 	for {
 		d := e.deliveries[e.deliveredEpoch+1]
 		if d == nil {
@@ -766,7 +915,14 @@ func (e *Engine) tryDeliver() {
 		}
 		delete(e.deliveries, d.epoch)
 		e.deliveredEpoch = d.epoch
-		e.actions = append(e.actions, EpochDeliveredAction{Epoch: d.epoch})
+		e.actions = append(e.actions, EpochDeliveredAction{
+			Epoch: d.epoch, Floor: append([]uint64(nil), e.linkedFloor...),
+		})
+		// Recovery ends once the node has drained to the frontier the
+		// catch-up found; retrievals started after this point are normal.
+		if e.recovered && e.catchup == nil && e.deliveredEpoch >= e.recoveredUntil {
+			e.recovered = false
+		}
 		// Delivery progress can unblock coupled-mode proposals.
 		e.maybeSolicitProposal()
 		e.maybePrune()
@@ -900,6 +1056,7 @@ func (e *Engine) deliverBlock(key blockKey, linked bool) {
 		Txs:      rs.txs,
 		Payload:  rs.payload,
 		Linked:   linked,
+		V:        rs.V,
 	})
 	// Transaction bytes are no longer needed once delivered; the V array
 	// is kept for later epochs' E computations.

@@ -1,0 +1,671 @@
+package core
+
+// Crash recovery. A node's durable footprint has three parts (package
+// store): the WAL of protocol outcomes, the chunk store of AVID
+// fragments, and periodic engine snapshots. This file turns those back
+// into a running engine:
+//
+//   - Restore rebuilds engine state from snapshot + WAL replay + chunk
+//     records. It runs on a fresh engine, before Start.
+//   - Start (seeing e.recovered) re-arms the runtime machinery the state
+//     alone cannot express: retrievals for decided-but-undelivered
+//     epochs, re-votes for restored dispersals, and the status catch-up.
+//   - The status protocol re-learns decisions the node slept through.
+//     Halted agreement instances are silent forever, so a restarted node
+//     asks its peers and adopts an epoch's outcome only on f+1 identical
+//     replies — the usual quorum argument: at most f are Byzantine, so
+//     one honest witness vouches for the outcome, and agreement says all
+//     honest witnesses report the same set.
+//
+// Recovery model: outcomes (decisions, deliveries, completed dispersals)
+// are durable and never contradicted — replay is deterministic and the
+// post-restart delivery sequence is a consistent continuation. In-flight
+// votes are NOT persisted; until the node has caught up, its re-votes
+// can look inconsistent to peers that saw its pre-crash votes, which the
+// protocol absorbs the same way it absorbs a Byzantine node. A restart
+// therefore consumes fault budget while it lasts, the standard
+// crash-recovery caveat for signature-free BFT.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dledger/internal/avid"
+	"dledger/internal/store"
+	"dledger/internal/wire"
+)
+
+// Snapshot is the engine's durable state at a WAL position, saved as the
+// checkpoint payload and applied before WAL replay on recovery.
+type Snapshot struct {
+	LastProposed   uint64
+	DecidedThrough uint64
+	DeliveredEpoch uint64
+	PrunedThrough  uint64
+	Watermark      []uint64
+	LinkedFloor    []uint64
+	// Decided lists resident decided epochs with their committed sets
+	// (needed to rebuild the delivery pipeline and to answer peers'
+	// StatusRequests after a restart).
+	Decided []SnapEpoch
+	// Blocks lists delivered blocks with their observation arrays
+	// (needed so later epochs' linking computations still have the
+	// observations, and so nothing is delivered twice).
+	Blocks []SnapBlock
+	// MyBlocks carries this node's still-resident proposals (encoded),
+	// so a restarted node can re-disperse an in-flight block and serve
+	// its own undelivered blocks locally even after the WAL records that
+	// carried them were compacted away.
+	MyBlocks []SnapMyBlock
+}
+
+// SnapEpoch is one decided epoch in a Snapshot.
+type SnapEpoch struct {
+	Epoch uint64
+	S     []int
+}
+
+// SnapBlock is one delivered block in a Snapshot.
+type SnapBlock struct {
+	Epoch    uint64
+	Proposer int
+	Bad      bool
+	V        []uint64 // nil when Bad or the observation was never kept
+}
+
+// SnapMyBlock is one resident own-proposal in a Snapshot.
+type SnapMyBlock struct {
+	Epoch uint64
+	Block []byte
+}
+
+// Snapshot captures the engine's durable state. Call it between steps
+// (the replica calls it on its event loop) so the state is consistent
+// with the WAL position.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		LastProposed:   e.lastProposed,
+		DecidedThrough: e.decidedThrough,
+		DeliveredEpoch: e.deliveredEpoch,
+		PrunedThrough:  e.prunedThrough,
+		Watermark:      append([]uint64(nil), e.watermark...),
+		LinkedFloor:    append([]uint64(nil), e.linkedFloor...),
+	}
+	for epoch, es := range e.epochs {
+		if es.decided {
+			s.Decided = append(s.Decided, SnapEpoch{Epoch: epoch, S: append([]int(nil), es.S...)})
+		}
+	}
+	for key := range e.delivered {
+		b := SnapBlock{Epoch: key.epoch, Proposer: key.proposer, Bad: true}
+		if rs := e.retr[key]; rs != nil && !rs.bad && rs.V != nil {
+			b.Bad = false
+			b.V = append([]uint64(nil), rs.V...)
+		}
+		s.Blocks = append(s.Blocks, b)
+	}
+	for epoch, blk := range e.myBlocks {
+		s.MyBlocks = append(s.MyBlocks, SnapMyBlock{Epoch: epoch, Block: blk.Encode()})
+	}
+	sort.Slice(s.Decided, func(a, b int) bool { return s.Decided[a].Epoch < s.Decided[b].Epoch })
+	sort.Slice(s.Blocks, func(a, b int) bool {
+		if s.Blocks[a].Epoch != s.Blocks[b].Epoch {
+			return s.Blocks[a].Epoch < s.Blocks[b].Epoch
+		}
+		return s.Blocks[a].Proposer < s.Blocks[b].Proposer
+	})
+	sort.Slice(s.MyBlocks, func(a, b int) bool { return s.MyBlocks[a].Epoch < s.MyBlocks[b].Epoch })
+	return s
+}
+
+// ----- Snapshot codec (deterministic binary, like package wire) -----
+
+// Encode serializes the snapshot.
+func (s *Snapshot) Encode() []byte {
+	buf := make([]byte, 0, 64+16*(len(s.Watermark)+len(s.Decided)+len(s.Blocks)))
+	buf = binary.BigEndian.AppendUint64(buf, s.LastProposed)
+	buf = binary.BigEndian.AppendUint64(buf, s.DecidedThrough)
+	buf = binary.BigEndian.AppendUint64(buf, s.DeliveredEpoch)
+	buf = binary.BigEndian.AppendUint64(buf, s.PrunedThrough)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s.Watermark)))
+	for _, v := range s.Watermark {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	for _, v := range s.LinkedFloor {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Decided)))
+	for _, d := range s.Decided {
+		buf = binary.BigEndian.AppendUint64(buf, d.Epoch)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(d.S)))
+		for _, j := range d.S {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(j))
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Blocks)))
+	for _, b := range s.Blocks {
+		buf = binary.BigEndian.AppendUint64(buf, b.Epoch)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(b.Proposer))
+		flags := byte(0)
+		if b.Bad {
+			flags |= 1
+		}
+		if b.V != nil {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		if b.V != nil {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(b.V)))
+			for _, v := range b.V {
+				buf = binary.BigEndian.AppendUint64(buf, v)
+			}
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.MyBlocks)))
+	for _, m := range s.MyBlocks {
+		buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Block)))
+		buf = append(buf, m.Block...)
+	}
+	return buf
+}
+
+var errBadSnapshot = errors.New("core: malformed snapshot")
+
+// DecodeSnapshot parses Encode output.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	if len(data) < 34 {
+		return nil, errBadSnapshot
+	}
+	s.LastProposed = binary.BigEndian.Uint64(data[0:8])
+	s.DecidedThrough = binary.BigEndian.Uint64(data[8:16])
+	s.DeliveredEpoch = binary.BigEndian.Uint64(data[16:24])
+	s.PrunedThrough = binary.BigEndian.Uint64(data[24:32])
+	n := int(binary.BigEndian.Uint16(data[32:34]))
+	data = data[34:]
+	if len(data) < 16*n+4 {
+		return nil, errBadSnapshot
+	}
+	s.Watermark = make([]uint64, n)
+	s.LinkedFloor = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		s.Watermark[i] = binary.BigEndian.Uint64(data[8*i:])
+	}
+	data = data[8*n:]
+	for i := 0; i < n; i++ {
+		s.LinkedFloor[i] = binary.BigEndian.Uint64(data[8*i:])
+	}
+	data = data[8*n:]
+	nd := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	for i := 0; i < nd; i++ {
+		if len(data) < 10 {
+			return nil, errBadSnapshot
+		}
+		d := SnapEpoch{Epoch: binary.BigEndian.Uint64(data[0:8])}
+		ns := int(binary.BigEndian.Uint16(data[8:10]))
+		data = data[10:]
+		if len(data) < 2*ns {
+			return nil, errBadSnapshot
+		}
+		d.S = make([]int, ns)
+		for k := 0; k < ns; k++ {
+			d.S[k] = int(binary.BigEndian.Uint16(data[2*k:]))
+		}
+		data = data[2*ns:]
+		s.Decided = append(s.Decided, d)
+	}
+	if len(data) < 4 {
+		return nil, errBadSnapshot
+	}
+	nb := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	for i := 0; i < nb; i++ {
+		if len(data) < 11 {
+			return nil, errBadSnapshot
+		}
+		b := SnapBlock{
+			Epoch:    binary.BigEndian.Uint64(data[0:8]),
+			Proposer: int(binary.BigEndian.Uint16(data[8:10])),
+		}
+		flags := data[10]
+		b.Bad = flags&1 != 0
+		data = data[11:]
+		if flags&2 != 0 {
+			if len(data) < 2 {
+				return nil, errBadSnapshot
+			}
+			nv := int(binary.BigEndian.Uint16(data))
+			data = data[2:]
+			if len(data) < 8*nv {
+				return nil, errBadSnapshot
+			}
+			b.V = make([]uint64, nv)
+			for k := 0; k < nv; k++ {
+				b.V[k] = binary.BigEndian.Uint64(data[8*k:])
+			}
+			data = data[8*nv:]
+		}
+		s.Blocks = append(s.Blocks, b)
+	}
+	if len(data) < 4 {
+		return nil, errBadSnapshot
+	}
+	nm := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	for i := 0; i < nm; i++ {
+		if len(data) < 12 {
+			return nil, errBadSnapshot
+		}
+		m := SnapMyBlock{Epoch: binary.BigEndian.Uint64(data[0:8])}
+		bl := int(binary.BigEndian.Uint32(data[8:12]))
+		data = data[12:]
+		if len(data) < bl {
+			return nil, errBadSnapshot
+		}
+		m.Block = append([]byte(nil), data[:bl]...)
+		data = data[bl:]
+		s.MyBlocks = append(s.MyBlocks, m)
+	}
+	if len(data) != 0 {
+		return nil, errBadSnapshot
+	}
+	return s, nil
+}
+
+// ----- Restore -----
+
+// Restore rebuilds engine state from a checkpoint snapshot (may be nil),
+// the WAL records after it (in LSN order), and the chunk store. It must
+// run on a fresh engine, before Start.
+func (e *Engine) Restore(snap *Snapshot, recs []store.Record, chunks []store.ChunkRecord) error {
+	if e.lastProposed != 0 || e.deliveredEpoch != 0 || len(e.epochs) != 0 {
+		return errors.New("core: Restore requires a fresh engine")
+	}
+	if snap != nil {
+		if len(snap.Watermark) != e.cfg.N || len(snap.LinkedFloor) != e.cfg.N {
+			return fmt.Errorf("core: snapshot is for N=%d, engine has N=%d", len(snap.Watermark), e.cfg.N)
+		}
+		e.lastProposed = snap.LastProposed
+		e.deliveredEpoch = snap.DeliveredEpoch
+		e.decidedThrough = snap.DecidedThrough
+		e.prunedThrough = snap.PrunedThrough
+		copy(e.watermark, snap.Watermark)
+		copy(e.linkedFloor, snap.LinkedFloor)
+		for _, d := range snap.Decided {
+			e.markDecided(d.Epoch, d.S)
+		}
+		for _, b := range snap.Blocks {
+			e.restoreBlock(b.Epoch, b.Proposer, b.Bad, b.V)
+		}
+		for _, m := range snap.MyBlocks {
+			e.restoreMyBlock(m.Epoch, m.Block)
+		}
+	}
+	for _, rec := range recs {
+		e.applyRecord(rec)
+	}
+	e.restoreChunks(chunks)
+	// Own blocks that already delivered (or whose slot was dropped by a
+	// decided epoch) are dead weight; shed them like the live path does.
+	for epoch := range e.myBlocks {
+		key := blockKey{epoch, e.self}
+		es := e.epochs[epoch]
+		dropped := es != nil && es.decided && es.baOut[e.self] == 0 && !e.delivered[key]
+		if e.delivered[key] || dropped || epoch <= e.prunedThrough {
+			delete(e.myBlocks, epoch)
+		}
+	}
+	e.recovered = true
+	return nil
+}
+
+// restoreMyBlock re-installs one of our own proposals from its durable
+// encoding.
+func (e *Engine) restoreMyBlock(epoch uint64, enc []byte) {
+	blk, err := wire.DecodeBlock(enc)
+	if err != nil || blk.Epoch != epoch || blk.Proposer != e.self {
+		return
+	}
+	e.myBlocks[epoch] = blk
+	if epoch > e.lastProposed {
+		e.lastProposed = epoch
+	}
+}
+
+// markDecided installs an epoch's decision without re-running the
+// decision tail (pipeline creation happens in resumeRecovered, so replay
+// stays side-effect free).
+func (e *Engine) markDecided(epoch uint64, S []int) {
+	if epoch == 0 {
+		return
+	}
+	es := e.epochState(epoch)
+	if es.decided {
+		return
+	}
+	es.decided = true
+	es.outs = e.cfg.N
+	for j := range es.baOut {
+		es.baOut[j] = 0
+	}
+	for _, j := range S {
+		if j < 0 || j >= e.cfg.N {
+			continue
+		}
+		if es.baOut[j] != 1 {
+			es.baOut[j] = 1
+			es.ones++
+			es.S = append(es.S, j)
+		}
+	}
+	sort.Ints(es.S)
+	if epoch > e.decidedThrough {
+		e.decidedSet[epoch] = true
+		for e.decidedSet[e.decidedThrough+1] {
+			delete(e.decidedSet, e.decidedThrough+1)
+			e.decidedThrough++
+		}
+	}
+}
+
+func (e *Engine) restoreBlock(epoch uint64, proposer int, bad bool, v []uint64) {
+	if epoch == 0 || proposer < 0 || proposer >= e.cfg.N {
+		return
+	}
+	key := blockKey{epoch, proposer}
+	e.delivered[key] = true
+	if e.retr[key] == nil {
+		rs := &retrState{done: true, bad: bad}
+		if !bad && len(v) == e.cfg.N {
+			rs.V = v
+		} else {
+			rs.bad = true
+		}
+		e.retr[key] = rs
+	}
+}
+
+func (e *Engine) applyRecord(rec store.Record) {
+	switch rec.Type {
+	case store.RecProposed:
+		if rec.Epoch > e.lastProposed {
+			e.lastProposed = rec.Epoch
+		}
+		e.restoreMyBlock(rec.Epoch, rec.Block)
+	case store.RecDecided:
+		e.markDecided(rec.Epoch, rec.S)
+	case store.RecBlock:
+		e.restoreBlock(rec.Epoch, rec.Proposer, false, rec.V)
+	case store.RecEpochDone:
+		if rec.Epoch > e.deliveredEpoch {
+			e.deliveredEpoch = rec.Epoch
+		}
+		if len(rec.Floor) == e.cfg.N {
+			copy(e.linkedFloor, rec.Floor)
+		}
+	}
+}
+
+// restoreChunks rebuilds the VID servers whose dispersals had completed
+// and recomputes the completion watermark that feeds our V arrays. Only
+// durably-recorded completions count, so the restored watermark never
+// overstates what this node can back.
+func (e *Engine) restoreChunks(chunks []store.ChunkRecord) {
+	perNode := make([][]uint64, e.cfg.N)
+	for _, c := range chunks {
+		if c.Epoch == 0 || c.Epoch <= e.prunedThrough || c.Proposer < 0 || c.Proposer >= e.cfg.N {
+			continue
+		}
+		es := e.epochState(c.Epoch)
+		if es.vids[c.Proposer] == nil {
+			es.vids[c.Proposer] = avid.RestoreServer(e.params, e.self, c.Root, c.HasChunk, c.Data, c.Proof)
+		}
+		perNode[c.Proposer] = append(perNode[c.Proposer], c.Epoch)
+	}
+	for j := 0; j < e.cfg.N; j++ {
+		for _, epoch := range perNode[j] {
+			if epoch > e.watermark[j] {
+				e.vidDone[j][epoch] = true
+			}
+		}
+		for e.vidDone[j][e.watermark[j]+1] {
+			delete(e.vidDone[j], e.watermark[j]+1)
+			e.watermark[j]++
+		}
+	}
+}
+
+// resumeRecovered re-arms runtime machinery after Restore, from Start.
+func (e *Engine) resumeRecovered() {
+	// Re-disperse in-flight proposals: identical chunks under the same
+	// root, so this is idempotent at every server, and it revives epochs
+	// whose original dispersal died with this process (without it, a
+	// cluster-wide restart could leave an epoch no node can ever decide).
+	for epoch, blk := range e.myBlocks {
+		if e.isDecided(epoch) {
+			continue
+		}
+		chunks, _, err := avid.Disperse(e.params, blk.Encode())
+		if err != nil {
+			continue
+		}
+		for i, c := range chunks {
+			env := wire.Envelope{From: e.self, Epoch: epoch, Proposer: e.self, Payload: c}
+			if i == e.self {
+				e.queue = append(e.queue, env)
+			} else {
+				e.actions = append(e.actions, SendAction{To: i, Env: env, Prio: wire.PrioDispersal})
+			}
+		}
+	}
+
+	// Rebuild the delivery pipeline for decided-but-undelivered epochs
+	// and (re)start their retrievals. Blocks already delivered have
+	// restored retrState entries and are skipped by the idempotent
+	// startRetrieval; re-running a BA stage re-derives the same linked
+	// set from the same restored observations.
+	for epoch, es := range e.epochs {
+		if !es.decided || epoch <= e.deliveredEpoch {
+			continue
+		}
+		if e.deliveries[epoch] == nil {
+			e.deliveries[epoch] = &epochDelivery{epoch: epoch, S: append([]int(nil), es.S...)}
+		}
+		for _, j := range es.S {
+			e.startRetrieval(blockKey{epoch, j})
+		}
+	}
+	// Re-enter agreement for restored dispersals whose epoch is still
+	// undecided: DL votes on completion, HB votes after re-downloading.
+	// The vote was likely cast in the previous life; receivers dedup.
+	for epoch, es := range e.epochs {
+		if es.decided || epoch <= e.decidedThrough {
+			continue
+		}
+		for j, v := range es.vids {
+			if v == nil {
+				continue
+			}
+			if done, _ := v.Completed(); !done {
+				continue
+			}
+			if e.cfg.Mode.voteAfterRetrieve() {
+				e.startRetrieval(blockKey{epoch, j})
+			} else {
+				e.inputBA(epoch, j, true)
+			}
+		}
+	}
+	e.tryDeliver()
+	e.startCatchup()
+}
+
+// ----- Status catch-up protocol -----
+
+// startCatchup begins asking peers for decisions made while this node
+// was down.
+func (e *Engine) startCatchup() {
+	e.catchup = &catchupState{through: map[int]uint64{}}
+	e.requestStatus()
+}
+
+// requestStatus (re)broadcasts the StatusRequest for the next epoch this
+// node has not seen decide, and arms the retry timer.
+func (e *Engine) requestStatus() {
+	cu := e.catchup
+	cu.epoch = e.decidedThrough + 1
+	cu.decided = map[int][]byte{}
+	cu.notDecided = map[int]bool{}
+	env := wire.Envelope{From: e.self, Epoch: cu.epoch, Proposer: 0, Payload: wire.StatusRequest{}}
+	for i := 0; i < e.cfg.N; i++ {
+		if i != e.self {
+			e.emit(i, env, wire.PrioDispersal, 0)
+		}
+	}
+	e.timerSeq++
+	e.catchupToken = e.timerSeq
+	e.actions = append(e.actions, TimerAction{After: e.cfg.catchupRetry(), Token: e.timerSeq})
+}
+
+func (e *Engine) finishCatchup() {
+	if e.catchup != nil {
+		e.actions = append(e.actions, CatchupDoneAction{})
+	}
+	e.catchup = nil
+	e.catchupToken = 0
+	// Recovery mode persists until delivery drains to the frontier the
+	// catch-up reached (tryDeliver clears it); if we are already there,
+	// clear it now.
+	e.recoveredUntil = e.decidedThrough
+	if e.deliveredEpoch >= e.recoveredUntil {
+		e.recovered = false
+	}
+}
+
+// onStatusRequest answers a recovering peer from resident state. For
+// epochs we pruned or never decided the reply carries only our decided
+// watermark; some other peer within the retention horizon serves the set.
+func (e *Engine) onStatusRequest(env wire.Envelope) {
+	if env.From < 0 || env.From >= e.cfg.N || env.From == e.self {
+		return
+	}
+	rep := wire.StatusReply{Through: e.decidedThrough}
+	if es, ok := e.epochs[env.Epoch]; ok && es.decided {
+		rep.Decided = true
+		rep.S = wire.SetBitmap(es.S, e.cfg.N)
+	}
+	out := wire.Envelope{From: e.self, Epoch: env.Epoch, Proposer: env.Proposer, Payload: rep}
+	e.emit(env.From, out, wire.PrioDispersal, 0)
+}
+
+// onStatusReply collects peers' claims while catching up. An epoch's
+// outcome is adopted on f+1 identical claims; f+1 "undecided" claims
+// mean at least one honest peer is still running the epoch's agreement,
+// whose ongoing broadcasts will carry us the rest of the way — catch-up
+// ends and normal participation takes over.
+func (e *Engine) onStatusReply(env wire.Envelope, m wire.StatusReply) {
+	cu := e.catchup
+	if cu == nil || env.From < 0 || env.From >= e.cfg.N || env.From == e.self {
+		return
+	}
+	if m.Through > cu.through[env.From] {
+		cu.through[env.From] = m.Through
+	}
+	// Normal agreement may have decided our current target while replies
+	// were in flight; move the target forward before judging replies.
+	if cu.epoch <= e.decidedThrough {
+		e.advanceCatchup()
+		return
+	}
+	if env.Epoch != cu.epoch {
+		return // stale reply for an earlier target; Through was recorded
+	}
+	if !m.Decided {
+		cu.notDecided[env.From] = true
+		// "Undecided" from f+1 peers normally means we are at the
+		// frontier — but a peer that PRUNED the epoch also replies
+		// undecided, with a Through watermark far ahead. Finish only
+		// when no f+1-supported claim places the cluster ahead of us;
+		// otherwise keep asking (a peer with longer retention may still
+		// serve the set), staying visibly in catch-up rather than
+		// proposing into epochs every peer would drop. An outage longer
+		// than every peer's RetainEpochs horizon is unrecoverable from
+		// this datadir — by design, as documented in DESIGN.md.
+		if len(cu.notDecided) >= e.cfg.F+1 && e.catchupTarget() <= e.decidedThrough {
+			e.finishCatchup()
+		}
+		return
+	}
+	bm := append([]byte(nil), m.S...)
+	cu.decided[env.From] = bm
+	matches := 0
+	for _, other := range cu.decided {
+		if bytes.Equal(other, bm) {
+			matches++
+		}
+	}
+	if matches < e.cfg.F+1 {
+		return
+	}
+	S := wire.BitmapSet(bm, e.cfg.N)
+	e.adoptDecided(cu.epoch, S)
+	e.advanceCatchup()
+}
+
+// advanceCatchup re-targets the next undecided epoch, or ends catch-up
+// once no f+1-supported claim places the cluster ahead of us.
+func (e *Engine) advanceCatchup() {
+	cu := e.catchup
+	if cu == nil {
+		return
+	}
+	if e.catchupTarget() > e.decidedThrough {
+		e.requestStatus()
+		return
+	}
+	e.finishCatchup()
+}
+
+// catchupTarget returns the highest decided watermark supported by f+1
+// peer claims (so at least one honest peer has decided through it).
+func (e *Engine) catchupTarget() uint64 {
+	cu := e.catchup
+	vals := make([]uint64, 0, len(cu.through))
+	for _, v := range cu.through {
+		vals = append(vals, v)
+	}
+	if len(vals) <= e.cfg.F {
+		return 0
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] > vals[b] })
+	return vals[e.cfg.F]
+}
+
+// adoptDecided installs an epoch outcome learned through the status
+// protocol and runs the normal decision tail (delivery pipeline,
+// retrievals, proposal solicitation).
+func (e *Engine) adoptDecided(epoch uint64, S []int) {
+	es := e.epochState(epoch)
+	if es.decided {
+		return
+	}
+	e.markDecided(epoch, S)
+	// markDecided advanced decidedThrough; run the decision tail the BA
+	// path would have run (minus HB re-proposal: myBlocks did not
+	// survive the crash, so there is nothing to resubmit).
+	e.actions = append(e.actions, EpochDecidedAction{Epoch: epoch, S: append([]int(nil), es.S...)})
+	e.deliveries[epoch] = &epochDelivery{epoch: epoch, S: append([]int(nil), es.S...)}
+	for _, j := range es.S {
+		e.startRetrieval(blockKey{epoch, j})
+	}
+	e.tryDeliver()
+	e.maybeSolicitProposal()
+}
+
+// CatchingUp reports whether the recovery status protocol is running.
+func (e *Engine) CatchingUp() bool { return e.catchup != nil }

@@ -5,11 +5,13 @@
 package harness
 
 import (
+	"fmt"
 	"time"
 
 	"dledger/internal/core"
 	"dledger/internal/replica"
 	"dledger/internal/simnet"
+	"dledger/internal/store"
 	"dledger/internal/trace"
 	"dledger/internal/wire"
 	"dledger/internal/workload"
@@ -37,29 +39,46 @@ type ClusterOptions struct {
 	LoadPerNode     float64
 	InfiniteBacklog bool
 
+	// Durable backs every node with an in-memory store so Crash/Restart
+	// work. Off by default: the paper-figure experiments measure the
+	// protocol, not the persistence layer.
+	Durable bool
+
 	Seed int64
 }
 
-// Cluster is a running emulated deployment.
+// Cluster is a running emulated deployment. Each node persists through
+// an in-memory store, so the harness can crash a node (drop it from the
+// network mid-run) and later restart it from its durable state — the
+// emulated analogue of kill -9 plus a reboot from the datadir.
 type Cluster struct {
 	Sim      *simnet.Sim
 	Net      *simnet.Network
 	Replicas []*replica.Replica
+	Stores   []*store.MemStore
+	alive    []*bool
 	opts     ClusterOptions
 }
 
 type simCtx struct {
-	sim  *simnet.Sim
-	net  *simnet.Network
-	self int
+	sim   *simnet.Sim
+	net   *simnet.Network
+	self  int
+	alive *bool
 }
 
 func (c *simCtx) Now() time.Duration { return c.sim.Now() }
 func (c *simCtx) Send(to int, env wire.Envelope, prio wire.Priority, stream uint64) {
+	if !*c.alive {
+		return // a crashed incarnation's leftover timers send nothing
+	}
 	c.net.Send(c.self, to, env, prio, stream)
 }
 func (c *simCtx) After(d time.Duration, fn func()) { c.sim.After(d, fn) }
 func (c *simCtx) Unsend(to int, epoch uint64, proposer int) {
+	if !*c.alive {
+		return
+	}
 	c.net.Unsend(c.self, to, epoch, proposer)
 }
 
@@ -81,15 +100,68 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	})
 	c := &Cluster{Sim: sim, Net: net, opts: opts}
 	for i := 0; i < opts.Core.N; i++ {
-		r, err := replica.New(opts.Core, i, opts.Replica, &simCtx{sim: sim, net: net, self: i})
+		var st store.Store = store.NewNoop()
+		var mem *store.MemStore
+		if opts.Durable {
+			mem = store.NewMem()
+			st = mem
+		}
+		alive := new(bool)
+		*alive = true
+		r, err := replica.NewWithStore(opts.Core, i, opts.Replica, st,
+			&simCtx{sim: sim, net: net, self: i, alive: alive})
 		if err != nil {
 			return nil, err
 		}
 		i := i
 		net.SetHandler(i, func(env wire.Envelope) { r.OnEnvelope(env) })
 		c.Replicas = append(c.Replicas, r)
+		c.Stores = append(c.Stores, mem)
+		c.alive = append(c.alive, alive)
 	}
 	return c, nil
+}
+
+// Alive reports whether node i is currently up.
+func (c *Cluster) Alive(i int) bool { return *c.alive[i] }
+
+// Crash kills node i: its traffic is dropped in both directions from the
+// current simulated instant. Its store (the "disk") survives but is
+// fenced immediately, so the dead incarnation's leftover timers cannot
+// persist anything after the crash instant — state the node had not
+// persisted is lost, exactly as in a process kill.
+func (c *Cluster) Crash(i int) {
+	*c.alive[i] = false
+	c.Net.SetHandler(i, func(wire.Envelope) {})
+	if c.Stores[i] != nil {
+		c.Stores[i] = c.Stores[i].Reopen()
+	}
+}
+
+// Restart boots a fresh node i from its surviving store. Reopening
+// fences the dead incarnation's handle, so its leftover timer callbacks
+// cannot corrupt the state the successor recovered. onDeliver (may be
+// nil) is installed before Start, because recovery can deliver blocks
+// synchronously during Start — a hook installed afterward would miss
+// them.
+func (c *Cluster) Restart(i int, onDeliver func(replica.Delivery)) error {
+	if c.Stores[i] == nil {
+		return fmt.Errorf("harness: Restart(%d) requires ClusterOptions.Durable", i)
+	}
+	c.Stores[i] = c.Stores[i].Reopen()
+	alive := new(bool)
+	*alive = true
+	r, err := replica.NewWithStore(c.opts.Core, i, c.opts.Replica, c.Stores[i],
+		&simCtx{sim: c.Sim, net: c.Net, self: i, alive: alive})
+	if err != nil {
+		return err
+	}
+	r.OnDeliver = onDeliver
+	c.Replicas[i] = r
+	c.alive[i] = alive
+	c.Net.SetHandler(i, func(env wire.Envelope) { r.OnEnvelope(env) })
+	r.Start()
+	return nil
 }
 
 // Start boots all replicas and installs the workload.

@@ -41,7 +41,7 @@ func smallGeo() []trace.City {
 	// A 7-node slice of the AWS profile keeps tests fast while preserving
 	// the fast/slow spread.
 	return []trace.City{
-		trace.AWSCities[0],  // Ohio (fast)
+		trace.AWSCities[0], // Ohio (fast)
 		trace.AWSCities[2],
 		trace.AWSCities[5],
 		trace.AWSCities[8],
@@ -269,5 +269,26 @@ func TestDLCoupledStillBeatsHB(t *testing.T) {
 	}
 	if dlc.Mean <= hb.Mean {
 		t.Fatalf("DL-Coupled (%.2f) should beat HB (%.2f)", dlc.Mean, hb.Mean)
+	}
+}
+
+// TestCrashRestartScenario kills node 0 on the emulator (where messages
+// to a down node are dropped, not buffered), restarts it from its store,
+// and checks the recovered node rejoins, catches up and delivers a log
+// that is a consistent continuation of the healthy nodes'.
+func TestCrashRestartScenario(t *testing.T) {
+	res, err := RunCrashRestart(CrashRestartParams{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreCrash == 0 {
+		t.Fatal("victim delivered nothing before the crash")
+	}
+	if !res.Continuation {
+		t.Fatalf("victim log diverges from witness at %d (pre-crash %d)", res.DivergeAt, res.PreCrash)
+	}
+	if !res.CaughtUp {
+		t.Fatalf("victim did not catch up: victim %d blocks vs witness %d (pre-crash %d)",
+			res.VictimBlocks, res.WitnessBlocks, res.PreCrash)
 	}
 }

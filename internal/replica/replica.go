@@ -14,11 +14,14 @@
 package replica
 
 import (
+	"encoding/binary"
+	"errors"
 	"time"
 
 	"dledger/internal/core"
 	"dledger/internal/mempool"
 	"dledger/internal/stats"
+	"dledger/internal/store"
 	"dledger/internal/wire"
 	"dledger/internal/workload"
 )
@@ -49,6 +52,10 @@ type Params struct {
 	// experiments' mode: propose only when this many bytes are pending
 	// and make every block exactly this large.
 	FixedBlockBytes int
+	// CheckpointEvery is the number of delivered epochs between durable
+	// checkpoints (engine snapshot + WAL/chunk compaction). Zero takes
+	// the default of 64; negative disables checkpointing.
+	CheckpointEvery int
 }
 
 func (p Params) batchDelay() time.Duration {
@@ -65,6 +72,16 @@ func (p Params) batchBytes() int {
 	return p.BatchBytes
 }
 
+func (p Params) checkpointEvery() int {
+	if p.CheckpointEvery == 0 {
+		return 64
+	}
+	if p.CheckpointEvery < 0 {
+		return 0
+	}
+	return p.CheckpointEvery
+}
+
 // Delivery describes one delivered block, passed to the OnDeliver hook.
 type Delivery struct {
 	At       time.Duration
@@ -75,7 +92,10 @@ type Delivery struct {
 	Linked   bool
 }
 
-// Stats aggregates the measurements the evaluation needs.
+// Stats aggregates the measurements the evaluation needs. Across a
+// restart, the delivery and epoch counters are recovered from the WAL;
+// the submission counters and the latency/progress series are node-local
+// measurements that restart from zero.
 type Stats struct {
 	Submitted        int64
 	SubmittedBytes   int64
@@ -85,6 +105,10 @@ type Stats struct {
 	BADeliveries     int64
 	EpochsDecided    int64
 	EpochsDelivered  int64
+	// StoreErrors counts failed durable writes; after the first failure
+	// the replica stops persisting (availability over durability) and
+	// the node must not be restarted from this datadir.
+	StoreErrors int64
 	// Progress is cumulative confirmed payload bytes over time (Fig 9).
 	Progress stats.TimeSeries
 	// LatAll / LatLocal are confirmation latencies of all transactions
@@ -101,6 +125,12 @@ type Replica struct {
 	pool   *mempool.Pool
 	params Params
 
+	st          store.Store
+	durable     bool
+	lastLSN     uint64
+	storeBroken bool
+	sinceCkpt   int
+
 	pendingProposal bool
 	proposalEmpty   bool
 	lastProposal    time.Duration
@@ -113,19 +143,126 @@ type Replica struct {
 	Stats Stats
 }
 
-// New builds a replica for node self.
+// New builds a replica for node self with no durability: nothing is
+// persisted and nothing can be recovered, which is the right default for
+// tests, benchmarks and throwaway in-process clusters. Use NewWithStore
+// for a restartable node.
 func New(cfg core.Config, self int, params Params, ctx Context) (*Replica, error) {
+	return NewWithStore(cfg, self, params, store.NewNoop(), ctx)
+}
+
+// NewWithStore builds a replica backed by st, recovering whatever state
+// the store holds: the checkpoint snapshot is applied, the WAL after it
+// is replayed (restoring the engine's log position and the delivery
+// counters), and the chunk store is loaded so the node can serve
+// retrievals for pre-crash epochs. A corrupt store fails construction
+// rather than silently rejoining with partial state.
+func NewWithStore(cfg core.Config, self int, params Params, st store.Store, ctx Context) (*Replica, error) {
 	eng, err := core.NewEngine(cfg, self)
 	if err != nil {
 		return nil, err
 	}
-	return &Replica{
-		self:   self,
-		ctx:    ctx,
-		engine: eng,
-		pool:   mempool.New(),
-		params: params,
-	}, nil
+	r := &Replica{
+		self:    self,
+		ctx:     ctx,
+		engine:  eng,
+		pool:    mempool.New(),
+		params:  params,
+		st:      st,
+		durable: st.Durable(),
+	}
+	var recs []store.Record
+	cp, err := st.Recover(func(lsn uint64, rec store.Record) error {
+		recs = append(recs, rec)
+		r.replayStats(rec)
+		if lsn > r.lastLSN {
+			r.lastLSN = lsn
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var snap *core.Snapshot
+	if cp != nil {
+		snap, err = r.decodeCheckpoint(cp.State)
+		if err != nil {
+			return nil, err
+		}
+		if cp.LSN > r.lastLSN {
+			r.lastLSN = cp.LSN
+		}
+	}
+	var chunks []store.ChunkRecord
+	if err := st.Chunks(func(c store.ChunkRecord) error { chunks = append(chunks, c); return nil }); err != nil {
+		return nil, err
+	}
+	if snap != nil || len(recs) > 0 || len(chunks) > 0 {
+		if err := eng.Restore(snap, recs, chunks); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// replayStats re-derives the delivery counters from one WAL record.
+func (r *Replica) replayStats(rec store.Record) {
+	switch rec.Type {
+	case store.RecDecided:
+		r.Stats.EpochsDecided++
+	case store.RecBlock:
+		r.Stats.DeliveredTxs += int64(rec.TxCount)
+		r.Stats.DeliveredPayload += int64(rec.Payload)
+		if rec.Linked {
+			r.Stats.LinkedBlocks++
+		} else {
+			r.Stats.BADeliveries++
+		}
+	case store.RecEpochDone:
+		r.Stats.EpochsDelivered++
+	}
+}
+
+// Checkpoint blob layout: u32 snapshot length, engine snapshot, then the
+// six recovered counters.
+func (r *Replica) encodeCheckpoint(snap *core.Snapshot) []byte {
+	eng := snap.Encode()
+	buf := make([]byte, 0, 4+len(eng)+48)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(eng)))
+	buf = append(buf, eng...)
+	for _, v := range []int64{
+		r.Stats.DeliveredTxs, r.Stats.DeliveredPayload, r.Stats.LinkedBlocks,
+		r.Stats.BADeliveries, r.Stats.EpochsDecided, r.Stats.EpochsDelivered,
+	} {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+func (r *Replica) decodeCheckpoint(blob []byte) (*core.Snapshot, error) {
+	if len(blob) < 4 {
+		return nil, errors.New("replica: short checkpoint")
+	}
+	n := int(binary.BigEndian.Uint32(blob))
+	blob = blob[4:]
+	if len(blob) != n+48 {
+		return nil, errors.New("replica: malformed checkpoint")
+	}
+	snap, err := core.DecodeSnapshot(blob[:n])
+	if err != nil {
+		return nil, err
+	}
+	ctrs := make([]int64, 6)
+	for i := range ctrs {
+		ctrs[i] = int64(binary.BigEndian.Uint64(blob[n+8*i:]))
+	}
+	r.Stats.DeliveredTxs += ctrs[0]
+	r.Stats.DeliveredPayload += ctrs[1]
+	r.Stats.LinkedBlocks += ctrs[2]
+	r.Stats.BADeliveries += ctrs[3]
+	r.Stats.EpochsDecided += ctrs[4]
+	r.Stats.EpochsDelivered += ctrs[5]
+	return snap, nil
 }
 
 // Self returns the node id.
@@ -161,7 +298,14 @@ func (r *Replica) OnEnvelope(env wire.Envelope) {
 // PendingBytes returns the mempool backlog.
 func (r *Replica) PendingBytes() int { return r.pool.PendingBytes() }
 
+// apply interprets one engine step's actions. Durable records are
+// written (and group-committed with a single Sync) before any effect of
+// the step is externalized, so nothing the application or a peer
+// observes can be lost to a crash the WAL does not remember.
 func (r *Replica) apply(actions []core.Action) {
+	if r.durable {
+		r.persistStep(actions)
+	}
 	for _, a := range actions {
 		switch act := a.(type) {
 		case core.SendAction:
@@ -187,7 +331,110 @@ func (r *Replica) apply(actions []core.Action) {
 			r.Stats.EpochsDecided++
 		case core.EpochDeliveredAction:
 			r.Stats.EpochsDelivered++
+			r.sinceCkpt++
+		case core.CatchupDoneAction:
+			r.tryPropose()
 		}
+	}
+	if n := r.params.checkpointEvery(); r.durable && n > 0 && r.sinceCkpt >= n {
+		r.checkpoint()
+	}
+}
+
+// persistStep writes the step's durable records and group-commits them
+// with one Sync, before any effect of the step is externalized.
+func (r *Replica) persistStep(actions []core.Action) {
+	wrote := false
+	for _, a := range actions {
+		switch act := a.(type) {
+		case core.ProposalMadeAction:
+			wrote = r.persist(store.Record{Type: store.RecProposed, Epoch: act.Epoch, Block: act.Block}) || wrote
+		case core.DeliverAction:
+			wrote = r.persist(store.Record{
+				Type: store.RecBlock, Epoch: act.Epoch, Proposer: act.Proposer,
+				Linked: act.Linked, TxCount: uint32(len(act.Txs)),
+				Payload: uint32(act.Payload), V: act.V,
+			}) || wrote
+		case core.EpochDecidedAction:
+			wrote = r.persist(store.Record{Type: store.RecDecided, Epoch: act.Epoch, S: act.S}) || wrote
+		case core.EpochDeliveredAction:
+			wrote = r.persist(store.Record{Type: store.RecEpochDone, Epoch: act.Epoch, Floor: act.Floor}) || wrote
+		case core.ChunkStoredAction:
+			// Chunk records sync with the step too: the same step's Ready
+			// broadcast tells peers this node stores the chunk, and the
+			// availability count of the decided block depends on it.
+			r.putChunk(act)
+			wrote = true
+		}
+	}
+	if wrote {
+		r.syncStore()
+	}
+}
+
+// persist appends one WAL record; reports whether a sync is owed.
+func (r *Replica) persist(rec store.Record) bool {
+	if r.storeBroken {
+		return false
+	}
+	lsn, err := r.st.Append(rec)
+	if err != nil {
+		r.storeFail()
+		return false
+	}
+	r.lastLSN = lsn
+	return true
+}
+
+func (r *Replica) putChunk(act core.ChunkStoredAction) {
+	if r.storeBroken {
+		return
+	}
+	if err := r.st.PutChunk(store.ChunkRecord{
+		Epoch: act.Epoch, Proposer: act.Proposer, Root: act.Root,
+		HasChunk: act.HasChunk, Data: act.Data, Proof: act.Proof,
+	}); err != nil {
+		r.storeFail()
+	}
+}
+
+func (r *Replica) syncStore() {
+	if r.storeBroken {
+		return
+	}
+	if err := r.st.Sync(); err != nil {
+		r.storeFail()
+	}
+}
+
+// storeFail records a durable-write failure and stops persisting: the
+// node stays available, but its datadir is no longer a valid restart
+// point (it would recover to a stale position and then catch up as if
+// freshly behind — safe, but the operator should know).
+func (r *Replica) storeFail() {
+	r.storeBroken = true
+	r.Stats.StoreErrors++
+}
+
+// checkpoint snapshots the engine at the current WAL position, then
+// compacts the WAL the snapshot subsumes and the chunks the engine's
+// retention horizon has garbage-collected.
+func (r *Replica) checkpoint() {
+	r.sinceCkpt = 0
+	if r.storeBroken {
+		return
+	}
+	blob := r.encodeCheckpoint(r.engine.Snapshot())
+	if err := r.st.SaveCheckpoint(store.Checkpoint{LSN: r.lastLSN, State: blob}); err != nil {
+		r.storeFail()
+		return
+	}
+	if err := r.st.CompactWAL(r.lastLSN); err != nil {
+		r.storeFail()
+		return
+	}
+	if err := r.st.CompactChunks(r.engine.PrunedThrough()); err != nil {
+		r.storeFail()
 	}
 }
 
@@ -229,6 +476,13 @@ func (r *Replica) tryPropose() {
 	if !r.pendingProposal {
 		return
 	}
+	if r.engine.CatchingUp() {
+		// Hold proposals while the recovery status protocol runs: the
+		// cluster has decided past our recovered epochs, so a block
+		// proposed now could never commit and its transactions would be
+		// lost. CatchupDoneAction re-triggers this.
+		return
+	}
 	if r.proposalEmpty {
 		// DL-Coupled lag rule: the node must propose an empty block.
 		r.propose(nil)
@@ -263,6 +517,9 @@ func (r *Replica) propose(txs [][]byte) {
 	r.pendingProposal = false
 	r.proposalEmpty = false
 	r.lastProposal = r.ctx.Now()
+	// apply persists (and syncs) the resulting ProposalMadeAction before
+	// any chunk reaches the wire: a node that crashes mid-dispersal
+	// re-disperses the identical block instead of equivocating.
 	actions, err := r.engine.Propose(txs)
 	if err != nil {
 		// Propose is only called in response to a solicitation, so this

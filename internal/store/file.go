@@ -1,0 +1,568 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// FileOptions configures a FileStore.
+type FileOptions struct {
+	// Dir is the data directory; it is created if missing. Layout:
+	//
+	//	dir/wal/<first-lsn>.seg    CRC-framed WAL segments
+	//	dir/chunks/<seq>.seg       CRC-framed chunk segments
+	//	dir/CHECKPOINT             atomic (tmp+rename) checkpoint
+	Dir string
+	// SegmentBytes rotates log segments at roughly this size (default
+	// 1 MiB). Smaller segments compact sooner; larger ones fsync less
+	// metadata.
+	SegmentBytes int
+	// NoSync disables fsync entirely (benchmarks; a host crash may then
+	// lose or tear the log tail, which recovery truncates away).
+	NoSync bool
+}
+
+func (o FileOptions) segmentBytes() int {
+	if o.SegmentBytes <= 0 {
+		return 1 << 20
+	}
+	return o.SegmentBytes
+}
+
+// FileStore is the durable filesystem backend. Appends are buffered and
+// made durable in batches by Sync (group commit): the replica syncs once
+// per event-loop step that produced durable records, so one fsync covers
+// every record of the step.
+type FileStore struct {
+	opts     FileOptions
+	walDir   string
+	chunkDir string
+
+	nextLSN  uint64
+	walSegs  []walSeg
+	wal      *segWriter
+	chunkSeq uint64
+	chkSegs  []chunkSeg
+	chunks   *segWriter
+
+	lock   *os.File
+	closed bool
+}
+
+type walSeg struct {
+	path     string
+	first    uint64
+	last     uint64
+	complete bool // closed for appends; removable by CompactWAL
+}
+
+type chunkSeg struct {
+	path     string
+	maxEpoch uint64
+	complete bool
+}
+
+type segWriter struct {
+	f     *os.File
+	bw    *bufio.Writer
+	size  int
+	dirty bool
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frame layout: len(4) crc(4) payload(len).
+const frameHeader = 8
+
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	return append(buf, payload...)
+}
+
+// OpenFile opens (or initializes) a FileStore at opts.Dir, scanning
+// existing segments to validate their frames and truncate any torn tail
+// left by a crash.
+func OpenFile(opts FileOptions) (*FileStore, error) {
+	s := &FileStore{
+		opts:     opts,
+		walDir:   filepath.Join(opts.Dir, "wal"),
+		chunkDir: filepath.Join(opts.Dir, "chunks"),
+	}
+	for _, d := range []string{opts.Dir, s.walDir, s.chunkDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	// Take an exclusive advisory lock on the datadir for the life of the
+	// process: two live nodes interleaving one WAL would silently corrupt
+	// exactly the state durability exists to protect. The kernel releases
+	// the lock when the process dies, so a crash never wedges a restart.
+	lock, err := os.OpenFile(filepath.Join(opts.Dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %s is locked by a live process: %w", opts.Dir, err)
+	}
+	s.lock = lock
+	if err := s.scanWAL(); err != nil {
+		s.unlock()
+		return nil, err
+	}
+	if err := s.scanChunks(); err != nil {
+		s.unlock()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Durable implements Store.
+func (s *FileStore) Durable() bool { return true }
+
+func (s *FileStore) unlock() {
+	if s.lock != nil {
+		syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN)
+		s.lock.Close()
+		s.lock = nil
+	}
+}
+
+func listSegs(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".seg" {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names) // zero-padded names sort numerically
+	return names, nil
+}
+
+// scanSegment walks one segment's frames, calling fn with each payload.
+// Damage at the tail of the final segment is truncated away (the torn
+// write a crash can leave); damage anywhere else is ErrCorrupt.
+func scanSegment(path string, last bool, fn func(payload []byte) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		bad := false
+		var payload []byte
+		if len(rest) < frameHeader {
+			bad = true
+		} else {
+			n := int(binary.BigEndian.Uint32(rest))
+			crc := binary.BigEndian.Uint32(rest[4:])
+			if len(rest) < frameHeader+n {
+				bad = true
+			} else {
+				payload = rest[frameHeader : frameHeader+n]
+				if crc32.Checksum(payload, crcTable) != crc {
+					bad = true
+				}
+			}
+		}
+		if bad {
+			if !last {
+				return fmt.Errorf("%w: %s at offset %d", ErrCorrupt, path, off)
+			}
+			return os.Truncate(path, int64(off))
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+		off += frameHeader + len(payload)
+	}
+	return nil
+}
+
+func (s *FileStore) scanWAL() error {
+	names, err := listSegs(s.walDir)
+	if err != nil {
+		return err
+	}
+	for i, path := range names {
+		seg := walSeg{path: path, complete: true}
+		err := scanSegment(path, i == len(names)-1, func(payload []byte) error {
+			if len(payload) < 8 {
+				return fmt.Errorf("%w: %s: short wal payload", ErrCorrupt, path)
+			}
+			lsn := binary.BigEndian.Uint64(payload)
+			if seg.first == 0 {
+				seg.first = lsn
+			}
+			seg.last = lsn
+			if lsn > s.nextLSN {
+				s.nextLSN = lsn
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if seg.first != 0 { // skip fully-torn empty segments
+			s.walSegs = append(s.walSegs, seg)
+		} else {
+			os.Remove(path)
+		}
+	}
+	return nil
+}
+
+func (s *FileStore) scanChunks() error {
+	names, err := listSegs(s.chunkDir)
+	if err != nil {
+		return err
+	}
+	for i, path := range names {
+		seg := chunkSeg{path: path, complete: true}
+		any := false
+		err := scanSegment(path, i == len(names)-1, func(payload []byte) error {
+			c, err := DecodeChunkRecord(payload)
+			if err != nil {
+				return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+			}
+			any = true
+			if c.Epoch > seg.maxEpoch {
+				seg.maxEpoch = c.Epoch
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if any {
+			s.chkSegs = append(s.chkSegs, seg)
+		} else {
+			os.Remove(path)
+		}
+		// Resume numbering after the highest surviving segment, not the
+		// count of survivors — compaction leaves holes, and reusing a
+		// taken name would fail the exclusive create forever after.
+		name := strings.TrimSuffix(filepath.Base(path), ".seg")
+		if seq, err := strconv.ParseUint(name, 10, 64); err == nil && seq > s.chunkSeq {
+			s.chunkSeq = seq
+		}
+	}
+	return nil
+}
+
+func (s *FileStore) newSeg(dir, name string) (*segWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segWriter{f: f, bw: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+func (s *FileStore) syncDir(dir string) error {
+	if s.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func (w *segWriter) write(frame []byte) error {
+	if _, err := w.bw.Write(frame); err != nil {
+		return err
+	}
+	w.size += len(frame)
+	w.dirty = true
+	return nil
+}
+
+func (w *segWriter) sync(noSync bool) error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if !noSync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.dirty = false
+	return nil
+}
+
+func (w *segWriter) close(noSync bool) error {
+	if w == nil {
+		return nil
+	}
+	if err := w.sync(noSync); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Append implements Store.
+func (s *FileStore) Append(rec Record) (uint64, error) {
+	if s.closed {
+		return 0, ErrFenced
+	}
+	lsn := s.nextLSN + 1
+	if s.wal != nil && s.wal.size >= s.opts.segmentBytes() {
+		if err := s.wal.close(s.opts.NoSync); err != nil {
+			return 0, err
+		}
+		s.walSegs[len(s.walSegs)-1].complete = true
+		s.wal = nil
+	}
+	if s.wal == nil {
+		w, err := s.newSeg(s.walDir, fmt.Sprintf("%020d.seg", lsn))
+		if err != nil {
+			return 0, err
+		}
+		s.wal = w
+		s.walSegs = append(s.walSegs, walSeg{
+			path: filepath.Join(s.walDir, fmt.Sprintf("%020d.seg", lsn)), first: lsn,
+		})
+	}
+	payload := binary.BigEndian.AppendUint64(make([]byte, 0, 8+16), lsn)
+	payload = append(payload, EncodeRecord(rec)...)
+	if err := s.wal.write(appendFrame(nil, payload)); err != nil {
+		return 0, err
+	}
+	s.nextLSN = lsn
+	s.walSegs[len(s.walSegs)-1].last = lsn
+	return lsn, nil
+}
+
+// PutChunk implements Store.
+func (s *FileStore) PutChunk(c ChunkRecord) error {
+	if s.closed {
+		return ErrFenced
+	}
+	if s.chunks != nil && s.chunks.size >= s.opts.segmentBytes() {
+		if err := s.chunks.close(s.opts.NoSync); err != nil {
+			return err
+		}
+		s.chkSegs[len(s.chkSegs)-1].complete = true
+		s.chunks = nil
+	}
+	if s.chunks == nil {
+		s.chunkSeq++
+		name := fmt.Sprintf("%020d.seg", s.chunkSeq)
+		w, err := s.newSeg(s.chunkDir, name)
+		if err != nil {
+			return err
+		}
+		s.chunks = w
+		s.chkSegs = append(s.chkSegs, chunkSeg{path: filepath.Join(s.chunkDir, name)})
+	}
+	if err := s.chunks.write(appendFrame(nil, EncodeChunkRecord(c))); err != nil {
+		return err
+	}
+	cur := &s.chkSegs[len(s.chkSegs)-1]
+	if c.Epoch > cur.maxEpoch {
+		cur.maxEpoch = c.Epoch
+	}
+	return nil
+}
+
+// Sync implements Store: one flush+fsync per dirty log.
+func (s *FileStore) Sync() error {
+	if s.closed {
+		return ErrFenced
+	}
+	if s.wal != nil {
+		if err := s.wal.sync(s.opts.NoSync); err != nil {
+			return err
+		}
+	}
+	if s.chunks != nil {
+		if err := s.chunks.sync(s.opts.NoSync); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveCheckpoint implements Store: write-temp, fsync, rename, fsync dir.
+func (s *FileStore) SaveCheckpoint(cp Checkpoint) error {
+	if s.closed {
+		return ErrFenced
+	}
+	payload := binary.BigEndian.AppendUint64(make([]byte, 0, 8+len(cp.State)), cp.LSN)
+	payload = append(payload, cp.State...)
+	frame := appendFrame(nil, payload)
+	tmp := filepath.Join(s.opts.Dir, "CHECKPOINT.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.opts.Dir, "CHECKPOINT")); err != nil {
+		return err
+	}
+	return s.syncDir(s.opts.Dir)
+}
+
+func (s *FileStore) readCheckpoint() (*Checkpoint, error) {
+	data, err := os.ReadFile(filepath.Join(s.opts.Dir, "CHECKPOINT"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < frameHeader+8 {
+		return nil, fmt.Errorf("%w: checkpoint too short", ErrCorrupt)
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	crc := binary.BigEndian.Uint32(data[4:])
+	if len(data) < frameHeader+n || n < 8 {
+		return nil, fmt.Errorf("%w: checkpoint truncated", ErrCorrupt)
+	}
+	payload := data[frameHeader : frameHeader+n]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, fmt.Errorf("%w: checkpoint crc mismatch", ErrCorrupt)
+	}
+	return &Checkpoint{
+		LSN:   binary.BigEndian.Uint64(payload),
+		State: append([]byte(nil), payload[8:]...),
+	}, nil
+}
+
+// Recover implements Store.
+func (s *FileStore) Recover(fn func(lsn uint64, rec Record) error) (*Checkpoint, error) {
+	cp, err := s.readCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	var after uint64
+	if cp != nil {
+		after = cp.LSN
+	}
+	for i, seg := range s.walSegs {
+		if seg.last <= after {
+			continue
+		}
+		err := scanSegment(seg.path, i == len(s.walSegs)-1, func(payload []byte) error {
+			lsn := binary.BigEndian.Uint64(payload)
+			if lsn <= after {
+				return nil
+			}
+			rec, err := DecodeRecord(payload[8:])
+			if err != nil {
+				return fmt.Errorf("%w: %s: %v", ErrCorrupt, seg.path, err)
+			}
+			return fn(lsn, rec)
+		})
+		if err != nil {
+			return cp, err
+		}
+	}
+	return cp, nil
+}
+
+// Chunks implements Store. Later records for the same instance supersede
+// earlier ones (duplicates only arise from pre-compaction overlap).
+func (s *FileStore) Chunks(fn func(ChunkRecord) error) error {
+	seen := map[chunkKey]ChunkRecord{}
+	for i, seg := range s.chkSegs {
+		err := scanSegment(seg.path, i == len(s.chkSegs)-1, func(payload []byte) error {
+			c, err := DecodeChunkRecord(payload)
+			if err != nil {
+				return fmt.Errorf("%w: %s: %v", ErrCorrupt, seg.path, err)
+			}
+			seen[chunkKey{c.Epoch, c.Proposer}] = c
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, c := range seen {
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactWAL implements Store: whole closed segments at or below lsn are
+// unlinked. The active segment is never removed.
+func (s *FileStore) CompactWAL(lsn uint64) error {
+	kept := s.walSegs[:0]
+	for _, seg := range s.walSegs {
+		if seg.complete && seg.last <= lsn {
+			os.Remove(seg.path)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.walSegs = kept
+	return nil
+}
+
+// CompactChunks implements Store: closed chunk segments whose newest
+// record is at or below the retention horizon are unlinked.
+func (s *FileStore) CompactChunks(epoch uint64) error {
+	kept := s.chkSegs[:0]
+	for _, seg := range s.chkSegs {
+		if seg.complete && seg.maxEpoch <= epoch {
+			os.Remove(seg.path)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	s.chkSegs = kept
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.wal.close(s.opts.NoSync)
+	if err2 := s.chunks.close(s.opts.NoSync); err == nil {
+		err = err2
+	}
+	s.wal, s.chunks = nil, nil
+	s.unlock()
+	return err
+}

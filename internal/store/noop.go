@@ -1,0 +1,49 @@
+package store
+
+// Noop is the store for nodes that want no durability at all (the
+// default). Every write is discarded at zero cost; recovery finds
+// nothing. It exists so the replica's persistence plumbing is uniform
+// while memory-only nodes — most tests, benchmarks and in-process
+// clusters — pay nothing on the consensus hot path.
+type Noop struct {
+	lsn uint64
+}
+
+// NewNoop creates a no-durability store.
+func NewNoop() *Noop { return &Noop{} }
+
+// Durable implements Store.
+func (*Noop) Durable() bool { return false }
+
+// Append implements Store (the LSN still advances so callers relying on
+// monotonicity behave).
+func (s *Noop) Append(Record) (uint64, error) {
+	s.lsn++
+	return s.lsn, nil
+}
+
+// PutChunk implements Store.
+func (*Noop) PutChunk(ChunkRecord) error { return nil }
+
+// Sync implements Store.
+func (*Noop) Sync() error { return nil }
+
+// SaveCheckpoint implements Store.
+func (*Noop) SaveCheckpoint(Checkpoint) error { return nil }
+
+// Recover implements Store.
+func (*Noop) Recover(func(lsn uint64, rec Record) error) (*Checkpoint, error) {
+	return nil, nil
+}
+
+// Chunks implements Store.
+func (*Noop) Chunks(func(ChunkRecord) error) error { return nil }
+
+// CompactWAL implements Store.
+func (*Noop) CompactWAL(uint64) error { return nil }
+
+// CompactChunks implements Store.
+func (*Noop) CompactChunks(uint64) error { return nil }
+
+// Close implements Store.
+func (*Noop) Close() error { return nil }

@@ -1,0 +1,326 @@
+// Package store is the durable-storage subsystem backing restartable
+// DispersedLedger nodes. It persists the three kinds of state a node must
+// not forget across a crash:
+//
+//   - a write-ahead log (WAL) of protocol progress — proposals made,
+//     epochs decided, blocks delivered, epochs completed — whose replay
+//     restores the node's position in the global log,
+//   - a chunk store of the AVID fragments this node holds on behalf of
+//     other proposers, which is what lets a restarted node keep its
+//     availability promise and serve retrieval requests for pre-crash
+//     epochs, and
+//   - periodic checkpoints: an opaque snapshot of the engine's durable
+//     state plus the WAL position it reflects, which bounds replay time
+//     and enables WAL compaction.
+//
+// Three backends implement the Store interface: Noop discards everything
+// (the default — memory-only nodes pay no persistence cost at all),
+// MemStore keeps state in process memory (an in-process "restart" hands
+// the same MemStore to a fresh node, which is how the harness crashes
+// and revives emulated nodes), and FileStore persists to a directory of
+// CRC-checked, fsync-batched log segments.
+//
+// Recovery model (also see DESIGN.md): the WAL records only *outcomes*
+// (decisions, deliveries), not in-flight votes. A restarted node
+// therefore re-enters unfinished agreement instances with fresh state,
+// which the surrounding protocol tolerates the same way it tolerates a
+// Byzantine participant — the restart consumes fault budget until the
+// node has caught up via the status protocol in internal/core. Delivered
+// state, by contrast, is never forgotten or contradicted: replay is
+// deterministic and the post-restart delivery sequence is a consistent
+// continuation of the pre-crash one.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dledger/internal/merkle"
+)
+
+// RecordType distinguishes WAL record variants.
+type RecordType uint8
+
+// WAL record types.
+const (
+	// RecProposed marks that this node dispersed a block into Epoch and
+	// carries the encoded block. Written (and synced) before the chunks
+	// reach the network, so a restarted node never equivocates by
+	// re-proposing into an epoch — it re-disperses the identical block
+	// instead, which also keeps a cluster-wide restart live (without the
+	// block bytes, an epoch whose every dispersal died with its proposer
+	// could never decide).
+	RecProposed RecordType = iota + 1
+	// RecDecided marks that Epoch's dispersal phase decided with
+	// committed set S.
+	RecDecided
+	// RecBlock marks the delivery of one block, in delivery order. V is
+	// the block's observed V array (kept for later linking computations);
+	// TxCount/Payload replay the statistics counters.
+	RecBlock
+	// RecEpochDone marks that Epoch is fully delivered; Floor is the
+	// linked-delivery floor after the epoch, per node.
+	RecEpochDone
+)
+
+// Record is one WAL entry. Only the fields of the variant named by Type
+// are meaningful.
+type Record struct {
+	Type     RecordType
+	Epoch    uint64
+	Proposer int      // RecBlock
+	Linked   bool     // RecBlock
+	TxCount  uint32   // RecBlock
+	Payload  uint32   // RecBlock
+	V        []uint64 // RecBlock
+	S        []int    // RecDecided
+	Floor    []uint64 // RecEpochDone
+	Block    []byte   // RecProposed: the encoded proposed block
+}
+
+// ChunkRecord persists one VID instance's completion at this node: the
+// agreed root and, when the proposer's chunk arrived and matched it, the
+// chunk and its inclusion proof. Completion without a chunk still counts
+// toward the node's VID watermark, so it is recorded with HasChunk false.
+type ChunkRecord struct {
+	Epoch    uint64
+	Proposer int
+	Root     merkle.Root
+	HasChunk bool
+	Data     []byte
+	Proof    merkle.Proof
+}
+
+// Checkpoint pairs an opaque engine snapshot with the WAL position it
+// reflects: records with LSN <= LSN are subsumed by State and may be
+// compacted away.
+type Checkpoint struct {
+	LSN   uint64
+	State []byte
+}
+
+// Store is the durability interface a replica writes through. All methods
+// are called from the node's single event loop; implementations need no
+// internal ordering guarantees beyond that, but must tolerate a fenced
+// stale handle (see ErrFenced) writing concurrently with a successor.
+type Store interface {
+	// Durable reports whether writes actually persist. The replica skips
+	// all persistence work — including the periodic engine snapshot —
+	// for non-durable stores, so memory-only nodes pay nothing.
+	Durable() bool
+	// Append adds one WAL record and returns its LSN (1-based,
+	// monotonically increasing). Durability is deferred until Sync.
+	Append(rec Record) (uint64, error)
+	// PutChunk persists one chunk record (at most one per instance).
+	PutChunk(c ChunkRecord) error
+	// Sync makes all prior Appends and PutChunks durable (group commit).
+	Sync() error
+	// SaveCheckpoint durably (and atomically) replaces the checkpoint.
+	SaveCheckpoint(cp Checkpoint) error
+	// Recover returns the latest checkpoint (nil if none) and replays
+	// every WAL record with LSN > checkpoint.LSN, in LSN order.
+	Recover(fn func(lsn uint64, rec Record) error) (*Checkpoint, error)
+	// Chunks iterates all resident chunk records (any order).
+	Chunks(fn func(ChunkRecord) error) error
+	// CompactWAL drops WAL segments consisting entirely of records with
+	// LSN <= lsn. Best effort: a segment is the unit of removal.
+	CompactWAL(lsn uint64) error
+	// CompactChunks drops chunk records for epochs <= epoch (the engine's
+	// RetainEpochs garbage-collection horizon). Best effort, by segment.
+	CompactChunks(epoch uint64) error
+	// Close flushes and releases the store. A MemStore survives Close so
+	// an in-process restart can reopen it.
+	Close() error
+}
+
+// ErrFenced is returned to a stale handle after the backing state has
+// been reopened by a successor (the in-process analogue of a process
+// losing its lease on the data directory). The zombie's writes are
+// discarded; the successor's view is unaffected.
+var ErrFenced = errors.New("store: handle fenced by a newer open")
+
+// ErrCorrupt reports a WAL or chunk segment damaged somewhere other than
+// its tail (tail damage is expected after a crash and silently dropped).
+var ErrCorrupt = errors.New("store: corrupt segment")
+
+// ----- Record encoding -----
+//
+// Records use the same hand-rolled deterministic binary style as package
+// wire: type(1) epoch(8) then variant fields. Slices carry u16 counts;
+// node ids are u16 (the wire format's cluster-size cap).
+
+func appendU64s(buf []byte, vs []uint64) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(vs)))
+	for _, v := range vs {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+func decodeU64s(data []byte) ([]uint64, []byte, error) {
+	if len(data) < 2 {
+		return nil, nil, errShortRecord
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	data = data[2:]
+	if len(data) < 8*n {
+		return nil, nil, errShortRecord
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = binary.BigEndian.Uint64(data[8*i:])
+	}
+	return vs, data[8*n:], nil
+}
+
+var errShortRecord = errors.New("store: truncated record")
+
+// EncodeRecord serializes a WAL record.
+func EncodeRecord(r Record) []byte {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, byte(r.Type))
+	buf = binary.BigEndian.AppendUint64(buf, r.Epoch)
+	switch r.Type {
+	case RecProposed:
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Block)))
+		buf = append(buf, r.Block...)
+	case RecDecided:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(r.S)))
+		for _, j := range r.S {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(j))
+		}
+	case RecBlock:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(r.Proposer))
+		buf = append(buf, boolByte(r.Linked))
+		buf = binary.BigEndian.AppendUint32(buf, r.TxCount)
+		buf = binary.BigEndian.AppendUint32(buf, r.Payload)
+		buf = appendU64s(buf, r.V)
+	case RecEpochDone:
+		buf = appendU64s(buf, r.Floor)
+	}
+	return buf
+}
+
+// DecodeRecord parses EncodeRecord output.
+func DecodeRecord(data []byte) (Record, error) {
+	if len(data) < 9 {
+		return Record{}, errShortRecord
+	}
+	r := Record{Type: RecordType(data[0]), Epoch: binary.BigEndian.Uint64(data[1:9])}
+	data = data[9:]
+	var err error
+	switch r.Type {
+	case RecProposed:
+		if len(data) < 4 {
+			return Record{}, errShortRecord
+		}
+		n := int(binary.BigEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < n {
+			return Record{}, errShortRecord
+		}
+		if n > 0 {
+			r.Block = append([]byte(nil), data[:n]...)
+		}
+		data = data[n:]
+	case RecDecided:
+		if len(data) < 2 {
+			return Record{}, errShortRecord
+		}
+		n := int(binary.BigEndian.Uint16(data))
+		data = data[2:]
+		if len(data) < 2*n {
+			return Record{}, errShortRecord
+		}
+		r.S = make([]int, n)
+		for i := range r.S {
+			r.S[i] = int(binary.BigEndian.Uint16(data[2*i:]))
+		}
+		data = data[2*n:]
+	case RecBlock:
+		if len(data) < 11 {
+			return Record{}, errShortRecord
+		}
+		r.Proposer = int(binary.BigEndian.Uint16(data[0:2]))
+		r.Linked = data[2] != 0
+		r.TxCount = binary.BigEndian.Uint32(data[3:7])
+		r.Payload = binary.BigEndian.Uint32(data[7:11])
+		r.V, data, err = decodeU64s(data[11:])
+		if err != nil {
+			return Record{}, err
+		}
+	case RecEpochDone:
+		r.Floor, data, err = decodeU64s(data)
+		if err != nil {
+			return Record{}, err
+		}
+	default:
+		return Record{}, fmt.Errorf("store: unknown record type %d", r.Type)
+	}
+	if len(data) != 0 {
+		return Record{}, errors.New("store: trailing bytes in record")
+	}
+	return r, nil
+}
+
+// EncodeChunkRecord serializes a chunk record.
+func EncodeChunkRecord(c ChunkRecord) []byte {
+	size := 8 + 2 + 1 + merkle.RootSize + 4 + len(c.Data) + 5 + len(c.Proof.Path)*merkle.RootSize
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint64(buf, c.Epoch)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Proposer))
+	buf = append(buf, boolByte(c.HasChunk))
+	buf = append(buf, c.Root[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Data)))
+	buf = append(buf, c.Data...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Proof.Index))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Proof.Leaves))
+	buf = append(buf, byte(len(c.Proof.Path)))
+	for _, h := range c.Proof.Path {
+		buf = append(buf, h[:]...)
+	}
+	return buf
+}
+
+// DecodeChunkRecord parses EncodeChunkRecord output.
+func DecodeChunkRecord(data []byte) (ChunkRecord, error) {
+	var c ChunkRecord
+	if len(data) < 8+2+1+merkle.RootSize+4 {
+		return c, errShortRecord
+	}
+	c.Epoch = binary.BigEndian.Uint64(data[0:8])
+	c.Proposer = int(binary.BigEndian.Uint16(data[8:10]))
+	c.HasChunk = data[10] != 0
+	copy(c.Root[:], data[11:])
+	data = data[11+merkle.RootSize:]
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < n {
+		return c, errShortRecord
+	}
+	c.Data = append([]byte(nil), data[:n]...)
+	data = data[n:]
+	if len(data) < 5 {
+		return c, errShortRecord
+	}
+	c.Proof.Index = int(binary.BigEndian.Uint16(data[0:2]))
+	c.Proof.Leaves = int(binary.BigEndian.Uint16(data[2:4]))
+	pn := int(data[4])
+	data = data[5:]
+	if len(data) != pn*merkle.RootSize {
+		return c, errShortRecord
+	}
+	c.Proof.Path = make([]merkle.Root, pn)
+	for i := range c.Proof.Path {
+		copy(c.Proof.Path[i][:], data[i*merkle.RootSize:])
+	}
+	return c, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,430 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dledger/internal/merkle"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Type: RecProposed, Epoch: 1},
+		{Type: RecDecided, Epoch: 1, S: []int{0, 2, 3}},
+		{Type: RecBlock, Epoch: 1, Proposer: 2, Linked: false, TxCount: 7, Payload: 1792,
+			V: []uint64{0, 1, 0, 2}},
+		{Type: RecBlock, Epoch: 1, Proposer: 3, Linked: true, TxCount: 1, Payload: 256,
+			V: []uint64{1, 1, 1, 1}},
+		{Type: RecEpochDone, Epoch: 1, Floor: []uint64{1, 0, 1, 1}},
+		{Type: RecProposed, Epoch: 2},
+	}
+}
+
+func testChunk(epoch uint64, proposer int) ChunkRecord {
+	var root merkle.Root
+	root[0] = byte(epoch)
+	return ChunkRecord{
+		Epoch: epoch, Proposer: proposer, Root: root, HasChunk: true,
+		Data: bytes.Repeat([]byte{byte(proposer)}, 64),
+		Proof: merkle.Proof{
+			Index: proposer, Leaves: 4,
+			Path: []merkle.Root{root, root},
+		},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, r := range testRecords() {
+		got, err := DecodeRecord(EncodeRecord(r))
+		if err != nil {
+			t.Fatalf("decode %v: %v", r.Type, err)
+		}
+		if !reflect.DeepEqual(normalize(r), normalize(got)) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", r, got)
+		}
+	}
+	c := testChunk(9, 3)
+	got, err := DecodeChunkRecord(EncodeChunkRecord(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("chunk round trip mismatch: %+v vs %+v", c, got)
+	}
+}
+
+// normalize maps empty and nil slices together for comparison.
+func normalize(r Record) Record {
+	if len(r.V) == 0 {
+		r.V = nil
+	}
+	if len(r.S) == 0 {
+		r.S = nil
+	}
+	if len(r.Floor) == 0 {
+		r.Floor = nil
+	}
+	return r
+}
+
+// replayAll collects a store's recovery output.
+func replayAll(t *testing.T, s Store) (*Checkpoint, []uint64, []Record) {
+	t.Helper()
+	var lsns []uint64
+	var recs []Record
+	cp, err := s.Recover(func(lsn uint64, rec Record) error {
+		lsns = append(lsns, lsn)
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp, lsns, recs
+}
+
+func openFile(t *testing.T, dir string) *FileStore {
+	t.Helper()
+	s, err := OpenFile(FileOptions{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFileReplayDeterminism writes a record sequence across several
+// segments, reopens the store twice, and checks both replays return the
+// identical sequence in LSN order.
+func TestFileReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir)
+	want := testRecords()
+	for i, r := range want {
+		lsn, err := s.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn %d, want %d", lsn, i+1)
+		}
+	}
+	if err := s.PutChunk(testChunk(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var first []Record
+	for round := 0; round < 2; round++ {
+		s := openFile(t, dir)
+		_, lsns, recs := replayAll(t, s)
+		if len(recs) != len(want) {
+			t.Fatalf("round %d: replayed %d records, want %d", round, len(recs), len(want))
+		}
+		for i := range lsns {
+			if lsns[i] != uint64(i+1) {
+				t.Fatalf("round %d: lsn order broken at %d: %v", round, i, lsns)
+			}
+			if !reflect.DeepEqual(normalize(recs[i]), normalize(want[i])) {
+				t.Fatalf("round %d: record %d mismatch: %+v vs %+v", round, i, recs[i], want[i])
+			}
+		}
+		if round == 0 {
+			first = recs
+		} else if !reflect.DeepEqual(first, recs) {
+			t.Fatal("replays disagree")
+		}
+		var chunks []ChunkRecord
+		if err := s.Chunks(func(c ChunkRecord) error { chunks = append(chunks, c); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if len(chunks) != 1 || chunks[0].Epoch != 1 || chunks[0].Proposer != 2 {
+			t.Fatalf("chunks = %+v", chunks)
+		}
+		s.Close()
+	}
+}
+
+// TestFileTornWrite truncates the last WAL segment mid-record and checks
+// recovery drops exactly the torn tail, keeps everything before it, and
+// accepts new appends afterward.
+func TestFileTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(FileOptions{Dir: dir, SegmentBytes: 1 << 20}) // one segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for _, r := range want {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v (%v)", segs, err)
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear off the final 3 bytes: the last record's frame is now short.
+	if err := os.Truncate(segs[0], fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openFile(t, dir)
+	_, lsns, _ := replayAll(t, s)
+	if len(lsns) != len(want)-1 {
+		t.Fatalf("replayed %d records after torn write, want %d", len(lsns), len(want)-1)
+	}
+	// The store must keep accepting appends, continuing the LSN sequence
+	// from the surviving prefix.
+	lsn, err := s.Append(Record{Type: RecProposed, Epoch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != uint64(len(want)) {
+		t.Fatalf("post-recovery lsn = %d, want %d", lsn, len(want))
+	}
+	s.Close()
+
+	s = openFile(t, dir)
+	_, lsns, _ = replayAll(t, s)
+	if len(lsns) != len(want) {
+		t.Fatalf("final replay %d records, want %d", len(lsns), len(want))
+	}
+	s.Close()
+}
+
+// TestFileCRCRejection flips a byte in the middle of a non-final segment
+// and checks recovery refuses the log instead of replaying garbage.
+func TestFileCRCRejection(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir) // 256-byte segments force several files
+	for i := 0; i < 40; i++ {
+		if _, err := s.Append(Record{Type: RecEpochDone, Epoch: uint64(i + 1),
+			Floor: []uint64{1, 2, 3, 4, 5, 6, 7, 8}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal", "*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(segs))
+	}
+	victim := segs[0]
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(FileOptions{Dir: dir, SegmentBytes: 256}); err == nil {
+		t.Fatal("open accepted a corrupt non-final segment")
+	}
+}
+
+// TestCheckpointAndCompaction checks that a checkpoint bounds replay and
+// lets CompactWAL/CompactChunks drop covered segments.
+func TestCheckpointAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir)
+	var lastLSN uint64
+	for i := 0; i < 30; i++ {
+		lsn, err := s.Append(Record{Type: RecEpochDone, Epoch: uint64(i + 1),
+			Floor: []uint64{9, 9, 9, 9, 9, 9}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLSN = lsn
+		if err := s.PutChunk(testChunk(uint64(i+1), i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveCheckpoint(Checkpoint{LSN: lastLSN - 5, State: []byte("snapshot")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompactWAL(lastLSN - 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompactChunks(20); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s = openFile(t, dir)
+	cp, lsns, _ := replayAll(t, s)
+	if cp == nil || string(cp.State) != "snapshot" || cp.LSN != lastLSN-5 {
+		t.Fatalf("checkpoint = %+v", cp)
+	}
+	for _, lsn := range lsns {
+		if lsn <= cp.LSN {
+			t.Fatalf("replayed record %d at or below checkpoint %d", lsn, cp.LSN)
+		}
+	}
+	if lsns[len(lsns)-1] != lastLSN {
+		t.Fatalf("replay missing tail: last %d want %d", lsns[len(lsns)-1], lastLSN)
+	}
+	// Chunk compaction is segment-granular: everything at or below epoch
+	// 20 in a closed segment is gone; the newest epochs must survive.
+	maxSeen := uint64(0)
+	minSeen := uint64(1 << 62)
+	if err := s.Chunks(func(c ChunkRecord) error {
+		if c.Epoch > maxSeen {
+			maxSeen = c.Epoch
+		}
+		if c.Epoch < minSeen {
+			minSeen = c.Epoch
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen != 30 {
+		t.Fatalf("newest chunk lost: max epoch %d", maxSeen)
+	}
+	s.Close()
+}
+
+// TestMemStoreFencing checks a reopened MemStore fences the old handle
+// but recovers its durable state.
+func TestMemStoreFencing(t *testing.T) {
+	s := NewMem()
+	for _, r := range testRecords() {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutChunk(testChunk(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := s.Reopen()
+	if _, err := s.Append(Record{Type: RecProposed, Epoch: 99}); err != ErrFenced {
+		t.Fatalf("stale append err = %v, want ErrFenced", err)
+	}
+	if err := s.PutChunk(testChunk(99, 0)); err != ErrFenced {
+		t.Fatalf("stale put err = %v, want ErrFenced", err)
+	}
+	_, lsns, recs := replayAll(t, s2)
+	if len(recs) != len(testRecords()) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(testRecords()))
+	}
+	if lsns[len(lsns)-1] != uint64(len(recs)) {
+		t.Fatalf("lsns = %v", lsns)
+	}
+	if _, err := s2.Append(Record{Type: RecProposed, Epoch: 3}); err != nil {
+		t.Fatalf("new handle append: %v", err)
+	}
+}
+
+// TestMemStoreCompaction mirrors the file-backed compaction contract.
+func TestMemStoreCompaction(t *testing.T) {
+	s := NewMem()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append(Record{Type: RecProposed, Epoch: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutChunk(testChunk(uint64(i+1), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveCheckpoint(Checkpoint{LSN: 6, State: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompactWAL(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompactChunks(4); err != nil {
+		t.Fatal(err)
+	}
+	cp, lsns, _ := replayAll(t, s)
+	if cp == nil || cp.LSN != 6 {
+		t.Fatalf("cp = %+v", cp)
+	}
+	if len(lsns) != 4 || lsns[0] != 7 {
+		t.Fatalf("lsns = %v", lsns)
+	}
+	count := 0
+	s.Chunks(func(c ChunkRecord) error {
+		if c.Epoch <= 4 {
+			t.Fatalf("chunk epoch %d survived compaction", c.Epoch)
+		}
+		count++
+		return nil
+	})
+	if count != 6 {
+		t.Fatalf("chunks = %d, want 6", count)
+	}
+}
+
+// TestFileLockExcludesSecondOpener checks the datadir advisory lock: a
+// second live opener must be refused, and Close must release the lock.
+func TestFileLockExcludesSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir)
+	if _, err := OpenFile(FileOptions{Dir: dir}); err == nil {
+		t.Fatal("second opener acquired a locked datadir")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFile(FileOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestChunkSeqResumesPastCompactionHoles checks segment numbering resumes
+// after the highest surviving chunk segment, so rotations after a
+// post-compaction restart never collide with surviving files.
+func TestChunkSeqResumesPastCompactionHoles(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir) // 256-byte segments rotate quickly
+	for i := 0; i < 20; i++ {
+		if err := s.PutChunk(testChunk(uint64(i+1), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CompactChunks(15); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s = openFile(t, dir)
+	for i := 0; i < 40; i++ {
+		if err := s.PutChunk(testChunk(uint64(100+i), 0)); err != nil {
+			t.Fatalf("post-compaction put %d: %v", i, err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s = openFile(t, dir)
+	count := 0
+	if err := s.Chunks(func(ChunkRecord) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count < 40 {
+		t.Fatalf("lost chunks across compaction holes: %d", count)
+	}
+	s.Close()
+}

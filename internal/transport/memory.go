@@ -6,6 +6,7 @@ import (
 
 	"dledger/internal/core"
 	"dledger/internal/replica"
+	"dledger/internal/store"
 	"dledger/internal/wire"
 )
 
@@ -48,6 +49,11 @@ type MemoryOptions struct {
 	Replica replica.Params
 	// Delay is an artificial one-way message latency (0 = none).
 	Delay time.Duration
+	// Stores, when set, provides each node's durable store (len must be
+	// N); nodes recover whatever state the stores hold. Nil runs every
+	// node without durability (zero persistence overhead). The caller
+	// retains ownership (and closing) of provided stores.
+	Stores []store.Store
 	// OnDeliver, when set, is installed on every replica (called on the
 	// node's event loop).
 	OnDeliver func(node int, d replica.Delivery)
@@ -58,10 +64,20 @@ func NewMemoryCluster(opts MemoryOptions) (*MemoryCluster, error) {
 	if opts.Core.CoinSecret == nil {
 		opts.Core.CoinSecret = []byte("memory cluster coin secret")
 	}
+	if opts.Stores != nil && len(opts.Stores) != opts.Core.N {
+		return nil, fmt.Errorf("transport: %d stores for N=%d", len(opts.Stores), opts.Core.N)
+	}
 	c := &MemoryCluster{}
 	for i := 0; i < opts.Core.N; i++ {
 		n := &memNode{self: i, loop: newEventLoop(), cluster: c, delay: opts.Delay}
-		r, err := replica.New(opts.Core, i, opts.Replica, n)
+		st := store.Store(nil)
+		if opts.Stores != nil {
+			st = opts.Stores[i]
+		}
+		if st == nil {
+			st = store.NewNoop()
+		}
+		r, err := replica.NewWithStore(opts.Core, i, opts.Replica, st, n)
 		if err != nil {
 			c.Close()
 			return nil, err

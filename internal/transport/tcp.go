@@ -12,6 +12,7 @@ import (
 
 	"dledger/internal/core"
 	"dledger/internal/replica"
+	"dledger/internal/store"
 	"dledger/internal/wire"
 )
 
@@ -44,6 +45,12 @@ type TCPOptions struct {
 	// identified only by their self-declared handshake id — acceptable
 	// on trusted networks, not on open ones.
 	Keys *Keyring
+	// Store, when set, is the node's durable store: state it holds is
+	// recovered before the node joins the mesh (the crash-restart path),
+	// and protocol progress is persisted through it. Nil means no
+	// durability at all (and no persistence overhead). The caller
+	// retains ownership and closes it after Close.
+	Store store.Store
 	// OnDeliver observes delivered blocks (called on the node's loop).
 	OnDeliver func(replica.Delivery)
 }
@@ -104,7 +111,11 @@ func NewTCPNode(opts TCPOptions) (*TCPNode, error) {
 		}
 	}
 	n := &TCPNode{self: opts.Self, loop: newEventLoop(), keys: opts.Keys}
-	rep, err := replica.New(opts.Core, opts.Self, opts.Replica, (*tcpCtx)(n))
+	st := opts.Store
+	if st == nil {
+		st = store.NewNoop()
+	}
+	rep, err := replica.NewWithStore(opts.Core, opts.Self, opts.Replica, st, (*tcpCtx)(n))
 	if err != nil {
 		n.loop.close()
 		return nil, err
@@ -448,6 +459,18 @@ func (p *tcpPeer) writer(class int) {
 		}
 	}
 
+	// pending holds frames taken from the queue that have not yet been
+	// flushed to a connection; written counts how many of them have been
+	// handed to the CURRENT connection's buffer. When a connection
+	// breaks, everything buffered but unflushed would silently vanish —
+	// up to the whole bufio buffer — so the writer replays all pending
+	// frames on the next connection instead. Receivers tolerate the
+	// duplicates this can produce (every protocol message is
+	// deduplicated at its automaton).
+	var pending [][]byte
+	written := 0
+	const flushPending = 64 // flush at least this often, bounding replay memory
+
 	for {
 		frame, ok := p.nextFrame(class)
 		if !ok {
@@ -459,18 +482,31 @@ func (p *tcpPeer) writer(class int) {
 			}
 			return
 		}
+		pending = append(pending, frame)
 		for {
-			if conn == nil && !connect() {
-				return
-			}
-			if _, err := bw.Write(frame); err == nil {
-				if p.empty(class) {
-					if err := bw.Flush(); err != nil {
-						conn.Close()
-						conn = nil
-						continue
-					}
+			if conn == nil {
+				if !connect() {
+					return
 				}
+				written = 0 // replay everything unflushed on the new conn
+			}
+			ok := true
+			for written < len(pending) {
+				if _, err := bw.Write(pending[written]); err != nil {
+					ok = false
+					break
+				}
+				written++
+			}
+			if ok && (len(pending) >= flushPending || p.empty(class)) {
+				if err := bw.Flush(); err != nil {
+					ok = false
+				} else {
+					pending = pending[:0]
+					written = 0
+				}
+			}
+			if ok {
 				break
 			}
 			conn.Close()

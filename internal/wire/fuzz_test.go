@@ -19,7 +19,7 @@ func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
 		if n > 0 {
 			// Bias the type byte toward valid codes so decoding gets past
 			// the first switch often.
-			buf[0] = byte(rng.Intn(12))
+			buf[0] = byte(rng.Intn(14))
 		}
 		Decode(buf) // must not panic
 	}
@@ -108,6 +108,10 @@ func TestEncodeDecodeIdentityExhaustiveSmall(t *testing.T) {
 			BVal{Round: rng.Uint32(), Value: rng.Intn(2) == 0},
 			Aux{Round: rng.Uint32(), Value: rng.Intn(2) == 0},
 			Term{Value: rng.Intn(2) == 0},
+			RequestChunkAgain{},
+			StatusRequest{},
+			StatusReply{Decided: rng.Intn(2) == 0, Through: rng.Uint64(),
+				S: SetBitmap([]int{rng.Intn(64)}, 64)},
 		}
 		env := Envelope{
 			From:     rng.Intn(1 << 16),

@@ -52,6 +52,9 @@ const (
 	TBVal
 	TAux
 	TTerm
+	TRequestChunkAgain
+	TStatusRequest
+	TStatusReply
 )
 
 // Msg is implemented by every protocol message.
@@ -133,6 +136,12 @@ func Decode(data []byte) (Envelope, error) {
 		msg, rest, err = decodeAux(body)
 	case TTerm:
 		msg, rest, err = decodeTerm(body)
+	case TRequestChunkAgain:
+		msg, rest = RequestChunkAgain{}, body
+	case TStatusRequest:
+		msg, rest = StatusRequest{}, body
+	case TStatusReply:
+		msg, rest, err = decodeStatusReply(body)
 	default:
 		return Envelope{}, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
@@ -236,8 +245,8 @@ func decodeChunk(data []byte) (Msg, []byte, error) {
 // GotChunk announces that the sender holds a valid chunk under Root.
 type GotChunk struct{ Root merkle.Root }
 
-func (GotChunk) Type() byte      { return TGotChunk }
-func (GotChunk) BodySize() int   { return merkle.RootSize }
+func (GotChunk) Type() byte    { return TGotChunk }
+func (GotChunk) BodySize() int { return merkle.RootSize }
 func (m GotChunk) AppendTo(buf []byte) []byte {
 	return append(buf, m.Root[:]...)
 }
@@ -274,9 +283,9 @@ func decodeReady(data []byte) (Msg, []byte, error) {
 // RequestChunk asks a server for its stored chunk of an instance.
 type RequestChunk struct{}
 
-func (RequestChunk) Type() byte                  { return TRequestChunk }
-func (RequestChunk) BodySize() int               { return 0 }
-func (RequestChunk) AppendTo(buf []byte) []byte  { return buf }
+func (RequestChunk) Type() byte                 { return TRequestChunk }
+func (RequestChunk) BodySize() int              { return 0 }
+func (RequestChunk) AppendTo(buf []byte) []byte { return buf }
 
 // ReturnChunk is a server's answer to RequestChunk.
 type ReturnChunk struct {
@@ -386,11 +395,96 @@ func boolByte(b bool) byte {
 	return 0
 }
 
+// ----- Crash-recovery messages (internal/store's recovery path) -----
+
+// RequestChunkAgain is RequestChunk from a node that may have asked this
+// server before it crashed: the server clears its duplicate-suppression
+// and cancellation state for the sender and answers afresh. The amplification
+// a Byzantine sender gains is bounded to one chunk per message, the same
+// as a first request.
+type RequestChunkAgain struct{}
+
+func (RequestChunkAgain) Type() byte                 { return TRequestChunkAgain }
+func (RequestChunkAgain) BodySize() int              { return 0 }
+func (RequestChunkAgain) AppendTo(buf []byte) []byte { return buf }
+
+// StatusRequest asks a peer whether the envelope's epoch has decided and,
+// if so, for its committed set. A recovering node broadcasts it to learn
+// decisions it slept through (halted agreement instances no longer emit
+// Term messages, so the votes alone cannot catch it up).
+type StatusRequest struct{}
+
+func (StatusRequest) Type() byte                 { return TStatusRequest }
+func (StatusRequest) BodySize() int              { return 0 }
+func (StatusRequest) AppendTo(buf []byte) []byte { return buf }
+
+// StatusReply answers StatusRequest. Through is the responder's decided
+// watermark (epochs 1..Through all decided there); when Decided is set, S
+// is the epoch's committed index set as a bitmap (bit j = node j's block
+// committed). A recovering node adopts an epoch's outcome only on f+1
+// identical replies, so no f-bounded group of Byzantine peers can forge
+// history.
+type StatusReply struct {
+	Decided bool
+	Through uint64
+	S       []byte
+}
+
+func (StatusReply) Type() byte      { return TStatusReply }
+func (m StatusReply) BodySize() int { return 1 + 8 + 2 + len(m.S) }
+func (m StatusReply) AppendTo(buf []byte) []byte {
+	buf = append(buf, boolByte(m.Decided))
+	buf = binary.BigEndian.AppendUint64(buf, m.Through)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.S)))
+	return append(buf, m.S...)
+}
+
+func decodeStatusReply(data []byte) (Msg, []byte, error) {
+	if len(data) < 11 {
+		return nil, nil, ErrShort
+	}
+	m := StatusReply{Decided: data[0] != 0, Through: binary.BigEndian.Uint64(data[1:9])}
+	n := int(binary.BigEndian.Uint16(data[9:11]))
+	data = data[11:]
+	if len(data) < n {
+		return nil, nil, ErrShort
+	}
+	if n > 0 {
+		m.S = append([]byte(nil), data[:n]...)
+	}
+	return m, data[n:], nil
+}
+
+// SetBitmap encodes a sorted index set as a bitmap of nBits bits.
+func SetBitmap(s []int, nBits int) []byte {
+	b := make([]byte, (nBits+7)/8)
+	for _, j := range s {
+		if j >= 0 && j < nBits {
+			b[j/8] |= 1 << (j % 8)
+		}
+	}
+	return b
+}
+
+// BitmapSet decodes SetBitmap output back into a sorted index set,
+// considering only the first nBits bits.
+func BitmapSet(b []byte, nBits int) []int {
+	var s []int
+	for j := 0; j < nBits && j/8 < len(b); j++ {
+		if b[j/8]&(1<<(j%8)) != 0 {
+			s = append(s, j)
+		}
+	}
+	return s
+}
+
 // PriorityOf returns the transport priority class of a message: dispersal
 // and agreement traffic is high priority, retrieval traffic low (§4.5).
+// Recovery status traffic rides the high-priority class — it is tiny and
+// gates a node's rejoin.
 func PriorityOf(m Msg) Priority {
 	switch m.Type() {
-	case TRequestChunk, TReturnChunk, TCancelRequest:
+	case TRequestChunk, TReturnChunk, TCancelRequest, TRequestChunkAgain:
 		return PrioRetrieval
 	default:
 		return PrioDispersal
