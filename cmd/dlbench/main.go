@@ -8,9 +8,11 @@
 //	dlbench            # quick pass (scaled durations, minutes of CPU)
 //	dlbench -full      # longer runs, larger cluster sweep
 //	dlbench -exp fig8  # one experiment only
+//	dlbench -json      # also write machine-readable BENCH_<stamp>.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +23,46 @@ import (
 	"dledger/internal/trace"
 )
 
+// benchRecord is one measured point in the machine-readable output. The
+// perf trajectory across PRs accumulates from these files: each CI or
+// local `dlbench -json` run appends a BENCH_*.json snapshot that later
+// tooling can diff.
+type benchRecord struct {
+	Experiment string             `json:"experiment"`
+	Mode       string             `json:"mode,omitempty"`
+	Params     map[string]float64 `json:"params,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type benchFile struct {
+	GeneratedAt string        `json:"generated_at"`
+	Seed        int64         `json:"seed"`
+	Full        bool          `json:"full"`
+	DurationSec float64       `json:"duration_sec"`
+	Records     []benchRecord `json:"records"`
+}
+
+func durationMeanMs(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return float64(sum) / float64(len(ds)) / float64(time.Millisecond)
+}
+
 func main() {
 	full := flag.Bool("full", false, "run the full-size sweeps (slower)")
 	exp := flag.String("exp", "", "run a single experiment id (fig2, fig8, fig9, fig10, fig11a, fig11b, fig12, fig13, fig14, fig15, fig16)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	jsonOut := flag.Bool("json", false, "write a machine-readable BENCH_<stamp>.json next to the printed tables")
+	jsonPath := flag.String("jsonpath", "", "override the -json output path")
 	flag.Parse()
+
+	var records []benchRecord
+	record := func(r benchRecord) { records = append(records, r) }
 
 	d := 30 * time.Second
 	nSweep := []int{16, 31}
@@ -55,6 +92,15 @@ func main() {
 			return err
 		}
 		fmt.Print(harness.FormatFig2(pts))
+		for _, p := range pts {
+			record(benchRecord{
+				Experiment: "fig2",
+				Params:     map[string]float64{"n": float64(p.N), "block_bytes": float64(p.BlockSize)},
+				Metrics: map[string]float64{
+					"avidm_frac": p.AVIDM, "avidfp_frac": p.AVIDFP, "lower_bound": p.LowerBound,
+				},
+			})
+		}
 		return nil
 	})
 
@@ -71,6 +117,10 @@ func main() {
 			}
 			geo[i] = r
 			results = append(results, r)
+			record(benchRecord{
+				Experiment: "fig8", Mode: m.String(),
+				Metrics: map[string]float64{"mean_throughput_mbps": r.Mean},
+			})
 		}
 		fmt.Print(harness.FormatGeo(results))
 		fmt.Print(harness.FormatHeadline(geo[0], geo[1], geo[2], geo[3]))
@@ -86,6 +136,16 @@ func main() {
 				return err
 			}
 			fmt.Print(harness.FormatProgress(r, d/10, d))
+			// The JSON record keeps the headline scalar (total confirmed
+			// bytes across nodes at the horizon), not the full series.
+			var total float64
+			for _, ts := range r.Series {
+				total += ts.At(d)
+			}
+			record(benchRecord{
+				Experiment: "fig9", Mode: m.String(),
+				Metrics: map[string]float64{"confirmed_gb_at_horizon": total / float64(1<<30)},
+			})
 		}
 		return nil
 	})
@@ -103,6 +163,14 @@ func main() {
 					return err
 				}
 				results = append(results, r)
+				record(benchRecord{
+					Experiment: "fig10", Mode: m.String(),
+					Params: map[string]float64{"system_load_mbps": l},
+					Metrics: map[string]float64{
+						"local_p50_ms": durationMeanMs(r.P50),
+						"local_p95_ms": durationMeanMs(r.P95),
+					},
+				})
 			}
 			fmt.Print(harness.FormatLatency(results))
 		}
@@ -119,6 +187,12 @@ func main() {
 				return err
 			}
 			results = append(results, r)
+			record(benchRecord{
+				Experiment: "fig11a", Mode: m.String(),
+				Metrics: map[string]float64{
+					"mean_throughput_mbps": r.Mean, "std_mbps": r.Std, "epoch_rate": r.EpochRate,
+				},
+			})
 		}
 		fmt.Print(harness.FormatControlled(
 			"Fig 11a — spatial variation (node i capped at 10+0.5i MB/s)", results))
@@ -136,6 +210,13 @@ func main() {
 					return err
 				}
 				results = append(results, r)
+				record(benchRecord{
+					Experiment: "fig11b", Mode: m.String(),
+					Params: map[string]float64{"temporal": b2f(temporal)},
+					Metrics: map[string]float64{
+						"mean_throughput_mbps": r.Mean, "std_mbps": r.Std, "epoch_rate": r.EpochRate,
+					},
+				})
 			}
 			title := "Fig 11b — fixed 10 MB/s"
 			if temporal {
@@ -157,6 +238,15 @@ func main() {
 					return err
 				}
 				pts = append(pts, r)
+				record(benchRecord{
+					Experiment: "fig12",
+					Params:     map[string]float64{"n": float64(n), "block_bytes": float64(bs)},
+					Metrics: map[string]float64{
+						"mean_throughput_mbps": r.Throughput,
+						"std_mbps":             r.ThroughputStd,
+						"dispersal_fraction":   r.DispersalFraction,
+					},
+				})
 			}
 		}
 		fmt.Print(harness.FormatScale(pts))
@@ -164,6 +254,8 @@ func main() {
 	})
 
 	run("fig13", func() error {
+		// No JSON record of its own: fig12's records carry the
+		// dispersal_fraction metric this figure plots.
 		fmt.Println("Fig 13 shares fig12's runs; see the 'dispersal frac' column above.")
 		return nil
 	})
@@ -183,6 +275,13 @@ func main() {
 					r.P50[i].Round(time.Millisecond), r.P95[i].Round(time.Millisecond),
 					r.AllP50[i].Round(time.Millisecond), r.AllP95[i].Round(time.Millisecond))
 			}
+			record(benchRecord{
+				Experiment: "fig14", Mode: m.String(),
+				Metrics: map[string]float64{
+					"local_p50_ms": durationMeanMs(r.P50), "local_p95_ms": durationMeanMs(r.P95),
+					"all_p50_ms": durationMeanMs(r.AllP50), "all_p95_ms": durationMeanMs(r.AllP95),
+				},
+			})
 		}
 		return nil
 	})
@@ -197,12 +296,18 @@ func main() {
 				return err
 			}
 			results = append(results, r)
+			record(benchRecord{
+				Experiment: "fig15", Mode: m.String(),
+				Metrics: map[string]float64{"mean_throughput_mbps": r.Mean},
+			})
 		}
 		fmt.Print(harness.FormatGeo(results))
 		return nil
 	})
 
 	run("fig16", func() error {
+		// Not recorded in JSON: this is an input-trace illustration, not
+		// a performance measurement.
 		tr := trace.GaussMarkov(trace.GaussMarkovParams{
 			Mean: 10 * trace.MB, Sigma: 5 * trace.MB, Alpha: 0.98, Tick: time.Second,
 		}, 300, *seed)
@@ -212,4 +317,35 @@ func main() {
 		}
 		return nil
 	})
+
+	if *jsonOut || *jsonPath != "" {
+		now := time.Now().UTC()
+		path := *jsonPath
+		if path == "" {
+			path = "BENCH_" + now.Format("20060102T150405Z") + ".json"
+		}
+		blob, err := json.MarshalIndent(benchFile{
+			GeneratedAt: now.Format(time.RFC3339),
+			Seed:        *seed,
+			Full:        *full,
+			DurationSec: d.Seconds(),
+			Records:     records,
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d records)\n", path, len(records))
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

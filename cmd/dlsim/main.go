@@ -8,6 +8,8 @@
 //	dlsim -mode HB -spatial -duration 20s         # Fig 11a-style run
 //	dlsim -mode DL -temporal -priority 1          # priority ablation
 //	dlsim -mode DL -load 0.5                      # latency at 0.5 MB/s/node
+//	dlsim -chaos -n 7 -seed 42                    # one adversarial run
+//	dlsim -chaos -seeds 100                       # seeded chaos sweep
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"dledger/internal/chaos"
 	"dledger/internal/core"
 	"dledger/internal/harness"
 	"dledger/internal/trace"
@@ -46,12 +49,20 @@ func main() {
 	load := flag.Float64("load", 0, "offered load per node in MB/s (0 = infinite backlog throughput run)")
 	priority := flag.Float64("priority", 0, "dispersal:retrieval priority weight T (0 = paper's 30)")
 	scale := flag.Float64("scale", 0, "bandwidth down-scaling factor (0 = default)")
+	chaosRun := flag.Bool("chaos", false, "run seeded adversarial simulation (partitions, Byzantine nodes, crashes) instead of a performance experiment")
+	seeds := flag.Int("seeds", 1, "with -chaos: sweep this many seeds starting at -seed")
+	lossy := flag.Bool("lossy", false, "with -chaos: allow message-destroying faults (safety checks only)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *chaosRun {
+		runChaos(mode, *n, *seed, *seeds, *duration, *lossy)
+		return
 	}
 
 	switch {
@@ -78,6 +89,37 @@ func main() {
 		})
 		fail(err)
 		fmt.Print(harness.FormatGeo([]*harness.GeoResult{r}))
+	}
+}
+
+// runChaos sweeps [seed, seed+count) through chaos.Explore and exits
+// nonzero if any invariant is violated; each failing seed's report
+// carries the exact replay command.
+func runChaos(mode core.Mode, n int, seed int64, count int, duration time.Duration, lossy bool) {
+	cfg := chaos.Config{Mode: mode, Lossy: lossy}
+	if n > 0 {
+		cfg.N = n
+	}
+	if duration > 0 {
+		cfg.Horizon = duration
+	}
+	failures := 0
+	for s := seed; s < seed+int64(count); s++ {
+		r, err := chaos.Explore(s, cfg)
+		fail(err)
+		if r.Failed() || count == 1 {
+			fmt.Print(r.Report())
+		} else {
+			fmt.Printf("chaos seed %d: ok (fingerprint %016x, epochs %v)\n",
+				s, r.Fingerprint, r.EpochsDelivered)
+		}
+		if r.Failed() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d seeds violated invariants\n", failures, count)
+		os.Exit(1)
 	}
 }
 

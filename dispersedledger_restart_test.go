@@ -22,6 +22,7 @@ type restartHarness struct {
 	mu   sync.Mutex
 	logs [][]string // per node: delivered "epoch/proposer" in order
 	stop []chan struct{}
+	done []chan struct{} // closed when a node's reader goroutine exits
 }
 
 func (h *restartHarness) config() Config {
@@ -47,8 +48,11 @@ func (h *restartHarness) startNode(i int, ln net.Listener) {
 	}
 	h.nodes[i] = node
 	stop := make(chan struct{})
+	done := make(chan struct{})
 	h.stop[i] = stop
+	h.done[i] = done
 	go func() {
+		defer close(done)
 		for {
 			select {
 			case d, ok := <-node.Deliveries():
@@ -66,9 +70,31 @@ func (h *restartHarness) startNode(i int, ln net.Listener) {
 }
 
 func (h *restartHarness) killNode(i int) {
+	// Stop the reader and wait for it, THEN drain what it left queued:
+	// the replica persisted (and externalized) those deliveries before
+	// the kill, so the recorded pre-crash log must include them — the
+	// restarted node correctly never re-delivers a persisted block, and
+	// dropping queued entries here used to punch a spurious hole at the
+	// crash boundary that the continuation check reported as divergence.
 	close(h.stop[i])
-	h.nodes[i].Close()
-	h.nodes[i] = nil
+	<-h.done[i]
+	node := h.nodes[i]
+	node.Close()
+	for {
+		select {
+		case d, ok := <-node.Deliveries():
+			if !ok {
+				h.nodes[i] = nil
+				return
+			}
+			h.mu.Lock()
+			h.logs[i] = append(h.logs[i], fmt.Sprintf("%d/%d", d.Epoch, d.Proposer))
+			h.mu.Unlock()
+		default:
+			h.nodes[i] = nil
+			return
+		}
+	}
 }
 
 func (h *restartHarness) logLen(i int) int {
@@ -111,6 +137,7 @@ func TestTCPNodeCrashRestart(t *testing.T) {
 		nodes: make([]*Node, 4),
 		logs:  make([][]string, 4),
 		stop:  make([]chan struct{}, 4),
+		done:  make([]chan struct{}, 4),
 	}
 	// Pre-bind all listeners so every real port is known up front; node 0
 	// must restart on the same address, so its port must be reusable.

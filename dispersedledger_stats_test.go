@@ -1,0 +1,75 @@
+package dispersedledger
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDroppedDeliveriesCounted drives the slow-consumer contract end to
+// end: a subscriber that never drains its delivery channel must not
+// block consensus — the cluster keeps delivering, the overflow is
+// dropped, and Stats.DroppedDeliveries counts it. A draining subscriber
+// on the same cluster loses nothing.
+func TestDroppedDeliveriesCounted(t *testing.T) {
+	// Tiny batch delay so empty blocks churn epochs quickly; the
+	// delivery channels hold 1024 blocks, and node 1's is never read.
+	c, err := NewCluster(Config{N: 4, F: 1, BatchDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	drained, err := c.Deliveries(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		for range drained {
+			if got.Add(1) >= 1100 {
+				close(done)
+				return
+			}
+		}
+	}()
+
+	deadline := time.After(120 * time.Second)
+	for {
+		s, err := c.Stats(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.DroppedDeliveries > 0 {
+			// The consensus loop outran the abandoned channel and kept
+			// going: the drop counter moved, and the node's own delivery
+			// counters kept advancing past the channel capacity.
+			if s.EpochsDelivered*4 < s.DroppedDeliveries {
+				t.Fatalf("dropped %d deliveries across only %d epochs", s.DroppedDeliveries, s.EpochsDelivered)
+			}
+			if s.StoreErrors != 0 {
+				t.Fatalf("memory cluster reported %d StoreErrors", s.StoreErrors)
+			}
+			// The drained subscriber must have seen everything so far.
+			select {
+			case <-done:
+			case <-deadline:
+				t.Fatalf("drained consumer saw only %d deliveries while node 1 dropped %d",
+					got.Load(), s.DroppedDeliveries)
+			}
+			s0, err := c.Stats(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s0.DroppedDeliveries != 0 {
+				t.Fatalf("drained node dropped %d deliveries", s0.DroppedDeliveries)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no drops after 120s (epochs delivered: %d)", s.EpochsDelivered)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

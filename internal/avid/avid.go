@@ -26,6 +26,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"dledger/internal/erasure"
 	"dledger/internal/merkle"
@@ -274,8 +275,17 @@ func (s *Server) flushPending() []Send {
 	if !s.completed || !s.haveMy || s.myRoot != s.chunkRoot {
 		return nil
 	}
+	// Answer in requester order: several requests can be pending when the
+	// dispersal completes, and the response order must not depend on map
+	// iteration — the emulator's whole-cluster runs replay byte-for-byte
+	// from a seed.
 	var outs []Send
+	waiting := make([]int, 0, len(s.pending))
 	for from := range s.pending {
+		waiting = append(waiting, from)
+	}
+	sort.Ints(waiting)
+	for _, from := range waiting {
 		delete(s.pending, from)
 		if s.answered[from] || s.canceled[from] {
 			continue

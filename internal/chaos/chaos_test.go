@@ -1,0 +1,302 @@
+package chaos
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"dledger/internal/simnet"
+	"dledger/internal/trace"
+	"dledger/internal/wire"
+)
+
+// seedFlag replays one specific seed:
+//
+//	go test ./internal/chaos -run Explore -seed=42
+//
+// The test runs the seed twice and verifies the runs are byte-for-byte
+// identical (same fault schedule, same final logs), then asserts the
+// invariants — exactly what a failing sweep's "replay:" line asks for.
+var seedFlag = flag.Int64("seed", 0, "replay this chaos seed (0 = default seed set)")
+
+// TestExploreReplayByteForByte verifies the subsystem's foundational
+// property: a seed fully determines the run. Without it, a failing seed
+// from CI could not be debugged locally.
+func TestExploreReplayByteForByte(t *testing.T) {
+	seeds := []int64{1, 2, 4}
+	if *seedFlag != 0 {
+		seeds = []int64{*seedFlag}
+	}
+	for _, seed := range seeds {
+		r1, err := Explore(seed, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, err := Explore(seed, Config{})
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if !bytes.Equal(r1.Plan.Encode(), r2.Plan.Encode()) {
+			t.Errorf("seed %d generated two different fault schedules", seed)
+		}
+		if !reflect.DeepEqual(r1.Logs, r2.Logs) {
+			t.Errorf("seed %d produced two different delivery logs", seed)
+		}
+		if r1.Fingerprint != r2.Fingerprint {
+			t.Errorf("seed %d fingerprints differ: %016x vs %016x", seed, r1.Fingerprint, r2.Fingerprint)
+		}
+		t.Log(r1.Report())
+		if r1.Failed() {
+			t.Errorf("seed %d violated invariants:\n%s", seed, r1.Report())
+		}
+	}
+}
+
+// TestExploreSweepQuick is the fast randomized sweep that runs on every
+// PR; CI's nightly job extends the seed range via -chaos.seeds in
+// cmd/dlsim. Every seed must hold every invariant.
+func TestExploreSweepQuick(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		r, err := Explore(seed, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Failed() {
+			t.Errorf("seed %d:\n%s", seed, r.Report())
+		}
+	}
+}
+
+// TestByzantinePartitionMatrix pins down the acceptance scenarios: each
+// Byzantine behavior, at full strength (f nodes), under a partition
+// that cuts honest nodes off mid-run and heals — across cluster sizes
+// 7..16. Invariants must hold everywhere.
+func TestByzantinePartitionMatrix(t *testing.T) {
+	cases := []struct {
+		n        int
+		behavior Behavior
+	}{
+		{7, Equivocate},
+		{10, WithholdChunks},
+		{13, BadShares},
+		{16, FlipVotes},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("N%d_%s", tc.n, tc.behavior), func(t *testing.T) {
+			cfg := Config{N: tc.n, Horizon: 15 * time.Second, LoadPerNode: 40 << 10}
+			cfg = cfg.withDefaults()
+			p := &Plan{Seed: int64(tc.n), Byzantine: map[int]Behavior{}}
+			// Full fault budget of one behavior, on the highest ids.
+			for k := 0; k < cfg.F; k++ {
+				p.Byzantine[cfg.N-1-k] = tc.behavior
+			}
+			// Partition two honest nodes away for 5 emulated seconds.
+			p.Partitions = []Partition{{
+				Side: []int{0, 1}, At: 3 * time.Second, Heal: 8 * time.Second,
+			}}
+			r, err := Run(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Failed() {
+				t.Fatalf("invariants violated:\n%s", r.Report())
+			}
+			// The run must have made real progress for the checks to mean
+			// anything.
+			if r.EpochsDelivered[0] < 3 {
+				t.Fatalf("partitioned node delivered only %d epochs", r.EpochsDelivered[0])
+			}
+		})
+	}
+}
+
+// TestCrashRestartWithByzantinePeers drives PR 1's recovery path under
+// active Byzantine interference: an honest node crashes and must rejoin
+// through the status catch-up protocol while a vote-flipper and an
+// equivocator keep lying to it.
+func TestCrashRestartWithByzantinePeers(t *testing.T) {
+	cfg := Config{N: 10, Horizon: 20 * time.Second, LoadPerNode: 40 << 10}
+	cfg = cfg.withDefaults()
+	p := &Plan{
+		Seed:      99,
+		Byzantine: map[int]Behavior{8: FlipVotes, 9: Equivocate},
+		Crashes:   []Crash{{Node: 2, At: 5 * time.Second, RestartAt: 9 * time.Second}},
+	}
+	r, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed() {
+		t.Fatalf("invariants violated:\n%s", r.Report())
+	}
+	if r.EpochsDelivered[2] < 3 {
+		t.Fatalf("restarted node delivered only %d epochs", r.EpochsDelivered[2])
+	}
+}
+
+// TestLossyPartitionSafety destroys messages outright (lossy partition
+// plus iid drop links). Liveness is forfeit by assumption — the paper
+// assumes a reliable transport — but agreement, integrity and validity
+// must survive arbitrary loss.
+func TestLossyPartitionSafety(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		r, err := Explore(seed, Config{Lossy: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Failed() {
+			t.Errorf("seed %d:\n%s", seed, r.Report())
+		}
+	}
+}
+
+// TestGenerateRespectsFaultBudget checks the plan generator's contract:
+// byzantine + crashed nodes never exceed f, byzantine nodes never
+// crash, and every fault heals before the quiet tail.
+func TestGenerateRespectsFaultBudget(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	quiet := cfg.Horizon * 3 / 5
+	for seed := int64(1); seed <= 500; seed++ {
+		p := Generate(seed, cfg)
+		if len(p.Byzantine)+len(p.Crashes) > cfg.F {
+			t.Fatalf("seed %d: %d byzantine + %d crashes exceeds F=%d",
+				seed, len(p.Byzantine), len(p.Crashes), cfg.F)
+		}
+		for _, cr := range p.Crashes {
+			if _, byz := p.Byzantine[cr.Node]; byz {
+				t.Fatalf("seed %d: node %d both byzantine and crashed", seed, cr.Node)
+			}
+			if cr.RestartAt > quiet {
+				t.Fatalf("seed %d: restart at %v after quiet point %v", seed, cr.RestartAt, quiet)
+			}
+		}
+		for _, pt := range p.Partitions {
+			if pt.Heal > quiet {
+				t.Fatalf("seed %d: partition heals at %v after quiet point %v", seed, pt.Heal, quiet)
+			}
+			if pt.Lossy {
+				t.Fatalf("seed %d: lossy partition without Lossy config", seed)
+			}
+		}
+		for _, l := range p.Links {
+			if l.Fault.Drop > 0 {
+				t.Fatalf("seed %d: drop rule without Lossy config", seed)
+			}
+			if l.Until > quiet {
+				t.Fatalf("seed %d: link rule clears at %v after quiet point %v", seed, l.Until, quiet)
+			}
+		}
+	}
+}
+
+// TestOverlappingFaultWindowsMerge: two windows claiming the same link
+// must not clobber each other — the earlier window's heal used to strip
+// the later, still-active fault. The claim layer keeps the link faulted
+// until the last claim ends, with Cut dominating Hold.
+func TestOverlappingFaultWindowsMerge(t *testing.T) {
+	sim := simnet.NewSim()
+	net := simnet.NewNetwork(sim, simnet.Config{
+		N:      2,
+		Delay:  func(int, int) time.Duration { return time.Millisecond },
+		Egress: []trace.Trace{trace.Constant(1e9), trace.Constant(1e9)},
+	})
+	got := 0
+	net.SetHandler(1, func(wire.Envelope) { got++ })
+	send := func() {
+		net.Send(0, 1, wire.Envelope{From: 0, Epoch: 1, Proposer: 0,
+			Payload: wire.GotChunk{}}, wire.PrioDispersal, 0)
+	}
+	lc := newLinkClaims(net)
+	lc.add(0, 1, 1, simnet.LinkFault{Hold: true})
+	lc.add(0, 1, 2, simnet.LinkFault{Hold: true})
+	send()
+	sim.Run(100 * time.Millisecond)
+	lc.remove(0, 1, 1) // first window heals; second still active
+	send()
+	sim.Run(200 * time.Millisecond)
+	if got != 0 {
+		t.Fatalf("link delivered %d packets while a claim was still active", got)
+	}
+	lc.remove(0, 1, 2) // last claim ends: held packets release
+	sim.Run(300 * time.Millisecond)
+	if got != 2 {
+		t.Fatalf("delivered %d packets after all claims ended, want 2", got)
+	}
+
+	// Cut dominates Hold: packets are destroyed, not queued, and ending
+	// the Cut claim leaves the Hold claim in force.
+	lc.add(0, 1, 3, simnet.LinkFault{Hold: true})
+	lc.add(0, 1, 4, simnet.LinkFault{Cut: true})
+	send()
+	sim.Run(400 * time.Millisecond)
+	lc.remove(0, 1, 4)
+	send()
+	sim.Run(500 * time.Millisecond)
+	if got != 2 {
+		t.Fatalf("got %d deliveries during cut/hold overlap, want still 2", got)
+	}
+	lc.remove(0, 1, 3)
+	sim.Run(600 * time.Millisecond)
+	if got != 3 {
+		t.Fatalf("got %d deliveries after heal; the cut packet must be gone, the held one delivered", got)
+	}
+}
+
+// TestTinyHorizonDoesNotPanic: -duration on the CLI feeds Horizon
+// directly; sub-window horizons must clamp, not crash the generator.
+func TestTinyHorizonDoesNotPanic(t *testing.T) {
+	r, err := Explore(3, Config{Horizon: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failed() {
+		t.Fatalf("clamped-horizon run failed:\n%s", r.Report())
+	}
+}
+
+// TestDegenerateClusterSizeClamps: -n 2 from the CLI must clamp, not
+// panic the partition generator with rand.Intn(0).
+func TestDegenerateClusterSizeClamps(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := Generate(seed, Config{N: 2})
+		if len(p.Byzantine) == 0 && len(p.Partitions) == 0 && len(p.Crashes) == 0 && len(p.Links) == 0 {
+			continue
+		}
+	}
+	if got := (Config{N: 2}).withDefaults().N; got < 4 {
+		t.Fatalf("withDefaults kept degenerate N=%d", got)
+	}
+}
+
+// TestReplayCommandCarriesConfig: a failure report from a non-default
+// sweep must name the flags that reproduce its plan, not just the seed.
+func TestReplayCommandCarriesConfig(t *testing.T) {
+	r := &Result{Seed: 9, Cfg: Config{}.withDefaults()}
+	if got := r.replayCommand(); got != "go test ./internal/chaos -run Explore -seed=9" {
+		t.Fatalf("default-config replay = %q", got)
+	}
+	r = &Result{Seed: 9, Cfg: Config{N: 10, Lossy: true}.withDefaults()}
+	want := "go run ./cmd/dlsim -chaos -seed 9 -n 10 -duration 25s -lossy"
+	if got := r.replayCommand(); got != want {
+		t.Fatalf("replay = %q, want %q", got, want)
+	}
+}
+
+// TestHonestMaskAndEncodeStability: Encode must be canonical (stable
+// across calls) since fingerprints and replay comparisons rest on it.
+func TestHonestMaskAndEncodeStability(t *testing.T) {
+	p := Generate(7, Config{}.withDefaults())
+	if !bytes.Equal(p.Encode(), p.Encode()) {
+		t.Fatal("Plan.Encode is not stable")
+	}
+	mask := p.HonestMask(7)
+	for i, b := range p.Byzantine {
+		if b != BehaviorNone && mask[i] {
+			t.Fatalf("byzantine node %d marked honest", i)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/harness"
+	"dledger/internal/replica"
+	"dledger/internal/trace"
+)
+
+// Config bounds what Explore's random plans may do and sizes the
+// emulated cluster. The zero value is a sensible 7-node configuration.
+type Config struct {
+	// N and F size the cluster (defaults 7 and floor((N-1)/3)).
+	N, F int
+	// Mode is the protocol variant (default ModeDL).
+	Mode core.Mode
+	// Horizon is the emulated duration (default 25s). All faults are
+	// scheduled in the first half and heal by 60%, leaving the tail for
+	// the liveness and recovery invariants to settle.
+	Horizon time.Duration
+	// Rate is each node's egress/ingress bandwidth (default 4 MB/s);
+	// LoadPerNode the offered Poisson load (default 60 KB/s).
+	Rate, LoadPerNode float64
+	// MaxByzantine caps the Byzantine assignment count (default F;
+	// capped at F regardless — beyond f the paper promises nothing).
+	MaxByzantine int
+	// MaxCrashes and MaxPartitions cap those event counts (defaults 1
+	// and 2). Crash victims are honest and restart before the quiet tail.
+	MaxCrashes, MaxPartitions int
+	// MaxLinkRules caps random delay/jitter/duplication rules (default 3).
+	MaxLinkRules int
+	// Lossy permits message-destroying faults: lossy partitions and iid
+	// drop rules. The implementation (like the paper's) assumes a
+	// reliable transport, so liveness is NOT checked on lossy runs —
+	// only safety (agreement, integrity, validity).
+	Lossy bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.N < 4 {
+		// Below N=4 there is no fault budget (N >= 3F+1 forces F=0) and
+		// the partition generator has no legal side size; clamp rather
+		// than crash — an adversarial test of a cluster that cannot
+		// tolerate an adversary is meaningless anyway.
+		c.N = 7
+	}
+	if c.F == 0 {
+		c.F = (c.N - 1) / 3
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 25 * time.Second
+	}
+	if c.Horizon < 5*time.Second {
+		// The generator schedules faults inside [1s, Horizon/2) and needs
+		// a quiet tail for the liveness invariant; shorter horizons would
+		// leave no legal window (and divide by zero in the scheduler).
+		c.Horizon = 5 * time.Second
+	}
+	if c.Rate == 0 {
+		c.Rate = 4 * trace.MB
+	}
+	if c.LoadPerNode == 0 {
+		c.LoadPerNode = 60 << 10
+	}
+	if c.MaxByzantine == 0 || c.MaxByzantine > c.F {
+		c.MaxByzantine = c.F
+	}
+	if c.MaxCrashes == 0 {
+		c.MaxCrashes = 1
+	}
+	if c.MaxPartitions == 0 {
+		c.MaxPartitions = 2
+	}
+	if c.MaxLinkRules == 0 {
+		c.MaxLinkRules = 3
+	}
+	return c
+}
+
+// Result reports one adversarial run.
+type Result struct {
+	Seed int64
+	Cfg  Config
+	Plan *Plan
+	// Honest lists the nodes held to the correctness invariants.
+	Honest []int
+	// Logs are the recorded delivery logs of all nodes.
+	Logs [][]harness.LogEntry
+	// EpochsDelivered per node, at the horizon.
+	EpochsDelivered []int64
+	// Violations is empty iff every checked invariant held.
+	Violations []string
+	// Fingerprint digests the fault schedule and every honest log —
+	// two runs of the same seed must produce identical fingerprints.
+	Fingerprint uint64
+
+	// generated marks a plan that came from Generate(Seed, Cfg), i.e.
+	// the seed+config fully determine the run and a replay command
+	// exists. Hand-built plans reproduce via the printed plan instead.
+	generated bool
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Report renders a human-readable summary, including the replay line
+// for failing seeds.
+func (r *Result) Report() string {
+	s := fmt.Sprintf("chaos seed %d: N=%d F=%d mode=%s fingerprint=%016x\n",
+		r.Seed, r.Cfg.N, r.Cfg.F, r.Cfg.Mode, r.Fingerprint)
+	s += r.Plan.String()
+	s += fmt.Sprintf("  epochs delivered per node: %v\n", r.EpochsDelivered)
+	if !r.Failed() {
+		return s + "  all invariants held\n"
+	}
+	for _, v := range r.Violations {
+		s += "  VIOLATION: " + v + "\n"
+	}
+	if r.generated {
+		s += "  replay: " + r.replayCommand() + "\n"
+	} else {
+		s += "  replay: hand-built plan — re-run chaos.Run with the plan printed above\n"
+	}
+	return s
+}
+
+// replayCommand renders the exact command reproducing a generated run.
+// The plan (and hence the fingerprint) is a function of seed AND
+// config, so a failure from a non-default sweep must carry its flags —
+// a bare seed would replay a different plan.
+func (r *Result) replayCommand() string {
+	def := Config{}.withDefaults()
+	if r.Cfg == def {
+		return fmt.Sprintf("go test ./internal/chaos -run Explore -seed=%d", r.Seed)
+	}
+	// dlsim can express N, Mode, Horizon and Lossy; everything else must
+	// match what dlsim (and this config) derive by default, or no CLI
+	// command reproduces the run.
+	cliCfg := Config{N: r.Cfg.N, Mode: r.Cfg.Mode, Horizon: r.Cfg.Horizon, Lossy: r.Cfg.Lossy}.withDefaults()
+	if r.Cfg != cliCfg {
+		return fmt.Sprintf("chaos.Explore(%d, <the identical Config>)", r.Seed)
+	}
+	cmd := fmt.Sprintf("go run ./cmd/dlsim -chaos -seed %d -n %d -duration %s",
+		r.Seed, r.Cfg.N, r.Cfg.Horizon)
+	if r.Cfg.Mode != core.ModeDL {
+		cmd += " -mode " + r.Cfg.Mode.String()
+	}
+	if r.Cfg.Lossy {
+		cmd += " -lossy"
+	}
+	return cmd
+}
+
+// Generate builds the random fault plan for a seed under cfg's bounds.
+// Exposed so tests can inspect schedules without running them.
+func Generate(seed int64, cfg Config) *Plan {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed, Byzantine: map[int]Behavior{}}
+
+	// Fault window: everything starts in [1s, half) and ends by 60%.
+	half := cfg.Horizon / 2
+	quiet := cfg.Horizon * 3 / 5
+	window := func() (at, until time.Duration) {
+		at = time.Second + time.Duration(rng.Int63n(int64(half-time.Second)))
+		until = at + time.Duration(rng.Int63n(int64(quiet-at)))
+		if until <= at {
+			until = at + time.Millisecond
+		}
+		return at, until
+	}
+
+	// Byzantine assignments, then crashes among the remaining honest
+	// nodes: the total of byzantine + concurrently-crashed stays <= F so
+	// liveness remains guaranteed once everything heals.
+	nodes := rng.Perm(cfg.N)
+	byz := rng.Intn(cfg.MaxByzantine + 1)
+	for _, i := range nodes[:byz] {
+		p.Byzantine[i] = Behaviors[rng.Intn(len(Behaviors))]
+	}
+	crashes := rng.Intn(cfg.MaxCrashes + 1)
+	if crashes > cfg.F-byz {
+		crashes = cfg.F - byz
+	}
+	for k := 0; k < crashes; k++ {
+		at, until := window()
+		p.Crashes = append(p.Crashes, Crash{Node: nodes[byz+k], At: at, RestartAt: until})
+	}
+
+	for k := rng.Intn(cfg.MaxPartitions + 1); k > 0; k-- {
+		sideSize := 1 + rng.Intn((cfg.N-1)/2)
+		perm := rng.Perm(cfg.N)
+		at, heal := window()
+		p.Partitions = append(p.Partitions, Partition{
+			Side: append([]int(nil), perm[:sideSize]...),
+			At:   at, Heal: heal,
+			Lossy: cfg.Lossy && rng.Intn(2) == 0,
+		})
+	}
+
+	for k := rng.Intn(cfg.MaxLinkRules + 1); k > 0; k-- {
+		from := rng.Intn(cfg.N)
+		to := rng.Intn(cfg.N)
+		if to == from {
+			to = (to + 1) % cfg.N
+		}
+		at, until := window()
+		rule := LinkRule{From: from, To: to, At: at, Until: until}
+		rule.Fault.Delay = time.Duration(rng.Int63n(int64(300 * time.Millisecond)))
+		rule.Fault.Jitter = time.Duration(rng.Int63n(int64(200 * time.Millisecond)))
+		rule.Fault.Duplicate = rng.Float64() * 0.3
+		if cfg.Lossy && rng.Intn(2) == 0 {
+			rule.Fault.Drop = rng.Float64() * 0.3
+		}
+		p.Links = append(p.Links, rule)
+	}
+	return p
+}
+
+// Explore generates a random fault plan from seed, runs a full emulated
+// cluster under it, and checks the global invariants. The run is
+// deterministic: calling Explore twice with the same seed and config
+// produces identical fault schedules, logs, and fingerprints.
+func Explore(seed int64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res, err := Run(Generate(seed, cfg), cfg)
+	if res != nil {
+		res.generated = true
+	}
+	return res, err
+}
+
+// Run executes one specific plan under cfg and checks invariants.
+func Run(p *Plan, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	traces := make([]trace.Trace, cfg.N)
+	for i := range traces {
+		traces[i] = trace.Constant(cfg.Rate)
+	}
+	c, err := harness.NewCluster(harness.ClusterOptions{
+		Core: core.Config{
+			N: cfg.N, F: cfg.F, Mode: cfg.Mode,
+			CoinSecret: []byte("chaos exploration coin"),
+		},
+		Replica:     replica.Params{BatchDelay: 100 * time.Millisecond},
+		Egress:      traces,
+		TxSize:      250,
+		LoadPerNode: cfg.LoadPerNode,
+		Durable:     true,
+		Seed:        p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lr := harness.NewLogRecorder(c)
+	st, err := apply(c, core.Config{N: cfg.N, F: cfg.F, Mode: cfg.Mode}, lr, p)
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	c.Run(cfg.Horizon)
+	if st.restartErr != nil {
+		return nil, st.restartErr
+	}
+
+	res := &Result{Seed: p.Seed, Cfg: cfg, Plan: p, Logs: lr.Logs()}
+	honestMask := p.HonestMask(cfg.N)
+	for i, h := range honestMask {
+		if h {
+			res.Honest = append(res.Honest, i)
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		res.EpochsDelivered = append(res.EpochsDelivered, c.Replicas[i].Stats.EpochsDelivered)
+	}
+
+	// Safety invariants hold under every fault plan.
+	res.Violations = append(res.Violations, harness.CheckPrefixAgreement(res.Logs, res.Honest)...)
+	for _, i := range res.Honest {
+		res.Violations = append(res.Violations, harness.CheckNoDuplicates(i, res.Logs[i])...)
+		res.Violations = append(res.Violations, lr.CheckTxValidity(i, cfg.N, honestMask)...)
+	}
+
+	// Liveness and recovery require the eventual-delivery assumption:
+	// only checked when no fault destroys messages outright.
+	if !lossyPlan(p) {
+		min, max := int64(1<<62), int64(0)
+		for _, i := range res.Honest {
+			d := res.EpochsDelivered[i]
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if max < 3 {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"liveness: cluster delivered only %d epochs in %v with faults within f", max, cfg.Horizon))
+		}
+		if min < 1 {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"liveness: some honest node delivered no epoch (per-node: %v)", res.EpochsDelivered))
+		}
+		for _, cr := range p.Crashes {
+			if cr.RestartAt == 0 {
+				continue
+			}
+			if got, pre := len(res.Logs[cr.Node]), st.preCrash[cr.Node]; got <= pre {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"recovery: node %d never delivered again after its restart (stuck at %d blocks)",
+					cr.Node, got))
+			}
+		}
+	}
+
+	res.Fingerprint = fingerprint(p, res)
+	return res, nil
+}
+
+func lossyPlan(p *Plan) bool {
+	for _, pt := range p.Partitions {
+		if pt.Lossy {
+			return true
+		}
+	}
+	for _, l := range p.Links {
+		if l.Fault.Drop > 0 || l.Fault.Cut {
+			return true
+		}
+	}
+	return false
+}
+
+// fingerprint digests the fault schedule and every honest node's final
+// log. Replaying a seed must reproduce it exactly.
+func fingerprint(p *Plan, res *Result) uint64 {
+	h := fnv.New64a()
+	h.Write(p.Encode())
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, i := range res.Honest {
+		u64(uint64(i))
+		u64(uint64(len(res.Logs[i])))
+		for _, e := range res.Logs[i] {
+			u64(e.Epoch)
+			u64(uint64(e.Proposer))
+			if e.Linked {
+				u64(1)
+			} else {
+				u64(0)
+			}
+			u64(uint64(e.TxCount))
+			u64(uint64(e.Payload))
+			u64(e.TxSum)
+		}
+	}
+	return h.Sum64()
+}

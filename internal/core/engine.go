@@ -263,6 +263,13 @@ type Engine struct {
 	queue      []wire.Envelope
 	actions    []Action
 	delivering bool // tryDeliver reentrancy guard
+
+	// tap, when set, observes and may rewrite every action batch before
+	// the caller sees it — the seam internal/chaos's Byzantine wrappers
+	// attach to. It runs outside the engine's own state transitions, so a
+	// tap can corrupt what the node SAYS (its outgoing messages) but not
+	// what the engine's automaton state IS.
+	tap func([]Action) []Action
 }
 
 // catchupState tracks the recovery status protocol for one epoch at a
@@ -384,9 +391,18 @@ func (e *Engine) Handle(env wire.Envelope) []Action {
 	return e.takeActions()
 }
 
+// SetActionTap installs a hook that can observe and rewrite every action
+// batch the engine emits. Passing nil removes it. Only test harnesses
+// (Byzantine behavior injection) should use this; a correct node never
+// taps its own engine.
+func (e *Engine) SetActionTap(tap func([]Action) []Action) { e.tap = tap }
+
 func (e *Engine) takeActions() []Action {
 	a := e.actions
 	e.actions = nil
+	if e.tap != nil {
+		a = e.tap(a)
+	}
 	return a
 }
 

@@ -441,12 +441,17 @@ func (e *Engine) restoreChunks(chunks []store.ChunkRecord) {
 }
 
 // resumeRecovered re-arms runtime machinery after Restore, from Start.
+// Every loop below walks its map in sorted epoch order: the messages and
+// timers emitted here feed the deterministic emulator, and replaying a
+// seeded chaos run byte-for-byte requires the restart step to emit in a
+// fixed order too.
 func (e *Engine) resumeRecovered() {
 	// Re-disperse in-flight proposals: identical chunks under the same
 	// root, so this is idempotent at every server, and it revives epochs
 	// whose original dispersal died with this process (without it, a
 	// cluster-wide restart could leave an epoch no node can ever decide).
-	for epoch, blk := range e.myBlocks {
+	for _, epoch := range sortedEpochs(e.myBlocks) {
+		blk := e.myBlocks[epoch]
 		if e.isDecided(epoch) {
 			continue
 		}
@@ -469,7 +474,9 @@ func (e *Engine) resumeRecovered() {
 	// restored retrState entries and are skipped by the idempotent
 	// startRetrieval; re-running a BA stage re-derives the same linked
 	// set from the same restored observations.
-	for epoch, es := range e.epochs {
+	epochOrder := sortedEpochs(e.epochs)
+	for _, epoch := range epochOrder {
+		es := e.epochs[epoch]
 		if !es.decided || epoch <= e.deliveredEpoch {
 			continue
 		}
@@ -483,7 +490,8 @@ func (e *Engine) resumeRecovered() {
 	// Re-enter agreement for restored dispersals whose epoch is still
 	// undecided: DL votes on completion, HB votes after re-downloading.
 	// The vote was likely cast in the previous life; receivers dedup.
-	for epoch, es := range e.epochs {
+	for _, epoch := range epochOrder {
+		es := e.epochs[epoch]
 		if es.decided || epoch <= e.decidedThrough {
 			continue
 		}
@@ -503,6 +511,16 @@ func (e *Engine) resumeRecovered() {
 	}
 	e.tryDeliver()
 	e.startCatchup()
+}
+
+// sortedEpochs returns a map's epoch keys in ascending order.
+func sortedEpochs[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
 }
 
 // ----- Status catch-up protocol -----

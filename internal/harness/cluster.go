@@ -188,13 +188,19 @@ func (c *Cluster) installBacklog() {
 		target = 4 * (150 << 10)
 	}
 	var seq uint32
-	for i, r := range c.Replicas {
-		i, r := i, r
+	for i := range c.Replicas {
+		i := i
 		var refill func()
 		refill = func() {
-			for r.PendingBytes() < target {
-				seq++
-				r.Submit(workload.Make(i, seq, c.Sim.Now(), c.opts.TxSize))
+			// Look the replica up at refill time (not capture it): after a
+			// Crash/Restart the slot holds a new incarnation, and the
+			// workload must follow it rather than feed the dead one.
+			if c.Alive(i) {
+				r := c.Replicas[i]
+				for r.PendingBytes() < target {
+					seq++
+					r.Submit(workload.Make(i, seq, c.Sim.Now(), c.opts.TxSize))
+				}
 			}
 			c.Sim.After(20*time.Millisecond, refill)
 		}
@@ -202,16 +208,20 @@ func (c *Cluster) installBacklog() {
 	}
 }
 
-// installPoisson starts the per-node Poisson generators of §6.1.
+// installPoisson starts the per-node Poisson generators of §6.1. Each
+// submission resolves the node's current incarnation and is dropped
+// while the node is down — a crashed node's clients are simply unlucky.
 func (c *Cluster) installPoisson() {
-	for i, r := range c.Replicas {
-		i, r := i, r
+	for i := range c.Replicas {
+		i := i
 		gen := workload.NewGenerator(i, c.opts.TxSize, c.opts.LoadPerNode, c.opts.Seed+int64(i)*7919)
 		var arm func()
 		arm = func() {
 			tx, gap := gen.Next(c.Sim.Now())
 			c.Sim.After(gap, func() {
-				r.Submit(tx)
+				if c.Alive(i) {
+					c.Replicas[i].Submit(tx)
+				}
 				arm()
 			})
 		}

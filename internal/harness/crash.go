@@ -17,7 +17,6 @@ import (
 	"dledger/internal/core"
 	"dledger/internal/replica"
 	"dledger/internal/trace"
-	"dledger/internal/workload"
 )
 
 // CrashRestartParams configures RunCrashRestart.
@@ -95,8 +94,12 @@ func RunCrashRestart(p CrashRestartParams) (*CrashRestartResult, error) {
 		Replica: replica.Params{BatchDelay: 100 * time.Millisecond},
 		Egress:  traces,
 		TxSize:  250,
-		Durable: true,
-		Seed:    p.Seed,
+		// The built-in Poisson workload resolves the node's *current*
+		// incarnation per submission and drops while it is down — a
+		// crashed node's clients are simply unlucky.
+		LoadPerNode: p.LoadPerNode,
+		Durable:     true,
+		Seed:        p.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -112,24 +115,6 @@ func RunCrashRestart(p CrashRestartParams) (*CrashRestartResult, error) {
 		c.Replicas[i].OnDeliver = hook(i)
 	}
 	c.Start()
-
-	// Per-node Poisson load, always addressed to the node's *current*
-	// incarnation; a crashed node's clients are simply unlucky.
-	for i := 0; i < n; i++ {
-		i := i
-		gen := workload.NewGenerator(i, 250, p.LoadPerNode, p.Seed+int64(i)*104729)
-		var arm func()
-		arm = func() {
-			tx, gap := gen.Next(c.Sim.Now())
-			c.Sim.After(gap, func() {
-				if c.Alive(i) {
-					c.Replicas[i].Submit(tx)
-				}
-				arm()
-			})
-		}
-		arm()
-	}
 
 	res := &CrashRestartResult{DivergeAt: -1}
 	var restartErr error

@@ -1,0 +1,159 @@
+package harness
+
+// Whole-cluster invariant checking for adversarial simulation runs
+// (internal/chaos). A LogRecorder observes every delivery at every node;
+// the Check* functions state the paper's correctness properties over the
+// recorded logs in a form a test can assert:
+//
+//   - Agreement: the delivery logs of any two honest nodes are prefixes
+//     of each other — same blocks, same order, same contents.
+//   - Integrity: no honest log delivers the same block slot twice.
+//   - Validity-shaped sanity: every delivered transaction parses as a
+//     workload transaction from a real node (the emulator's stand-in for
+//     "was actually submitted").
+//
+// The checkers return human-readable violation strings rather than
+// booleans so a failing seeded run reports everything wrong at once.
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"dledger/internal/replica"
+	"dledger/internal/workload"
+)
+
+// LogEntry is one delivered block as recorded for invariant checking.
+// TxSum fingerprints the block's transaction contents, so agreement is
+// checked over contents, not just slot identity.
+type LogEntry struct {
+	Epoch    uint64
+	Proposer int
+	Linked   bool
+	TxCount  int
+	Payload  int
+	TxSum    uint64
+}
+
+// LogRecorder captures every node's delivery log.
+type LogRecorder struct {
+	logs [][]LogEntry
+	txs  [][]txRec // raw transactions per node, for validity checks
+}
+
+// txRec tags a delivered transaction with the proposer of its block:
+// validity is only promised for honest proposers (a Byzantine one may
+// commit arbitrary bytes — the application layer filters those).
+type txRec struct {
+	proposer int
+	tx       []byte
+}
+
+// NewLogRecorder attaches delivery hooks to every replica of a
+// not-yet-started cluster and records each node's log.
+func NewLogRecorder(c *Cluster) *LogRecorder {
+	lr := &LogRecorder{
+		logs: make([][]LogEntry, len(c.Replicas)),
+		txs:  make([][]txRec, len(c.Replicas)),
+	}
+	for i := range c.Replicas {
+		c.Replicas[i].OnDeliver = lr.Hook(i)
+	}
+	return lr
+}
+
+// Hook returns node i's delivery hook — pass it to Cluster.Restart so a
+// restarted incarnation keeps appending to the same log.
+func (lr *LogRecorder) Hook(i int) func(replica.Delivery) {
+	return func(d replica.Delivery) {
+		h := fnv.New64a()
+		for _, tx := range d.Txs {
+			h.Write(tx)
+			h.Write([]byte{0})
+			lr.txs[i] = append(lr.txs[i], txRec{proposer: d.Proposer, tx: tx})
+		}
+		lr.logs[i] = append(lr.logs[i], LogEntry{
+			Epoch: d.Epoch, Proposer: d.Proposer, Linked: d.Linked,
+			TxCount: len(d.Txs), Payload: d.Payload, TxSum: h.Sum64(),
+		})
+	}
+}
+
+// Log returns node i's recorded log.
+func (lr *LogRecorder) Log(i int) []LogEntry { return lr.logs[i] }
+
+// Logs returns all recorded logs (indexed by node).
+func (lr *LogRecorder) Logs() [][]LogEntry { return lr.logs }
+
+// CheckPrefixAgreement verifies that the logs of every pair of honest
+// nodes agree over their common prefix. Honest nodes may be at different
+// log lengths (DL decouples delivery rates; a restarted node may lag),
+// but where both have delivered position k they must have delivered the
+// same block with the same contents.
+func CheckPrefixAgreement(logs [][]LogEntry, honest []int) []string {
+	var out []string
+	for a := 0; a < len(honest); a++ {
+		for b := a + 1; b < len(honest); b++ {
+			i, j := honest[a], honest[b]
+			li, lj := logs[i], logs[j]
+			n := len(li)
+			if len(lj) < n {
+				n = len(lj)
+			}
+			for k := 0; k < n; k++ {
+				if li[k] != lj[k] {
+					out = append(out, fmt.Sprintf(
+						"agreement: nodes %d and %d diverge at log position %d: %+v vs %+v",
+						i, j, k, li[k], lj[k]))
+					break // one divergence per pair is enough noise
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckNoDuplicates verifies a single log delivers each (epoch, proposer)
+// slot at most once.
+func CheckNoDuplicates(node int, log []LogEntry) []string {
+	var out []string
+	seen := map[[2]uint64]bool{}
+	for k, e := range log {
+		key := [2]uint64{e.Epoch, uint64(e.Proposer)}
+		if seen[key] {
+			out = append(out, fmt.Sprintf(
+				"integrity: node %d delivered slot (epoch %d, proposer %d) twice (second at position %d)",
+				node, e.Epoch, e.Proposer, k))
+		}
+		seen[key] = true
+	}
+	return out
+}
+
+// CheckTxValidity verifies every transaction delivered at node `node`
+// from an honestly-proposed block parses as a workload transaction
+// originating from a cluster member — the emulator's stand-in for "was
+// actually submitted". Blocks from Byzantine proposers are skipped: the
+// protocol lets a Byzantine node commit arbitrary bytes, and filtering
+// them is the application's job. n is the cluster size; honest[j] marks
+// honest proposers.
+func (lr *LogRecorder) CheckTxValidity(node, n int, honest []bool) []string {
+	var out []string
+	for k, rec := range lr.txs[node] {
+		if rec.proposer >= 0 && rec.proposer < len(honest) && !honest[rec.proposer] {
+			continue
+		}
+		meta, err := workload.Parse(rec.tx)
+		if err != nil {
+			out = append(out, fmt.Sprintf(
+				"validity: node %d delivered unparseable tx #%d: %v", node, k, err))
+			continue
+		}
+		if meta.Origin < 0 || meta.Origin >= n {
+			out = append(out, fmt.Sprintf(
+				"validity: node %d delivered tx #%d with origin %d outside cluster of %d",
+				node, k, meta.Origin, n))
+		}
+	}
+	return out
+}

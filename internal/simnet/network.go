@@ -34,6 +34,10 @@ type Network struct {
 	ingress []*pipe
 	handler []Handler
 
+	// faults is the chaos layer's link-impairment table (see faults.go);
+	// empty on ordinary runs, in which case deliver() is a passthrough.
+	faults faultState
+
 	// Per-node, per-class byte counters (bytes that completed ingress),
 	// feeding Fig 13's dispersal-fraction measurement.
 	recv [][2]int64
@@ -55,16 +59,16 @@ func NewNetwork(sim *Sim, cfg Config) *Network {
 		sim:     sim,
 		cfg:     cfg,
 		handler: make([]Handler, cfg.N),
+		faults:  faultState{links: map[linkKey]*linkFaultState{}},
 		recv:    make([][2]int64, cfg.N),
 		sent:    make([][2]int64, cfg.N),
 	}
 	for i := 0; i < cfg.N; i++ {
 		i := i
 		n.egress = append(n.egress, newPipe(sim, cfg.Egress[i], cfg.PriorityWeight, func(pkt *packet) {
-			// Egress done: propagate, then enter the receiver's ingress.
-			n.sim.After(cfg.Delay(pkt.from, pkt.to), func() {
-				n.ingress[pkt.to].enqueue(pkt)
-			})
+			// Egress done: apply link faults (if any), propagate, then
+			// enter the receiver's ingress.
+			n.deliver(pkt)
 		}))
 		n.ingress = append(n.ingress, newPipe(sim, ingressTrace(cfg, i), cfg.PriorityWeight, func(pkt *packet) {
 			n.recv[pkt.to][pkt.prio] += int64(pkt.size)
