@@ -1,0 +1,282 @@
+// Command dlload drives a DispersedLedger cluster through the client
+// gateway (`dlnode -client <addr>`) and reports what real clients see:
+// accepted/rejected rates, commit throughput, and submission-to-commit
+// latency percentiles. Every commit proof is verified against the
+// block's transaction root; a verification failure is a protocol bug
+// and is counted loudly.
+//
+// Two load models:
+//
+//	dlload -addrs host:9001,host:9002 -clients 8 -closed -inflight 4
+//	    closed loop: each client keeps -inflight submissions in flight,
+//	    submitting the next transaction when a commit lands (the latency
+//	    measurement mode of EXPERIMENTS.md).
+//	dlload -addrs host:9001 -clients 8 -rate 200
+//	    open loop: each client submits -rate tx/s with Poisson arrivals
+//	    regardless of commits (the overload/backpressure mode; expect
+//	    over-capacity rejections once the cluster saturates).
+//
+// Each client has a stable identity (-name prefix + index), so rerunning
+// after a crash exercises the gateway's idempotent resubmission.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dledger/dlclient"
+	"dledger/internal/stats"
+)
+
+// collector aggregates what every client observed.
+type collector struct {
+	submitted    atomic.Int64
+	accepted     atomic.Int64
+	dupPending   atomic.Int64
+	dupCommitted atomic.Int64
+	overCapacity atomic.Int64
+	otherReject  atomic.Int64
+	commits      atomic.Int64
+	verifyFails  atomic.Int64
+	errors       atomic.Int64
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+func (c *collector) receipt(rc dlclient.Receipt) {
+	switch rc.Status {
+	case dlclient.StatusAccepted:
+		c.accepted.Add(1)
+	case dlclient.StatusDuplicatePending:
+		c.dupPending.Add(1)
+	case dlclient.StatusDuplicateCommitted:
+		c.dupCommitted.Add(1)
+	case dlclient.StatusOverCapacity:
+		c.overCapacity.Add(1)
+	default:
+		c.otherReject.Add(1)
+	}
+}
+
+func (c *collector) commit(lat time.Duration) {
+	c.commits.Add(1)
+	c.mu.Lock()
+	c.latencies = append(c.latencies, lat)
+	c.mu.Unlock()
+}
+
+// makeTx builds a unique transaction: a client/sequence header that is
+// never truncated (unique content matters — the gateway deduplicates by
+// content hash), then deterministic pseudo-random padding.
+func makeTx(client int, seq uint64, size int, rng *rand.Rand) []byte {
+	head := fmt.Sprintf("dlload %04d %d ", client, seq)
+	if size < len(head) {
+		size = len(head)
+	}
+	tx := make([]byte, size)
+	copy(tx, head)
+	for i := len(head); i < size; i++ {
+		tx[i] = byte(rng.Intn(256))
+	}
+	return tx
+}
+
+func main() {
+	addrsFlag := flag.String("addrs", "", "comma-separated gateway addresses (clients round-robin across them)")
+	clients := flag.Int("clients", 4, "number of concurrent clients")
+	duration := flag.Duration("duration", 15*time.Second, "how long to generate load")
+	txSize := flag.Int("txsize", 256, "transaction size in bytes")
+	closed := flag.Bool("closed", false, "closed loop: submit on commit (else open loop at -rate)")
+	inflight := flag.Int("inflight", 4, "closed loop: submissions in flight per client")
+	rate := flag.Float64("rate", 100, "open loop: transactions per second per client (Poisson)")
+	namePrefix := flag.String("name", "dlload", "client identity prefix (stable across reruns)")
+	seed := flag.Int64("seed", 1, "padding/arrival RNG seed")
+	flag.Parse()
+
+	addrs := strings.Split(*addrsFlag, ",")
+	if *addrsFlag == "" || len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "dlload: -addrs is required")
+		os.Exit(2)
+	}
+
+	col := &collector{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+
+	for k := 0; k < *clients; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			addr := addrs[k%len(addrs)]
+			cl, err := dlclient.Dial(addr, dlclient.Options{
+				Name: fmt.Sprintf("%s-%d", *namePrefix, k),
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dlload: client %d: %v\n", k, err)
+				col.errors.Add(1)
+				return
+			}
+			defer cl.Close()
+			if *closed {
+				runClosed(cl, k, col, stop, *txSize, *inflight, *seed)
+			} else {
+				runOpen(cl, k, col, stop, *txSize, *rate, *seed)
+			}
+		}()
+	}
+
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	report(col, elapsed, *txSize)
+}
+
+// runClosed keeps `inflight` submissions in flight; each commit triggers
+// the next submission (commit-gated closed loop).
+func runClosed(cl *dlclient.Client, k int, col *collector, stop <-chan struct{}, txSize, inflight int, seed int64) {
+	var wg sync.WaitGroup
+	for slot := 0; slot < inflight; slot++ {
+		slot := slot
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(k)*1_000_003 + int64(slot)))
+			seq := uint64(slot) << 40
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seq++
+				tx := makeTx(k, seq, txSize, rng)
+				col.submitted.Add(1)
+				at := time.Now()
+				cm, err := cl.SubmitAndWait(tx, 30*time.Second)
+				if err != nil {
+					col.errors.Add(1)
+					continue
+				}
+				col.accepted.Add(1)
+				if !cm.Verify(tx) {
+					col.verifyFails.Add(1)
+					continue
+				}
+				col.commit(time.Since(at))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen submits at a fixed Poisson rate and consumes commits
+// asynchronously.
+func runOpen(cl *dlclient.Client, k int, col *collector, stop <-chan struct{}, txSize int, rate float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed + int64(k)*1_000_003))
+	mean := time.Duration(float64(time.Second) / rate)
+
+	var mu sync.Mutex
+	submitTimes := map[[32]byte]time.Time{}
+
+	// Commit consumer: latency from submission to verified commit. The
+	// client library verified the proof before delivering it.
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for cm := range cl.Commits() {
+			mu.Lock()
+			at, ok := submitTimes[cm.TxHash]
+			delete(submitTimes, cm.TxHash)
+			mu.Unlock()
+			if ok {
+				col.commit(time.Since(at))
+			}
+		}
+	}()
+
+	// Bounded async submitters so a slow gateway cannot pile up
+	// unbounded goroutines.
+	sem := make(chan struct{}, 256)
+	var swg sync.WaitGroup
+	var seq uint64
+loop:
+	for {
+		gap := time.Duration(rng.ExpFloat64() * float64(mean))
+		select {
+		case <-stop:
+			break loop
+		case <-time.After(gap):
+		}
+		seq++
+		tx := makeTx(k, seq, txSize, rng)
+		select {
+		case sem <- struct{}{}:
+		case <-stop:
+			break loop
+		}
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			defer func() { <-sem }()
+			col.submitted.Add(1)
+			at := time.Now()
+			rc, err := cl.Submit(tx)
+			if err != nil {
+				col.errors.Add(1)
+				return
+			}
+			col.receipt(rc)
+			if rc.Status == dlclient.StatusAccepted {
+				mu.Lock()
+				submitTimes[rc.TxHash] = at
+				mu.Unlock()
+			}
+		}()
+	}
+	swg.Wait()
+	// Drain window: let in-flight commits land before closing.
+	time.Sleep(2 * time.Second)
+	cl.Close()
+	cwg.Wait()
+	col.verifyFails.Add(cl.VerifyFailures())
+}
+
+func report(col *collector, elapsed time.Duration, txSize int) {
+	col.mu.Lock()
+	lats := col.latencies
+	col.mu.Unlock()
+	commits := col.commits.Load()
+	fmt.Printf("dlload: %v elapsed, %d submitted (%d bytes each)\n",
+		elapsed.Round(time.Millisecond), col.submitted.Load(), txSize)
+	fmt.Printf("  accepted        %8d  (%.1f tx/s, %.3f MB/s committed)\n",
+		col.accepted.Load(),
+		float64(commits)/elapsed.Seconds(),
+		float64(commits*int64(txSize))/elapsed.Seconds()/(1<<20))
+	fmt.Printf("  rejected        %8d  (over-capacity %d, dup-pending %d, dup-committed %d, other %d)\n",
+		col.overCapacity.Load()+col.dupPending.Load()+col.dupCommitted.Load()+col.otherReject.Load(),
+		col.overCapacity.Load(), col.dupPending.Load(), col.dupCommitted.Load(), col.otherReject.Load())
+	fmt.Printf("  commits         %8d  (verified; %d proof failures, %d errors)\n",
+		commits, col.verifyFails.Load(), col.errors.Load())
+	if len(lats) > 0 {
+		fmt.Printf("  commit latency  p50 %v  p95 %v  p99 %v  max %v\n",
+			stats.DurationPercentile(lats, 50).Round(time.Millisecond),
+			stats.DurationPercentile(lats, 95).Round(time.Millisecond),
+			stats.DurationPercentile(lats, 99).Round(time.Millisecond),
+			stats.DurationPercentile(lats, 100).Round(time.Millisecond))
+	}
+	if col.verifyFails.Load() > 0 {
+		fmt.Fprintln(os.Stderr, "dlload: COMMIT PROOFS FAILED VERIFICATION — protocol bug")
+		os.Exit(1)
+	}
+}

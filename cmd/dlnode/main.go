@@ -10,6 +10,21 @@
 // With -gen R the node also generates a synthetic transaction load of R
 // MB/s (the paper's workload) and prints per-second statistics.
 //
+// Client gateway: with -client the node serves the client-facing
+// submission protocol on the given address — the production front door:
+//
+//	dlnode -id 0 -peers ... -secret s3cret -client :9000 -mempool 64
+//
+// External clients (package dlclient, or the cmd/dlload load generator)
+// connect there to submit transactions and receive an immediate
+// accept/reject receipt plus, on delivery, a commit proof — the block
+// slot and a Merkle inclusion path verifiable against the block's
+// transaction root. Submissions are deduplicated by content hash (client
+// retries and post-crash resubmissions are idempotent; with -datadir the
+// dedup index survives restarts via the WAL), and -mempool caps the
+// queued backlog in MB: past the budget, submissions are rejected with a
+// retry-after hint instead of queued unboundedly.
+//
 // Peer authentication: run `dlnode -genkeys 4 -keydir ./keys` once to
 // create an identity keyring for a 4-node cluster, distribute the key
 // files, and start every node with `-keydir ./keys`. Without -keydir the
@@ -60,6 +75,8 @@ func main() {
 	genkeys := flag.Int("genkeys", 0, "generate identity keys for this many nodes into -keydir, then exit")
 	retain := flag.Uint64("retain", 0, "garbage-collect epochs this far behind delivery (0 = keep all); with -datadir this also bounds the on-disk chunk store")
 	datadir := flag.String("datadir", "", "directory for the write-ahead log, chunk store and checkpoints; restarting with the same directory recovers the node (empty = memory only)")
+	clientAddr := flag.String("client", "", "serve the client gateway on this address (empty = no client port)")
+	mempoolMB := flag.Float64("mempool", 0, "mempool byte budget in MB; submissions beyond it are rejected with a retry-after hint (0 = unbounded)")
 	flag.Parse()
 
 	if *genkeys > 0 {
@@ -116,10 +133,12 @@ func main() {
 			CoinSecret:   []byte(*secret),
 			RetainEpochs: *retain,
 			DataDir:      *datadir,
+			MempoolBytes: int(*mempoolMB * trace.MB),
 		},
-		Self:  *id,
-		Addrs: addrs,
-		Keys:  keys,
+		Self:       *id,
+		Addrs:      addrs,
+		Keys:       keys,
+		ClientAddr: *clientAddr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dlnode:", err)
@@ -127,6 +146,9 @@ func main() {
 	}
 	defer node.Close()
 	fmt.Printf("dlnode %d/%d listening on %s (mode %s, f=%d)\n", *id, n, node.Addr(), mode, faults)
+	if ca := node.ClientAddr(); ca != "" {
+		fmt.Printf("dlnode %d client gateway on %s\n", *id, ca)
+	}
 
 	// Drain deliveries so the channel never backs up.
 	go func() {
@@ -165,6 +187,12 @@ func main() {
 			fmt.Printf("epochs=%d txs=%d confirmed=%.2fMB rate=%.2fMB/s linked=%d\n",
 				s.EpochsDelivered, s.DeliveredTxs,
 				float64(s.DeliveredPayload)/trace.MB, rate, s.LinkedBlocks)
+			if *clientAddr != "" {
+				g := s.Gateway
+				fmt.Printf("  gateway: accepted=%d busy=%d dup=%d commits=%d streamed=%d mempool=%.0fKB\n",
+					g.Accepted, g.RejectedOverCapacity, g.RejectedDuplicate,
+					g.Commits, g.CommitsStreamed, float64(s.MempoolBytes)/1024)
+			}
 			if s.StoreErrors > 0 {
 				fmt.Fprintf(os.Stderr, "dlnode: WARNING: %d durable-write failures — persistence is OFF and %s is no longer a valid restart point\n",
 					s.StoreErrors, *datadir)

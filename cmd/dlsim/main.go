@@ -52,6 +52,7 @@ func main() {
 	chaosRun := flag.Bool("chaos", false, "run seeded adversarial simulation (partitions, Byzantine nodes, crashes) instead of a performance experiment")
 	seeds := flag.Int("seeds", 1, "with -chaos: sweep this many seeds starting at -seed")
 	lossy := flag.Bool("lossy", false, "with -chaos: allow message-destroying faults (safety checks only)")
+	clients := flag.Int("clients", 0, "with -chaos: attach this many gateway clients per node and check the gateway invariants (proof verification, exactly-once commitment)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeStr)
@@ -61,7 +62,7 @@ func main() {
 	}
 
 	if *chaosRun {
-		runChaos(mode, *n, *seed, *seeds, *duration, *lossy)
+		runChaos(mode, *n, *seed, *seeds, *duration, *lossy, *clients)
 		return
 	}
 
@@ -95,8 +96,8 @@ func main() {
 // runChaos sweeps [seed, seed+count) through chaos.Explore and exits
 // nonzero if any invariant is violated; each failing seed's report
 // carries the exact replay command.
-func runChaos(mode core.Mode, n int, seed int64, count int, duration time.Duration, lossy bool) {
-	cfg := chaos.Config{Mode: mode, Lossy: lossy}
+func runChaos(mode core.Mode, n int, seed int64, count int, duration time.Duration, lossy bool, clients int) {
+	cfg := chaos.Config{Mode: mode, Lossy: lossy, Clients: clients}
 	if n > 0 {
 		cfg.N = n
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"dledger/internal/core"
+	"dledger/internal/gateway"
 	"dledger/internal/replica"
 	"dledger/internal/store"
 	"dledger/internal/transport"
@@ -84,6 +85,20 @@ type Config struct {
 	// the log every ~64 delivered epochs; chunk segments are reclaimed
 	// in step with the RetainEpochs garbage-collection horizon.
 	DataDir string
+	// MempoolBytes caps the node's queued transaction bytes: a
+	// submission that would exceed the budget is rejected (gateway
+	// clients get an over-capacity receipt with a retry-after hint; the
+	// in-process Submit drops it and counts Stats.RejectedSubmissions)
+	// instead of growing the mempool unboundedly. Zero keeps the
+	// unbounded legacy behaviour.
+	MempoolBytes int
+	// ClientGateway enables the client-gateway machinery: content-hash
+	// deduplication of submissions (idempotent client retries, including
+	// across a node crash-restart — the hashes ride the WAL), commit
+	// proofs for delivered transactions, and the Cluster.ServeClients /
+	// NodeOptions.ClientAddr TCP front door. Setting ClientAddr on a
+	// node implies it. Costs one SHA-256 per delivered transaction.
+	ClientGateway bool
 }
 
 func (c Config) coreConfig() core.Config {
@@ -98,7 +113,12 @@ func (c Config) coreConfig() core.Config {
 }
 
 func (c Config) replicaParams() replica.Params {
-	return replica.Params{BatchDelay: c.BatchDelay, BatchBytes: c.BatchBytes}
+	return replica.Params{
+		BatchDelay:   c.BatchDelay,
+		BatchBytes:   c.BatchBytes,
+		MempoolBytes: c.MempoolBytes,
+		ClientDedup:  c.ClientGateway,
+	}
 }
 
 // Delivery is one committed block, as observed by one node. Deliveries
@@ -132,17 +152,72 @@ type Stats struct {
 	// no longer a valid restart point) — a nonzero value needs operator
 	// attention.
 	StoreErrors int64
+	// RejectedSubmissions counts submissions refused by admission
+	// control (duplicates and over-budget rejections, across the
+	// in-process and gateway paths); Gateway has the per-cause split.
+	RejectedSubmissions int64
+	// MempoolBytes is the current queued-transaction backlog — with
+	// Config.MempoolBytes set it never exceeds that budget.
+	MempoolBytes int64
+	// Gateway holds the client-gateway counters (zero without one).
+	Gateway GatewayStats
+}
+
+// GatewayStats are the per-cause client-gateway counters of one node.
+type GatewayStats struct {
+	// Accepted counts accepted gateway submissions.
+	Accepted int64
+	// RejectedDuplicate counts duplicate submissions (already pending or
+	// already committed) — the idempotent-retry path, not an error.
+	RejectedDuplicate int64
+	// RejectedOverCapacity counts submissions rejected because the
+	// mempool byte budget was exhausted (clients got retry-after hints).
+	RejectedOverCapacity int64
+	// RejectedOversize and RejectedInvalid count per-transaction cap and
+	// malformed-submission rejections.
+	RejectedOversize int64
+	RejectedInvalid  int64
+	// Commits counts committed transactions indexed for proofs;
+	// CommitsStreamed those delivered to subscriptions, CommitsDropped
+	// those lost to a full subscriber buffer (recoverable by
+	// resubmission).
+	Commits         int64
+	CommitsStreamed int64
+	CommitsDropped  int64
+}
+
+func gatewayStats(c gateway.Counters) GatewayStats {
+	return GatewayStats{
+		Accepted:             c.Accepted,
+		RejectedDuplicate:    c.RejectedDuplicate,
+		RejectedOverCapacity: c.RejectedOverCapacity,
+		RejectedOversize:     c.RejectedOversize,
+		RejectedInvalid:      c.RejectedInvalid,
+		Commits:              c.Commits,
+		CommitsStreamed:      c.CommitsStreamed,
+		CommitsDropped:       c.CommitsDropped,
+	}
 }
 
 // Cluster is an in-process DispersedLedger deployment.
 type Cluster struct {
 	mem    *transport.MemoryCluster
 	stores []store.Store
+	hubs   []*gateway.Hub // per node, nil without Config.ClientGateway
 
 	mu      sync.Mutex
 	subs    []chan Delivery
 	dropped []int64 // per node, updated atomically on the consensus loops
+	servers []*gateway.Server
 }
+
+// clusterExec adapts one node of a MemoryCluster to gateway.Node.
+type clusterExec struct {
+	c *Cluster
+	i int
+}
+
+func (e clusterExec) Exec(fn func(r *replica.Replica)) { e.c.mem.Inspect(e.i, fn) }
 
 // NewCluster starts an N-node in-process cluster. With Config.DataDir
 // set, each node persists to DataDir/node-<i> and a cluster re-created
@@ -168,11 +243,22 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			stores = append(stores, st)
 		}
 	}
+	if cfg.ClientGateway {
+		c.hubs = make([]*gateway.Hub, cc.N)
+		for i := range c.hubs {
+			c.hubs[i] = gateway.NewHub(clusterExec{c, i}, gateway.Options{
+				N: cc.N, F: cc.F,
+			})
+		}
+	}
 	mem, err := transport.NewMemoryCluster(transport.MemoryOptions{
 		Core:    cc,
 		Replica: cfg.replicaParams(),
 		Stores:  stores,
 		OnDeliver: func(node int, d replica.Delivery) {
+			if c.hubs != nil {
+				c.hubs[node].OnDeliver(d)
+			}
 			c.mu.Lock()
 			ch := c.subs[node]
 			c.mu.Unlock()
@@ -194,7 +280,35 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.mem = mem
 	c.stores = stores
+	// Re-seed gateway proofs from each node's recovered log, so clients
+	// resubmitting pre-restart transactions get verifiable receipts.
+	for i, hub := range c.hubs {
+		var recovered []replica.RecoveredBlock
+		c.mem.Inspect(i, func(r *replica.Replica) { recovered = r.RecoveredBlocks() })
+		hub.Seed(recovered)
+	}
 	return c, nil
+}
+
+// ServeClients starts the client-gateway TCP listener for node i on
+// addr (port 0 picks a free port) and returns the bound address. It
+// requires Config.ClientGateway; connect with package dlclient. The
+// listener is closed with the cluster.
+func (c *Cluster) ServeClients(i int, addr string) (string, error) {
+	if i < 0 || i >= c.mem.N() {
+		return "", ErrBadNode
+	}
+	if c.hubs == nil {
+		return "", errors.New("dispersedledger: ServeClients requires Config.ClientGateway")
+	}
+	srv, err := gateway.Serve(c.hubs[i], addr)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.servers = append(c.servers, srv)
+	c.mu.Unlock()
+	return srv.Addr(), nil
 }
 
 func closeStores(stores []store.Store) {
@@ -233,23 +347,36 @@ func (c *Cluster) Stats(i int) (Stats, error) {
 	var out Stats
 	c.mem.Inspect(i, func(r *replica.Replica) {
 		out = Stats{
-			Submitted:        r.Stats.Submitted,
-			DeliveredTxs:     r.Stats.DeliveredTxs,
-			DeliveredPayload: r.Stats.DeliveredPayload,
-			EpochsDelivered:  r.Stats.EpochsDelivered,
-			LinkedBlocks:     r.Stats.LinkedBlocks,
-			StoreErrors:      r.Stats.StoreErrors,
+			Submitted:           r.Stats.Submitted,
+			DeliveredTxs:        r.Stats.DeliveredTxs,
+			DeliveredPayload:    r.Stats.DeliveredPayload,
+			EpochsDelivered:     r.Stats.EpochsDelivered,
+			LinkedBlocks:        r.Stats.LinkedBlocks,
+			StoreErrors:         r.Stats.StoreErrors,
+			RejectedSubmissions: r.Stats.RejectedSubmissions,
+			MempoolBytes:        int64(r.PendingBytes()),
 		}
 	})
 	out.DroppedDeliveries = atomic.LoadInt64(&c.dropped[i])
+	if c.hubs != nil {
+		out.Gateway = gatewayStats(c.hubs[i].Counters())
+	}
 	return out, nil
 }
 
 // N returns the cluster size.
 func (c *Cluster) N() int { return c.mem.N() }
 
-// Close stops the cluster and flushes any durable stores.
+// Close stops the cluster, its client-gateway listeners, and flushes
+// any durable stores.
 func (c *Cluster) Close() {
+	c.mu.Lock()
+	servers := c.servers
+	c.servers = nil
+	c.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
 	c.mem.Close()
 	closeStores(c.stores)
 }
@@ -258,9 +385,16 @@ func (c *Cluster) Close() {
 type Node struct {
 	tcp     *transport.TCPNode
 	st      store.Store
+	hub     *gateway.Hub    // nil without a client gateway
+	gw      *gateway.Server // nil without NodeOptions.ClientAddr
 	sub     chan Delivery
 	dropped int64 // updated atomically on the consensus loop
 }
+
+// nodeExec adapts a TCPNode to gateway.Node.
+type nodeExec struct{ n *Node }
+
+func (e nodeExec) Exec(fn func(r *replica.Replica)) { e.n.tcp.Inspect(fn) }
 
 // Keyring re-exports the transport identity keyring: generate one set
 // per cluster with GenerateKeyring and give each node its own entry.
@@ -285,6 +419,11 @@ type NodeOptions struct {
 	// keys, peers are identified by their self-declared handshake id —
 	// acceptable only on trusted networks.
 	Keys *Keyring
+	// ClientAddr, when set, serves the client gateway on this address
+	// (port 0 picks a free port; see ClientAddr()): external clients
+	// connect with package dlclient to submit transactions and receive
+	// commit proofs. Implies Config.ClientGateway.
+	ClientAddr string
 }
 
 // NewTCPNode starts one node of a TCP cluster. Config.CoinSecret must be
@@ -293,6 +432,13 @@ type NodeOptions struct {
 // store and log position and rejoins the cluster where it left off.
 func NewTCPNode(opts NodeOptions) (*Node, error) {
 	n := &Node{sub: make(chan Delivery, 1024)}
+	if opts.ClientAddr != "" {
+		opts.Config.ClientGateway = true
+	}
+	cc := opts.Config.coreConfig()
+	if opts.Config.ClientGateway {
+		n.hub = gateway.NewHub(nodeExec{n}, gateway.Options{N: cc.N, F: cc.F})
+	}
 	var st store.Store
 	if opts.Config.DataDir != "" {
 		var err error
@@ -302,7 +448,7 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 		}
 	}
 	tcp, err := transport.NewTCPNode(transport.TCPOptions{
-		Core:     opts.Config.coreConfig(),
+		Core:     cc,
 		Replica:  opts.Config.replicaParams(),
 		Self:     opts.Self,
 		Addrs:    opts.Addrs,
@@ -310,6 +456,9 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 		Keys:     opts.Keys,
 		Store:    st,
 		OnDeliver: func(d replica.Delivery) {
+			if n.hub != nil {
+				n.hub.OnDeliver(d)
+			}
 			select {
 			case n.sub <- Delivery{
 				Time: d.At, Epoch: d.Epoch, Proposer: d.Proposer,
@@ -328,6 +477,21 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 	}
 	n.tcp = tcp
 	n.st = st
+	if n.hub != nil {
+		// Re-seed gateway proofs from the recovered log so pre-restart
+		// commitments stay provable to resubmitting clients.
+		var recovered []replica.RecoveredBlock
+		tcp.Inspect(func(r *replica.Replica) { recovered = r.RecoveredBlocks() })
+		n.hub.Seed(recovered)
+	}
+	if opts.ClientAddr != "" {
+		gw, err := gateway.Serve(n.hub, opts.ClientAddr)
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		n.gw = gw
+	}
 	return n, nil
 }
 
@@ -340,25 +504,43 @@ func (n *Node) Deliveries() <-chan Delivery { return n.sub }
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.tcp.Addr() }
 
+// ClientAddr returns the client-gateway listen address ("" when no
+// gateway is served).
+func (n *Node) ClientAddr() string {
+	if n.gw == nil {
+		return ""
+	}
+	return n.gw.Addr()
+}
+
 // Stats snapshots the node's counters.
 func (n *Node) Stats() Stats {
 	var out Stats
 	n.tcp.Inspect(func(r *replica.Replica) {
 		out = Stats{
-			Submitted:        r.Stats.Submitted,
-			DeliveredTxs:     r.Stats.DeliveredTxs,
-			DeliveredPayload: r.Stats.DeliveredPayload,
-			EpochsDelivered:  r.Stats.EpochsDelivered,
-			LinkedBlocks:     r.Stats.LinkedBlocks,
-			StoreErrors:      r.Stats.StoreErrors,
+			Submitted:           r.Stats.Submitted,
+			DeliveredTxs:        r.Stats.DeliveredTxs,
+			DeliveredPayload:    r.Stats.DeliveredPayload,
+			EpochsDelivered:     r.Stats.EpochsDelivered,
+			LinkedBlocks:        r.Stats.LinkedBlocks,
+			StoreErrors:         r.Stats.StoreErrors,
+			RejectedSubmissions: r.Stats.RejectedSubmissions,
+			MempoolBytes:        int64(r.PendingBytes()),
 		}
 	})
 	out.DroppedDeliveries = atomic.LoadInt64(&n.dropped)
+	if n.hub != nil {
+		out.Gateway = gatewayStats(n.hub.Counters())
+	}
 	return out
 }
 
-// Close stops the node and flushes its durable store.
+// Close stops the node (client gateway first) and flushes its durable
+// store.
 func (n *Node) Close() {
+	if n.gw != nil {
+		n.gw.Close()
+	}
 	n.tcp.Close()
 	if n.st != nil {
 		n.st.Close()

@@ -70,6 +70,48 @@ func TestExploreSweepQuick(t *testing.T) {
 	}
 }
 
+// TestExploreWithGatewayClients runs the randomized sweep with gateway
+// clients attached to every node: on top of the consensus invariants,
+// every streamed commit proof must verify, no honest node may commit a
+// client transaction twice (dedup across retries and crash-restarts),
+// and every accepted transaction must commit by the horizon. The replay
+// determinism that makes failing seeds debuggable must survive the
+// client machinery too.
+func TestExploreWithGatewayClients(t *testing.T) {
+	cfg := Config{Clients: 2}
+	for seed := int64(7); seed <= 11; seed++ {
+		r, err := Explore(seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Failed() {
+			t.Errorf("seed %d:\n%s", seed, r.Report())
+		}
+		commits := 0
+		for _, rep := range r.Clients {
+			commits += rep.Commits
+		}
+		if commits == 0 {
+			t.Errorf("seed %d: no client commit ever flowed", seed)
+		}
+	}
+	// Replay determinism with clients enabled.
+	r1, err := Explore(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Explore(8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Errorf("client-traffic fingerprints differ: %016x vs %016x", r1.Fingerprint, r2.Fingerprint)
+	}
+	if !reflect.DeepEqual(r1.Clients, r2.Clients) {
+		t.Error("client reports differ across replays of one seed")
+	}
+}
+
 // TestByzantinePartitionMatrix pins down the acceptance scenarios: each
 // Byzantine behavior, at full strength (f nodes), under a partition
 // that cuts honest nodes off mid-run and heals — across cluster sizes

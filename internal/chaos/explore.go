@@ -40,6 +40,16 @@ type Config struct {
 	// reliable transport, so liveness is NOT checked on lossy runs —
 	// only safety (agreement, integrity, validity).
 	Lossy bool
+	// Clients attaches this many emulated gateway clients to every node
+	// (0 = none): Poisson submissions through each node's gateway.Hub,
+	// receipt-driven backoff, post-restart resubmission, and proof
+	// verification. The run then also checks the gateway invariants:
+	// every proof verifies, honest nodes never double-commit a client
+	// transaction, and (non-lossy) every accepted transaction of an
+	// honest node's client commits by the horizon.
+	Clients int
+	// ClientRate is each client's offered load (default 20 KB/s).
+	ClientRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxLinkRules == 0 {
 		c.MaxLinkRules = 3
 	}
+	if c.Clients > 0 && c.ClientRate == 0 {
+		c.ClientRate = 20 << 10
+	}
 	return c
 }
 
@@ -94,6 +107,8 @@ type Result struct {
 	Logs [][]harness.LogEntry
 	// EpochsDelivered per node, at the horizon.
 	EpochsDelivered []int64
+	// Clients are the gateway-client reports (when Config.Clients > 0).
+	Clients []harness.ClientReport
 	// Violations is empty iff every checked invariant held.
 	Violations []string
 	// Fingerprint digests the fault schedule and every honest log —
@@ -116,6 +131,18 @@ func (r *Result) Report() string {
 		r.Seed, r.Cfg.N, r.Cfg.F, r.Cfg.Mode, r.Fingerprint)
 	s += r.Plan.String()
 	s += fmt.Sprintf("  epochs delivered per node: %v\n", r.EpochsDelivered)
+	if len(r.Clients) > 0 {
+		var acc, commits, busy, dup, resub int
+		for _, rep := range r.Clients {
+			acc += rep.Accepted
+			commits += rep.Commits
+			busy += rep.RejectedBusy
+			dup += rep.RejectedDup
+			resub += rep.Resubmitted
+		}
+		s += fmt.Sprintf("  gateway clients: %d accepted, %d commits verified, %d busy, %d dup, %d resubmits\n",
+			acc, commits, busy, dup, resub)
+	}
 	if !r.Failed() {
 		return s + "  all invariants held\n"
 	}
@@ -139,10 +166,11 @@ func (r *Result) replayCommand() string {
 	if r.Cfg == def {
 		return fmt.Sprintf("go test ./internal/chaos -run Explore -seed=%d", r.Seed)
 	}
-	// dlsim can express N, Mode, Horizon and Lossy; everything else must
-	// match what dlsim (and this config) derive by default, or no CLI
-	// command reproduces the run.
-	cliCfg := Config{N: r.Cfg.N, Mode: r.Cfg.Mode, Horizon: r.Cfg.Horizon, Lossy: r.Cfg.Lossy}.withDefaults()
+	// dlsim can express N, Mode, Horizon, Lossy and Clients; everything
+	// else must match what dlsim (and this config) derive by default, or
+	// no CLI command reproduces the run.
+	cliCfg := Config{N: r.Cfg.N, Mode: r.Cfg.Mode, Horizon: r.Cfg.Horizon,
+		Lossy: r.Cfg.Lossy, Clients: r.Cfg.Clients}.withDefaults()
 	if r.Cfg != cliCfg {
 		return fmt.Sprintf("chaos.Explore(%d, <the identical Config>)", r.Seed)
 	}
@@ -153,6 +181,9 @@ func (r *Result) replayCommand() string {
 	}
 	if r.Cfg.Lossy {
 		cmd += " -lossy"
+	}
+	if r.Cfg.Clients > 0 {
+		cmd += fmt.Sprintf(" -clients %d", r.Cfg.Clients)
 	}
 	return cmd
 }
@@ -253,7 +284,12 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 		TxSize:      250,
 		LoadPerNode: cfg.LoadPerNode,
 		Durable:     true,
-		Seed:        p.Seed,
+		Clients:     cfg.Clients,
+		ClientRate:  cfg.ClientRate,
+		// Stop client submissions when the fault window closes so the
+		// quiet tail can drain every accepted transaction.
+		ClientStop: cfg.Horizon * 3 / 5,
+		Seed:       p.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -285,6 +321,43 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 	for _, i := range res.Honest {
 		res.Violations = append(res.Violations, harness.CheckNoDuplicates(i, res.Logs[i])...)
 		res.Violations = append(res.Violations, lr.CheckTxValidity(i, cfg.N, honestMask)...)
+	}
+
+	// Gateway-client invariants: proofs always verify and honest nodes
+	// never double-commit a client transaction (safety, even lossy).
+	// Commit *streaming* requires the serving node to deliver the block
+	// locally, so the every-accepted-tx-committed check applies only to
+	// nodes that caught up with the cluster's delivery frontier by the
+	// horizon — a restarted node still draining its backlog streams the
+	// remaining commits after the cut (same tolerance as the liveness
+	// checks above and harness.RunCrashRestart's caught-up criterion).
+	if cfg.Clients > 0 {
+		res.Clients = c.ClientReports()
+		for _, i := range res.Honest {
+			res.Violations = append(res.Violations, lr.CheckNoDuplicateTxs(i, honestMask)...)
+		}
+		var maxDelivered int64
+		for _, i := range res.Honest {
+			if d := res.EpochsDelivered[i]; d > maxDelivered {
+				maxDelivered = d
+			}
+		}
+		for _, rep := range res.Clients {
+			if !honestMask[rep.Node] {
+				continue // a Byzantine node's gateway promises nothing
+			}
+			if rep.VerifyFailures > 0 {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"gateway: client %d@%d saw %d commit proofs fail verification",
+					rep.Client, rep.Node, rep.VerifyFailures))
+			}
+			caughtUp := res.EpochsDelivered[rep.Node]+2 >= maxDelivered
+			if !lossyPlan(p) && c.Alive(rep.Node) && caughtUp && rep.Outstanding > 0 {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"gateway: client %d@%d has %d accepted txs uncommitted at the horizon",
+					rep.Client, rep.Node, rep.Outstanding))
+			}
+		}
 	}
 
 	// Liveness and recovery require the eventual-delivery assumption:

@@ -1,0 +1,257 @@
+package gateway
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/mempool"
+	"dledger/internal/replica"
+	"dledger/internal/wire"
+)
+
+// stubCtx is a replica context that goes nowhere: hub unit tests only
+// exercise admission and proof logic, not consensus.
+type stubCtx struct{}
+
+func (stubCtx) Now() time.Duration                             { return 0 }
+func (stubCtx) Send(int, wire.Envelope, wire.Priority, uint64) {}
+func (stubCtx) After(time.Duration, func())                    {}
+
+// stubNode satisfies gateway.Node with a standalone replica.
+type stubNode struct{ r *replica.Replica }
+
+func (s stubNode) Exec(fn func(*replica.Replica)) { fn(s.r) }
+
+func newStub(t *testing.T, params replica.Params) stubNode {
+	t.Helper()
+	r, err := replica.New(core.Config{N: 4, F: 1}, 0, params, stubCtx{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stubNode{r}
+}
+
+func delivery(epoch uint64, proposer int, txs ...[]byte) replica.Delivery {
+	d := replica.Delivery{Epoch: epoch, Proposer: proposer, Txs: txs}
+	for _, tx := range txs {
+		d.TxHashes = append(d.TxHashes, mempool.HashTx(tx))
+	}
+	return d
+}
+
+func TestHubSubmitReceiptAndCommit(t *testing.T) {
+	node := newStub(t, replica.Params{ClientDedup: true})
+	hub := NewHub(node, Options{N: 4, F: 1})
+	sub := hub.Subscribe(7, 16)
+
+	tx := []byte("hello gateway tx")
+	rc := hub.Submit(7, 1, tx)
+	if rc.Status != StatusAccepted {
+		t.Fatalf("status = %v, want accepted", rc.Status)
+	}
+	if rc.TxHash != mempool.HashTx(tx) {
+		t.Fatal("receipt hash mismatch")
+	}
+
+	// The block commits with the tx in slot 1 among three.
+	other1, other2 := []byte("other tx A"), []byte("other tx B")
+	node.r.Submit(other1) // reach the pool so hashes match reality
+	hub.OnDeliver(delivery(3, 2, other1, tx, other2))
+
+	select {
+	case c := <-sub.C:
+		if c.Epoch != 3 || c.Proposer != 2 || c.Index != 1 || c.Count != 3 {
+			t.Fatalf("commit = %+v", c)
+		}
+		if !c.Verify(tx) {
+			t.Fatal("proof did not verify")
+		}
+		if c.Verify(other1) {
+			t.Fatal("proof verified the wrong tx")
+		}
+	default:
+		t.Fatal("no commit streamed")
+	}
+
+	ctr := hub.Counters()
+	if ctr.Accepted != 1 || ctr.Commits != 3 || ctr.CommitsStreamed != 1 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+}
+
+func TestHubDuplicateAndResubmission(t *testing.T) {
+	node := newStub(t, replica.Params{ClientDedup: true})
+	hub := NewHub(node, Options{N: 4, F: 1})
+	sub := hub.Subscribe(9, 16)
+
+	tx := []byte("retry me")
+	if rc := hub.Submit(9, 1, tx); rc.Status != StatusAccepted {
+		t.Fatalf("first submit: %v", rc.Status)
+	}
+	// A retry while pending is deduplicated, not queued twice.
+	if rc := hub.Submit(9, 2, tx); rc.Status != StatusDuplicatePending {
+		t.Fatalf("second submit: %v", rc.Status)
+	}
+	if got := node.r.PendingBytes(); got != len(tx) {
+		t.Fatalf("pending bytes = %d, want one copy (%d)", got, len(tx))
+	}
+
+	hub.OnDeliver(delivery(1, 0, tx))
+	<-sub.C // original commit
+
+	// Resubmission after commitment: duplicate-committed receipt AND the
+	// proof re-streamed, so a crashed client can re-learn its commit.
+	rc := hub.Submit(9, 3, tx)
+	if rc.Status != StatusDuplicateCommitted {
+		t.Fatalf("resubmit: %v", rc.Status)
+	}
+	select {
+	case c := <-sub.C:
+		if !c.Verify(tx) {
+			t.Fatal("re-streamed proof did not verify")
+		}
+	default:
+		t.Fatal("no proof re-streamed on duplicate-committed")
+	}
+	if ctr := hub.Counters(); ctr.RejectedDuplicate != 2 {
+		t.Fatalf("RejectedDuplicate = %d, want 2", ctr.RejectedDuplicate)
+	}
+}
+
+func TestHubOverCapacity(t *testing.T) {
+	node := newStub(t, replica.Params{ClientDedup: true, MempoolBytes: 64})
+	hub := NewHub(node, Options{N: 4, F: 1, RetryAfter: 123 * time.Millisecond})
+
+	if rc := hub.Submit(5, 1, bytes.Repeat([]byte{1}, 60)); rc.Status != StatusAccepted {
+		t.Fatalf("fill: %v", rc.Status)
+	}
+	rc := hub.Submit(5, 2, bytes.Repeat([]byte{2}, 60))
+	if rc.Status != StatusOverCapacity {
+		t.Fatalf("overflow: %v", rc.Status)
+	}
+	if rc.RetryAfter != 123*time.Millisecond {
+		t.Fatalf("retry hint = %v", rc.RetryAfter)
+	}
+	// The mempool never grew past its budget.
+	if got := node.r.PendingBytes(); got > 64 {
+		t.Fatalf("pending bytes %d exceed budget", got)
+	}
+	if ctr := hub.Counters(); ctr.RejectedOverCapacity != 1 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+}
+
+func TestHubOversizeAndInvalid(t *testing.T) {
+	node := newStub(t, replica.Params{ClientDedup: true})
+	hub := NewHub(node, Options{N: 4, F: 1, MaxTxBytes: 128})
+	if rc := hub.Submit(1, 1, bytes.Repeat([]byte{1}, 129)); rc.Status != StatusOversize {
+		t.Fatalf("oversize: %v", rc.Status)
+	}
+	if rc := hub.Submit(1, 2, nil); rc.Status != StatusInvalid {
+		t.Fatalf("empty: %v", rc.Status)
+	}
+}
+
+func TestHubSeedRecoversProofs(t *testing.T) {
+	node := newStub(t, replica.Params{ClientDedup: true})
+	hub := NewHub(node, Options{N: 4, F: 1})
+	tx := []byte("pre-crash commit")
+	hub.Seed([]replica.RecoveredBlock{{
+		Epoch: 9, Proposer: 1,
+		TxHashes: []mempool.Hash{mempool.HashTx([]byte("a")), mempool.HashTx(tx)},
+	}})
+	sub := hub.Subscribe(4, 4)
+	rc := hub.Submit(4, 1, tx)
+	if rc.Status != StatusDuplicateCommitted {
+		t.Fatalf("status = %v, want duplicate-committed from seeded index", rc.Status)
+	}
+	c := <-sub.C
+	if c.Epoch != 9 || c.Index != 1 || !c.Verify(tx) {
+		t.Fatalf("seeded commit = %+v", c)
+	}
+}
+
+func TestHubProofEviction(t *testing.T) {
+	node := newStub(t, replica.Params{ClientDedup: true})
+	hub := NewHub(node, Options{N: 4, F: 1, ProofBlocks: 2})
+	txs := [][]byte{[]byte("t0"), []byte("t1"), []byte("t2")}
+	for i, tx := range txs {
+		hub.OnDeliver(delivery(uint64(i+1), 0, tx))
+	}
+	hub.mu.Lock()
+	held := len(hub.blocks)
+	_, oldest := hub.index[mempool.HashTx(txs[0])]
+	_, newest := hub.index[mempool.HashTx(txs[2])]
+	hub.mu.Unlock()
+	if held != 2 || oldest || !newest {
+		t.Fatalf("eviction: held=%d oldest=%v newest=%v", held, oldest, newest)
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	hello := Hello{Name: []byte("client-a"), Subscribe: true}
+	m, err := DecodeMessage(EncodeHello(hello))
+	if err != nil || m.Type != MTHello || !bytes.Equal(m.Hello.Name, hello.Name) || !m.Hello.Subscribe {
+		t.Fatalf("hello round trip: %+v %v", m, err)
+	}
+
+	w := Welcome{ClientID: 0xdeadbeef, N: 31, F: 10, MaxTxBytes: 1 << 20}
+	m, err = DecodeMessage(EncodeWelcome(w))
+	if err != nil || *m.Welcome != w {
+		t.Fatalf("welcome round trip: %+v %v", m, err)
+	}
+
+	s := Submit{ReqID: 42, Tx: []byte("payload")}
+	m, err = DecodeMessage(EncodeSubmit(s))
+	if err != nil || m.Submit.ReqID != 42 || !bytes.Equal(m.Submit.Tx, s.Tx) {
+		t.Fatalf("submit round trip: %+v %v", m, err)
+	}
+
+	rc := Receipt{ReqID: 7, Status: StatusOverCapacity, RetryAfter: 250 * time.Millisecond,
+		TxHash: mempool.HashTx([]byte("x"))}
+	m, err = DecodeMessage(EncodeReceipt(rc))
+	if err != nil || *m.Receipt != rc {
+		t.Fatalf("receipt round trip: %+v %v", m, err)
+	}
+
+	// A commit with a real proof survives the wire and still verifies.
+	tx := []byte("prove me")
+	hashes := []mempool.Hash{mempool.HashTx([]byte("a")), mempool.HashTx(tx), mempool.HashTx([]byte("c"))}
+	tree := txTree(hashes)
+	proof, err := tree.Prove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Commit{TxHash: hashes[1], Epoch: 5, Proposer: 3, Index: 1, Count: 3,
+		Root: tree.Root(), Path: proof.Path}
+	m, err = DecodeMessage(EncodeCommit(c))
+	if err != nil || !m.Commit.Verify(tx) {
+		t.Fatalf("commit round trip: %+v %v", m, err)
+	}
+
+	p := Ping{Nonce: 99}
+	if m, err = DecodeMessage(EncodePing(p)); err != nil || m.Ping.Nonce != 99 {
+		t.Fatalf("ping round trip: %v", err)
+	}
+	if m, err = DecodeMessage(EncodePong(p)); err != nil || m.Type != MTPong {
+		t.Fatalf("pong round trip: %v", err)
+	}
+
+	// Truncations and junk fail loudly rather than misparse.
+	for _, frame := range [][]byte{{}, {0xFF}, EncodeSubmit(s)[:5], EncodeCommit(c)[:20]} {
+		if _, err := DecodeMessage(frame); err == nil {
+			t.Fatalf("malformed frame decoded: %x", frame)
+		}
+	}
+}
+
+func TestClientIDNeverLocal(t *testing.T) {
+	if ClientID([]byte("any name")) == mempool.LocalClient {
+		t.Fatal("client id collided with LocalClient")
+	}
+	if ClientID([]byte("a")) == ClientID([]byte("b")) {
+		t.Fatal("distinct names mapped to one id")
+	}
+}

@@ -1,0 +1,466 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"dledger/internal/mempool"
+	"dledger/internal/merkle"
+	"dledger/internal/replica"
+)
+
+// Status classifies a submission receipt.
+type Status uint8
+
+// Receipt statuses. Exactly one is returned per submission, immediately.
+const (
+	// StatusAccepted: the transaction entered the mempool; a Commit will
+	// follow on delivery.
+	StatusAccepted Status = iota
+	// StatusDuplicatePending: identical content is already queued or in
+	// flight here; the original's Commit covers this submission too.
+	StatusDuplicatePending
+	// StatusDuplicateCommitted: identical content already committed —
+	// the idempotent-resubmission case. The Commit proof is re-streamed
+	// to the submitter when the serving node still holds it.
+	StatusDuplicateCommitted
+	// StatusOverCapacity: the mempool byte budget is exhausted; retry
+	// after the receipt's RetryAfter hint.
+	StatusOverCapacity
+	// StatusOversize: the transaction exceeds the per-transaction cap.
+	StatusOversize
+	// StatusInvalid: structurally unacceptable (empty).
+	StatusInvalid
+)
+
+// Accepted reports whether the submission entered (or already passed
+// through) the log: accepted and both duplicate statuses all mean the
+// content is, or will be, committed exactly once.
+func (s Status) Accepted() bool {
+	return s == StatusAccepted || s == StatusDuplicatePending || s == StatusDuplicateCommitted
+}
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusAccepted:
+		return "accepted"
+	case StatusDuplicatePending:
+		return "duplicate-pending"
+	case StatusDuplicateCommitted:
+		return "duplicate-committed"
+	case StatusOverCapacity:
+		return "over-capacity"
+	case StatusOversize:
+		return "oversize"
+	case StatusInvalid:
+		return "invalid"
+	default:
+		return "unknown"
+	}
+}
+
+// Receipt is the immediate, synchronous answer to one submission.
+type Receipt struct {
+	ReqID  uint64
+	Status Status
+	TxHash mempool.Hash
+	// RetryAfter hints when an over-capacity submitter should try again.
+	RetryAfter time.Duration
+}
+
+// Counters are the hub's per-cause statistics.
+type Counters struct {
+	Accepted             int64
+	RejectedDuplicate    int64 // pending + committed duplicates
+	RejectedOverCapacity int64
+	RejectedOversize     int64
+	RejectedInvalid      int64
+	// Commits counts committed transactions indexed by the hub;
+	// CommitsStreamed those pushed to a live subscription, and
+	// CommitsDropped those lost to a full subscriber buffer (the client
+	// recovers by resubmitting: duplicate-committed re-streams the proof).
+	Commits         int64
+	CommitsStreamed int64
+	CommitsDropped  int64
+}
+
+// Rejected returns the total rejections across causes.
+func (c Counters) Rejected() int64 {
+	return c.RejectedDuplicate + c.RejectedOverCapacity + c.RejectedOversize + c.RejectedInvalid
+}
+
+// Node is the consensus node a hub fronts: Exec runs a function on the
+// node's event loop (where the replica may be touched) and waits for it.
+// transport.TCPNode.Inspect and transport.MemoryCluster.Inspect satisfy
+// it; the emulated harness runs single-threaded and execs inline.
+type Node interface {
+	Exec(fn func(*replica.Replica))
+}
+
+// Options tunes a Hub.
+type Options struct {
+	// N and F describe the cluster, echoed to clients at handshake.
+	N, F int
+	// MaxTxBytes caps one transaction (default 1 MB).
+	MaxTxBytes int
+	// RetryAfter is the backpressure hint attached to over-capacity
+	// rejections (default 250 ms, roughly two batching delays).
+	RetryAfter time.Duration
+	// ProofBlocks bounds how many recent blocks keep their commit-proof
+	// trees resident (default 4096). Older commits still reject
+	// duplicates — the mempool's committed memory is the authority — but
+	// can no longer re-stream a proof.
+	ProofBlocks int
+}
+
+func (o Options) maxTx() int {
+	if o.MaxTxBytes == 0 {
+		return 1 << 20
+	}
+	return o.MaxTxBytes
+}
+
+func (o Options) retryAfter() time.Duration {
+	if o.RetryAfter == 0 {
+		return 250 * time.Millisecond
+	}
+	return o.RetryAfter
+}
+
+func (o Options) proofBlocks() int {
+	if o.ProofBlocks == 0 {
+		return 4096
+	}
+	return o.ProofBlocks
+}
+
+// blockID names a log slot.
+type blockID struct {
+	epoch    uint64
+	proposer int
+}
+
+// Sub is one client's commit subscription. C drops (never blocks) when
+// the buffer fills: the consensus loop must not wait on a slow client.
+type Sub struct {
+	Client uint64
+	C      chan Commit
+	closed bool
+}
+
+// Hub is the gateway brain of one node. All methods are safe for
+// concurrent use; OnDeliver is additionally safe to call from the node's
+// consensus loop (it never blocks).
+type Hub struct {
+	node Node
+	opts Options
+
+	mu       sync.Mutex
+	blocks   map[blockID]*proofBlock
+	order    []blockID // FIFO eviction of proof trees
+	index    map[mempool.Hash]txRef
+	interest map[mempool.Hash][]uint64
+	subs     map[uint64][]*Sub
+	counters Counters
+}
+
+// proofBlock caches one delivered block's ordered tx hashes; the proof
+// tree is built on the first proof request and kept until eviction.
+type proofBlock struct {
+	hashes []mempool.Hash
+	tree   *merkle.Tree
+}
+
+type txRef struct {
+	id    blockID
+	index int
+}
+
+// NewHub creates the hub fronting node.
+func NewHub(node Node, opts Options) *Hub {
+	return &Hub{
+		node:     node,
+		opts:     opts,
+		blocks:   map[blockID]*proofBlock{},
+		index:    map[mempool.Hash]txRef{},
+		interest: map[mempool.Hash][]uint64{},
+		subs:     map[uint64][]*Sub{},
+	}
+}
+
+// N and F report the cluster shape (for the protocol handshake).
+func (h *Hub) N() int { return h.opts.N }
+
+// F reports the fault tolerance.
+func (h *Hub) F() int { return h.opts.F }
+
+// MaxTxBytes reports the per-transaction cap.
+func (h *Hub) MaxTxBytes() int { return h.opts.maxTx() }
+
+// Counters snapshots the per-cause statistics.
+func (h *Hub) Counters() Counters {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counters
+}
+
+// Subscribe opens a commit subscription for a client. Commits of the
+// client's accepted transactions are pushed to the returned channel
+// (dropped, and counted, if the buffer fills). Close the subscription
+// with Unsubscribe.
+func (h *Hub) Subscribe(client uint64, buffer int) *Sub {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	s := &Sub{Client: client, C: make(chan Commit, buffer)}
+	h.mu.Lock()
+	h.subs[client] = append(h.subs[client], s)
+	h.mu.Unlock()
+	return s
+}
+
+// Unsubscribe closes a subscription; its channel is closed.
+func (h *Hub) Unsubscribe(s *Sub) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	list := h.subs[s.Client]
+	kept := list[:0]
+	for _, x := range list {
+		if x != s {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) == 0 {
+		delete(h.subs, s.Client)
+	} else {
+		h.subs[s.Client] = kept
+	}
+	close(s.C)
+}
+
+// push streams one commit to every live subscription of a client.
+// Callers hold h.mu.
+func (h *Hub) push(client uint64, c Commit) {
+	for _, s := range h.subs[client] {
+		select {
+		case s.C <- c:
+			h.counters.CommitsStreamed++
+		default:
+			h.counters.CommitsDropped++
+		}
+	}
+}
+
+// Submit runs admission for one client transaction and returns its
+// receipt. Accepted transactions are remembered so the client's
+// subscription receives the Commit on delivery; duplicate-committed
+// resubmissions get their proof re-streamed immediately.
+func (h *Hub) Submit(client uint64, reqID uint64, tx []byte) Receipt {
+	rc := Receipt{ReqID: reqID}
+	if len(tx) == 0 {
+		rc.Status = StatusInvalid
+		h.count(rc.Status)
+		return rc
+	}
+	if len(tx) > h.opts.maxTx() {
+		rc.Status = StatusOversize
+		h.count(rc.Status)
+		return rc
+	}
+	hash := mempool.HashTx(tx)
+	rc.TxHash = hash
+
+	// Fast path: already committed and still proof-resident.
+	h.mu.Lock()
+	if ref, ok := h.index[hash]; ok {
+		rc.Status = StatusDuplicateCommitted
+		h.counters.RejectedDuplicate++
+		if c, ok := h.commitLocked(ref); ok {
+			h.push(client, c)
+		}
+		h.mu.Unlock()
+		return rc
+	}
+	// Register interest before the submission reaches the replica: the
+	// consensus loop may deliver the block (and call OnDeliver) between
+	// SubmitFrom returning and this goroutine reacquiring the lock.
+	h.interest[hash] = addClient(h.interest[hash], client)
+	h.mu.Unlock()
+
+	var err error
+	h.node.Exec(func(r *replica.Replica) {
+		err = r.SubmitFrom(client, tx)
+	})
+
+	switch err {
+	case nil:
+		rc.Status = StatusAccepted
+	case mempool.ErrDuplicatePending:
+		// Keep the interest registration: the original submission's
+		// commit satisfies this client too (it may be the same client
+		// retrying over a fresh connection).
+		rc.Status = StatusDuplicatePending
+	case mempool.ErrDuplicateCommitted:
+		rc.Status = StatusDuplicateCommitted
+		h.mu.Lock()
+		h.dropInterest(hash, client)
+		if ref, ok := h.index[hash]; ok {
+			if c, ok := h.commitLocked(ref); ok {
+				h.push(client, c)
+			}
+		}
+		h.mu.Unlock()
+	case mempool.ErrOverCapacity:
+		rc.Status = StatusOverCapacity
+		rc.RetryAfter = h.opts.retryAfter()
+		h.mu.Lock()
+		h.dropInterest(hash, client)
+		h.mu.Unlock()
+	default:
+		rc.Status = StatusInvalid
+		h.mu.Lock()
+		h.dropInterest(hash, client)
+		h.mu.Unlock()
+	}
+	h.count(rc.Status)
+	return rc
+}
+
+func (h *Hub) count(s Status) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch s {
+	case StatusAccepted:
+		h.counters.Accepted++
+	case StatusDuplicatePending, StatusDuplicateCommitted:
+		h.counters.RejectedDuplicate++
+	case StatusOverCapacity:
+		h.counters.RejectedOverCapacity++
+	case StatusOversize:
+		h.counters.RejectedOversize++
+	case StatusInvalid:
+		h.counters.RejectedInvalid++
+	}
+}
+
+func addClient(list []uint64, client uint64) []uint64 {
+	for _, c := range list {
+		if c == client {
+			return list
+		}
+	}
+	return append(list, client)
+}
+
+func (h *Hub) dropInterest(hash mempool.Hash, client uint64) {
+	list := h.interest[hash]
+	kept := list[:0]
+	for _, c := range list {
+		if c != client {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		delete(h.interest, hash)
+	} else {
+		h.interest[hash] = kept
+	}
+}
+
+// OnDeliver ingests one delivered block: its transactions are indexed
+// for duplicate-committed proofs, and every interested client's
+// subscription receives the Commit. Called from the consensus loop; it
+// never blocks (subscription pushes drop on full buffers).
+func (h *Hub) OnDeliver(d replica.Delivery) {
+	hashes := d.TxHashes
+	if len(hashes) == 0 {
+		if len(d.Txs) == 0 {
+			return
+		}
+		// Dedup-less replica (harness misconfiguration tolerance): hash
+		// here so proofs still work.
+		hashes = make([]mempool.Hash, len(d.Txs))
+		for i, tx := range d.Txs {
+			hashes[i] = mempool.HashTx(tx)
+		}
+	}
+	h.ingest(d.Epoch, d.Proposer, hashes)
+}
+
+// Seed installs blocks recovered from the WAL (replica.RecoveredBlocks)
+// so commit proofs for pre-crash deliveries survive a restart and
+// post-restart resubmissions verify against the recovered log.
+func (h *Hub) Seed(blocks []replica.RecoveredBlock) {
+	for _, b := range blocks {
+		h.ingest(b.Epoch, b.Proposer, b.TxHashes)
+	}
+}
+
+func (h *Hub) ingest(epoch uint64, proposer int, hashes []mempool.Hash) {
+	if len(hashes) == 0 {
+		return
+	}
+	id := blockID{epoch, proposer}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.blocks[id]; ok {
+		return
+	}
+	h.blocks[id] = &proofBlock{hashes: hashes}
+	h.order = append(h.order, id)
+	for i, hash := range hashes {
+		h.index[hash] = txRef{id: id, index: i}
+		h.counters.Commits++
+		if clients := h.interest[hash]; len(clients) != 0 {
+			c, ok := h.commitLocked(txRef{id: id, index: i})
+			if ok {
+				for _, cl := range clients {
+					h.push(cl, c)
+				}
+			}
+			delete(h.interest, hash)
+		}
+	}
+	for len(h.order) > h.opts.proofBlocks() {
+		old := h.order[0]
+		h.order = h.order[1:]
+		if b := h.blocks[old]; b != nil {
+			for _, hash := range b.hashes {
+				if h.index[hash].id == old {
+					delete(h.index, hash)
+				}
+			}
+		}
+		delete(h.blocks, old)
+	}
+}
+
+// commitLocked builds the Commit for an indexed transaction. Callers
+// hold h.mu. The block's proof tree is built on first use and cached.
+func (h *Hub) commitLocked(ref txRef) (Commit, bool) {
+	b := h.blocks[ref.id]
+	if b == nil || ref.index >= len(b.hashes) {
+		return Commit{}, false
+	}
+	if b.tree == nil {
+		b.tree = txTree(b.hashes)
+	}
+	proof, err := b.tree.Prove(ref.index)
+	if err != nil {
+		return Commit{}, false
+	}
+	return Commit{
+		TxHash:   b.hashes[ref.index],
+		Epoch:    ref.id.epoch,
+		Proposer: ref.id.proposer,
+		Index:    ref.index,
+		Count:    len(b.hashes),
+		Root:     b.tree.Root(),
+		Path:     proof.Path,
+	}, true
+}

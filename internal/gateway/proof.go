@@ -1,0 +1,78 @@
+// Package gateway is the client-facing front door of a DispersedLedger
+// node: a length-framed TCP protocol (served by `dlnode -client`) through
+// which external clients submit transactions at scale and receive
+// verifiable evidence of what happened to them.
+//
+// The subsystem has three layers:
+//
+//   - Hub (hub.go) — the transport-independent brain. It runs admission
+//     (byte-budget backpressure, content-hash dedup via the rewritten
+//     sharded mempool), mints an immediate accept/reject Receipt per
+//     submission, and on delivery of each block mints asynchronous
+//     Commits: (epoch, slot, Merkle inclusion path) proofs streamed to
+//     the submitting client's subscription.
+//   - Server (server.go) — the TCP frontend, one per node, speaking the
+//     deterministic binary protocol of protocol.go.
+//   - package dlclient — the shipped client library, with reconnect,
+//     idempotent resubmission and proof verification.
+//
+// Commit proofs: for every delivered block the node builds an RFC
+// 6962 Merkle tree whose leaves are the block's transaction content
+// hashes, in block order. A Commit proves "your transaction is leaf
+// Index of the Count-leaf tree with root Root, committed in (Epoch,
+// Proposer)". Any party holding the commit root of a slot can check the
+// proof without the block; two clients of different honest nodes always
+// see identical roots for a slot, because the root is a deterministic
+// function of the agreed block. The binding of the transaction root to
+// the AVID-M dispersal commitment is attested by the serving node (a
+// fully trustless binding would require shipping the encoded block so
+// the client can re-erasure-code it; see DESIGN.md for the trust model).
+package gateway
+
+import (
+	"dledger/internal/mempool"
+	"dledger/internal/merkle"
+)
+
+// Commit is the asynchronous commit proof for one accepted transaction.
+type Commit struct {
+	// TxHash is the transaction's SHA-256 content hash (the proof leaf).
+	TxHash mempool.Hash
+	// Epoch and Proposer name the committed block's slot in the log.
+	Epoch    uint64
+	Proposer int
+	// Index is the transaction's position among the block's Count
+	// transactions; Root is the block's transaction-hash Merkle root and
+	// Path the sibling hashes from leaf to root.
+	Index int
+	Count int
+	Root  merkle.Root
+	Path  []merkle.Root
+}
+
+// Proof assembles the merkle.Proof form of the inclusion path.
+func (c Commit) Proof() merkle.Proof {
+	return merkle.Proof{Index: c.Index, Leaves: c.Count, Path: c.Path}
+}
+
+// Verify checks that tx hashes to TxHash and that the inclusion path
+// proves that hash is leaf Index of the block's transaction tree.
+func (c Commit) Verify(tx []byte) bool {
+	return mempool.HashTx(tx) == c.TxHash && c.VerifyHash()
+}
+
+// VerifyHash checks only the inclusion path (for callers that no longer
+// hold the transaction bytes).
+func (c Commit) VerifyHash() bool {
+	return merkle.Verify(c.Root, c.TxHash[:], c.Proof())
+}
+
+// txTree builds the commit tree of a block: leaves are the transactions'
+// content hashes in block order.
+func txTree(hashes []mempool.Hash) *merkle.Tree {
+	leaves := make([][]byte, len(hashes))
+	for i := range hashes {
+		leaves[i] = hashes[i][:]
+	}
+	return merkle.NewTree(leaves)
+}

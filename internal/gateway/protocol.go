@@ -1,0 +1,313 @@
+package gateway
+
+// The client protocol: length-framed, deterministic binary messages in
+// the style of internal/wire. Every frame is a u32 big-endian length
+// followed by a one-byte type code and the message body. Client frames
+// are capped at MaxFrame so a malicious client cannot force unbounded
+// allocations; the cap comfortably exceeds the per-transaction limit.
+//
+//	client -> server: Hello, Submit, Ping
+//	server -> client: Welcome, Receipt(s), Commit(s), Pong
+//
+// A connection starts with Hello (naming the client; the name is the
+// client's stable identity across reconnects, hashed to its 64-bit id)
+// answered by Welcome (the assigned id and the cluster shape). Submits
+// are answered by exactly one Receipt each, correlated by request id;
+// Commits arrive asynchronously on subscribed connections, in delivery
+// order.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"dledger/internal/mempool"
+	"dledger/internal/merkle"
+)
+
+// Protocol constants.
+const (
+	// HelloMagic opens every connection ("DLGW").
+	HelloMagic = 0x444C4757
+	// ProtocolVersion is bumped on incompatible changes.
+	ProtocolVersion = 1
+	// MaxFrame caps one frame on the wire.
+	MaxFrame = 2 << 20
+	// MaxNameLen caps the client name in Hello.
+	MaxNameLen = 64
+)
+
+// Frame type codes.
+const (
+	MTHello byte = iota + 1
+	MTSubmit
+	MTPing
+	MTWelcome
+	MTReceipt
+	MTCommit
+	MTPong
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooBig = errors.New("gateway: frame exceeds MaxFrame")
+	ErrShort       = errors.New("gateway: message truncated")
+	ErrBadMagic    = errors.New("gateway: bad hello magic")
+	ErrBadVersion  = errors.New("gateway: unsupported protocol version")
+	ErrUnknownType = errors.New("gateway: unknown message type")
+)
+
+// Hello opens a connection.
+type Hello struct {
+	// Name is the client's stable identity; reconnecting with the same
+	// name resumes the same per-client queue and subscriptions.
+	Name []byte
+	// Subscribe requests the commit stream on this connection.
+	Subscribe bool
+}
+
+// EncodeHello serializes a Hello frame body (without the length prefix).
+func EncodeHello(h Hello) []byte {
+	buf := make([]byte, 0, 1+4+1+1+1+len(h.Name))
+	buf = append(buf, MTHello)
+	buf = binary.BigEndian.AppendUint32(buf, HelloMagic)
+	buf = append(buf, ProtocolVersion)
+	flags := byte(0)
+	if h.Subscribe {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = append(buf, byte(len(h.Name)))
+	return append(buf, h.Name...)
+}
+
+func decodeHello(body []byte) (Hello, error) {
+	if len(body) < 7 {
+		return Hello{}, ErrShort
+	}
+	if binary.BigEndian.Uint32(body[0:4]) != HelloMagic {
+		return Hello{}, ErrBadMagic
+	}
+	if body[4] != ProtocolVersion {
+		return Hello{}, ErrBadVersion
+	}
+	h := Hello{Subscribe: body[5]&1 != 0}
+	n := int(body[6])
+	if n > MaxNameLen || len(body) != 7+n {
+		return Hello{}, ErrShort
+	}
+	h.Name = append([]byte(nil), body[7:]...)
+	return h, nil
+}
+
+// Welcome answers Hello.
+type Welcome struct {
+	ClientID   uint64
+	N, F       int
+	MaxTxBytes int
+}
+
+// EncodeWelcome serializes a Welcome frame body.
+func EncodeWelcome(w Welcome) []byte {
+	buf := make([]byte, 0, 1+8+2+2+4)
+	buf = append(buf, MTWelcome)
+	buf = binary.BigEndian.AppendUint64(buf, w.ClientID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(w.N))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(w.F))
+	return binary.BigEndian.AppendUint32(buf, uint32(w.MaxTxBytes))
+}
+
+func decodeWelcome(body []byte) (Welcome, error) {
+	if len(body) != 16 {
+		return Welcome{}, ErrShort
+	}
+	return Welcome{
+		ClientID:   binary.BigEndian.Uint64(body[0:8]),
+		N:          int(binary.BigEndian.Uint16(body[8:10])),
+		F:          int(binary.BigEndian.Uint16(body[10:12])),
+		MaxTxBytes: int(binary.BigEndian.Uint32(body[12:16])),
+	}, nil
+}
+
+// Submit carries one transaction.
+type Submit struct {
+	ReqID uint64
+	Tx    []byte
+}
+
+// EncodeSubmit serializes a Submit frame body.
+func EncodeSubmit(s Submit) []byte {
+	buf := make([]byte, 0, 1+8+4+len(s.Tx))
+	buf = append(buf, MTSubmit)
+	buf = binary.BigEndian.AppendUint64(buf, s.ReqID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Tx)))
+	return append(buf, s.Tx...)
+}
+
+func decodeSubmit(body []byte) (Submit, error) {
+	if len(body) < 12 {
+		return Submit{}, ErrShort
+	}
+	s := Submit{ReqID: binary.BigEndian.Uint64(body[0:8])}
+	n := int(binary.BigEndian.Uint32(body[8:12]))
+	if len(body) != 12+n {
+		return Submit{}, ErrShort
+	}
+	s.Tx = append([]byte(nil), body[12:]...)
+	return s, nil
+}
+
+// EncodeReceipt serializes a Receipt frame body.
+func EncodeReceipt(r Receipt) []byte {
+	buf := make([]byte, 0, 1+8+1+4+32)
+	buf = append(buf, MTReceipt)
+	buf = binary.BigEndian.AppendUint64(buf, r.ReqID)
+	buf = append(buf, byte(r.Status))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.RetryAfter.Milliseconds()))
+	return append(buf, r.TxHash[:]...)
+}
+
+func decodeReceipt(body []byte) (Receipt, error) {
+	if len(body) != 8+1+4+32 {
+		return Receipt{}, ErrShort
+	}
+	r := Receipt{
+		ReqID:  binary.BigEndian.Uint64(body[0:8]),
+		Status: Status(body[8]),
+	}
+	r.RetryAfter = time.Duration(binary.BigEndian.Uint32(body[9:13])) * time.Millisecond
+	copy(r.TxHash[:], body[13:])
+	return r, nil
+}
+
+// EncodeCommit serializes a Commit frame body.
+func EncodeCommit(c Commit) []byte {
+	buf := make([]byte, 0, 1+32+8+2+4+4+32+1+len(c.Path)*merkle.RootSize)
+	buf = append(buf, MTCommit)
+	buf = append(buf, c.TxHash[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, c.Epoch)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Proposer))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(c.Index))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(c.Count))
+	buf = append(buf, c.Root[:]...)
+	buf = append(buf, byte(len(c.Path)))
+	for _, p := range c.Path {
+		buf = append(buf, p[:]...)
+	}
+	return buf
+}
+
+func decodeCommit(body []byte) (Commit, error) {
+	const fixed = 32 + 8 + 2 + 4 + 4 + 32 + 1
+	if len(body) < fixed {
+		return Commit{}, ErrShort
+	}
+	var c Commit
+	copy(c.TxHash[:], body[0:32])
+	c.Epoch = binary.BigEndian.Uint64(body[32:40])
+	c.Proposer = int(binary.BigEndian.Uint16(body[40:42]))
+	c.Index = int(binary.BigEndian.Uint32(body[42:46]))
+	c.Count = int(binary.BigEndian.Uint32(body[46:50]))
+	copy(c.Root[:], body[50:82])
+	n := int(body[82])
+	body = body[fixed:]
+	if len(body) != n*merkle.RootSize {
+		return Commit{}, ErrShort
+	}
+	c.Path = make([]merkle.Root, n)
+	for i := range c.Path {
+		copy(c.Path[i][:], body[i*merkle.RootSize:])
+	}
+	return c, nil
+}
+
+// Ping/Pong carry an opaque nonce.
+type Ping struct{ Nonce uint64 }
+
+// EncodePing serializes a Ping frame body.
+func EncodePing(p Ping) []byte {
+	buf := make([]byte, 0, 9)
+	buf = append(buf, MTPing)
+	return binary.BigEndian.AppendUint64(buf, p.Nonce)
+}
+
+// EncodePong serializes a Pong frame body.
+func EncodePong(p Ping) []byte {
+	buf := make([]byte, 0, 9)
+	buf = append(buf, MTPong)
+	return binary.BigEndian.AppendUint64(buf, p.Nonce)
+}
+
+func decodeNonce(body []byte) (Ping, error) {
+	if len(body) != 8 {
+		return Ping{}, ErrShort
+	}
+	return Ping{Nonce: binary.BigEndian.Uint64(body)}, nil
+}
+
+// Message is the decoded form of one frame: exactly one of the fields is
+// non-nil, matching Type.
+type Message struct {
+	Type    byte
+	Hello   *Hello
+	Welcome *Welcome
+	Submit  *Submit
+	Receipt *Receipt
+	Commit  *Commit
+	Ping    *Ping // Ping and Pong both land here
+}
+
+// DecodeMessage parses one frame body (type byte + message body).
+func DecodeMessage(data []byte) (Message, error) {
+	if len(data) < 1 {
+		return Message{}, ErrShort
+	}
+	m := Message{Type: data[0]}
+	body := data[1:]
+	var err error
+	switch m.Type {
+	case MTHello:
+		var v Hello
+		v, err = decodeHello(body)
+		m.Hello = &v
+	case MTWelcome:
+		var v Welcome
+		v, err = decodeWelcome(body)
+		m.Welcome = &v
+	case MTSubmit:
+		var v Submit
+		v, err = decodeSubmit(body)
+		m.Submit = &v
+	case MTReceipt:
+		var v Receipt
+		v, err = decodeReceipt(body)
+		m.Receipt = &v
+	case MTCommit:
+		var v Commit
+		v, err = decodeCommit(body)
+		m.Commit = &v
+	case MTPing, MTPong:
+		var v Ping
+		v, err = decodeNonce(body)
+		m.Ping = &v
+	default:
+		return Message{}, fmt.Errorf("%w: %d", ErrUnknownType, m.Type)
+	}
+	if err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// ClientID derives a client's 64-bit id from its stable name: the first
+// eight bytes of the name's content hash, forced non-zero so it can
+// never collide with mempool.LocalClient.
+func ClientID(name []byte) uint64 {
+	h := mempool.HashTx(name)
+	id := binary.BigEndian.Uint64(h[:8])
+	if id == mempool.LocalClient {
+		id = 1
+	}
+	return id
+}

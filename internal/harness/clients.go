@@ -1,0 +1,226 @@
+package harness
+
+// Emulated gateway clients: the deterministic, simulator-driven
+// counterpart of package dlclient. Each SimClient submits Poisson
+// traffic through its node's gateway.Hub, backs off on over-capacity
+// receipts (honouring the retry-after hint), verifies every streamed
+// commit proof, and — after its node crash-restarts — resubmits its
+// uncommitted transactions exactly as the real client library does on
+// reconnect. Content-hash dedup makes those resubmissions idempotent,
+// which is precisely the property the chaos runs assert: every accepted
+// transaction commits exactly once, under crashes, partitions and
+// Byzantine peers.
+
+import (
+	"math/rand"
+	"time"
+
+	"dledger/internal/gateway"
+	"dledger/internal/mempool"
+	"dledger/internal/workload"
+)
+
+// ClientReport is what one emulated client observed.
+type ClientReport struct {
+	Node   int
+	Client int
+	// Submitted counts first-time submissions; Resubmitted the
+	// post-restart and backoff retries on top.
+	Submitted   int
+	Resubmitted int
+	// Receipt outcomes.
+	Accepted     int
+	RejectedBusy int
+	RejectedDup  int
+	OtherRejects int
+	// Commits counts verified commit proofs received; VerifyFailures
+	// proofs that did not verify (always a bug).
+	Commits        int
+	VerifyFailures int
+	// Outstanding is the number of accepted transactions still without a
+	// commit when the report was taken.
+	Outstanding int
+	// Latencies are submission-to-verified-commit times.
+	Latencies []time.Duration
+}
+
+// SimClient is one emulated gateway client.
+type SimClient struct {
+	c    *Cluster
+	node int
+	k    int // client index on the node
+	id   uint64
+	sub  *gateway.Sub
+	rng  *rand.Rand
+	mean time.Duration
+	seq  uint32
+
+	// outstanding tracks accepted-but-uncommitted transactions in
+	// submission order (ordered for deterministic resubmission).
+	order       []mempool.Hash
+	outstanding map[mempool.Hash]outTx
+	retryQ      [][]byte // over-capacity transactions awaiting retry
+	nextReq     uint64
+
+	Report ClientReport
+}
+
+type outTx struct {
+	tx []byte
+	at time.Duration
+}
+
+// installClients builds and schedules every node's clients.
+func (c *Cluster) installClients() {
+	txSize := c.opts.TxSize
+	for i := 0; i < c.opts.Core.N; i++ {
+		for k := 0; k < c.opts.Clients; k++ {
+			id := uint64(i)<<16 | uint64(k) | 1<<48 // never 0 (LocalClient)
+			cl := &SimClient{
+				c: c, node: i, k: k, id: id,
+				sub: c.Hubs[i].Subscribe(id, 1<<15),
+				rng: rand.New(rand.NewSource(c.opts.Seed + int64(i)*104_729 + int64(k)*7919 + 13)),
+				mean: time.Duration(float64(time.Second) /
+					(c.opts.ClientRate / float64(txSize))),
+				outstanding: map[mempool.Hash]outTx{},
+			}
+			cl.Report.Node, cl.Report.Client = i, k
+			c.clients = append(c.clients, cl)
+			cl.arm()
+		}
+	}
+}
+
+// ClientReports drains every client's commit stream once more and
+// returns the final per-client reports.
+func (c *Cluster) ClientReports() []ClientReport {
+	out := make([]ClientReport, 0, len(c.clients))
+	for _, cl := range c.clients {
+		cl.drain()
+		cl.Report.Outstanding = len(cl.order)
+		out = append(out, cl.Report)
+	}
+	return out
+}
+
+// arm schedules the next submission event.
+func (cl *SimClient) arm() {
+	gap := time.Duration(cl.rng.ExpFloat64() * float64(cl.mean))
+	cl.c.Sim.After(gap, cl.tick)
+}
+
+// tick is one client event: consume commits, retry backed-off
+// transactions, submit the next one, reschedule.
+func (cl *SimClient) tick() {
+	cl.drain()
+	now := cl.c.Sim.Now()
+	stopped := cl.c.opts.ClientStop > 0 && now >= cl.c.opts.ClientStop
+	if cl.c.Alive(cl.node) {
+		// Retries first (oldest first), then at most one fresh
+		// submission per event.
+		for len(cl.retryQ) > 0 {
+			tx := cl.retryQ[0]
+			if !cl.submit(tx, true) {
+				break // still over capacity; keep backing off
+			}
+			cl.retryQ = cl.retryQ[1:]
+		}
+		if !stopped && len(cl.retryQ) == 0 {
+			cl.seq++
+			tx := workload.Make(cl.node, uint32(cl.k)<<24|cl.seq, now, cl.c.opts.TxSize)
+			cl.Report.Submitted++
+			cl.submit(tx, false)
+		}
+	}
+	cl.drain()
+	if !stopped || len(cl.order) > 0 || len(cl.retryQ) > 0 {
+		cl.arm()
+	}
+}
+
+// submit runs one submission through the hub; reports false when the
+// transaction was rejected over-capacity and must be retried later.
+func (cl *SimClient) submit(tx []byte, isRetry bool) bool {
+	if isRetry {
+		cl.Report.Resubmitted++
+	}
+	cl.nextReq++
+	rc := cl.c.Hubs[cl.node].Submit(cl.id, cl.nextReq, tx)
+	switch rc.Status {
+	case gateway.StatusAccepted:
+		cl.Report.Accepted++
+		cl.track(rc.TxHash, tx)
+	case gateway.StatusDuplicatePending, gateway.StatusDuplicateCommitted:
+		// Idempotent resubmission: the original's commit (possibly
+		// re-streamed just now) satisfies this copy.
+		cl.Report.RejectedDup++
+		cl.track(rc.TxHash, tx)
+	case gateway.StatusOverCapacity:
+		cl.Report.RejectedBusy++
+		if !isRetry {
+			cl.retryQ = append(cl.retryQ, tx)
+		}
+		return false
+	default:
+		cl.Report.OtherRejects++
+	}
+	return true
+}
+
+func (cl *SimClient) track(h mempool.Hash, tx []byte) {
+	if _, ok := cl.outstanding[h]; ok {
+		return
+	}
+	cl.outstanding[h] = outTx{tx: tx, at: cl.c.Sim.Now()}
+	cl.order = append(cl.order, h)
+}
+
+// drain consumes every queued commit, verifying its proof.
+func (cl *SimClient) drain() {
+	for {
+		select {
+		case cm := <-cl.sub.C:
+			out, ok := cl.outstanding[cm.TxHash]
+			if ok {
+				delete(cl.outstanding, cm.TxHash)
+				for i, h := range cl.order {
+					if h == cm.TxHash {
+						cl.order = append(cl.order[:i], cl.order[i+1:]...)
+						break
+					}
+				}
+			}
+			verified := cm.VerifyHash()
+			if verified && ok {
+				verified = cm.Verify(out.tx)
+			}
+			if !verified {
+				cl.Report.VerifyFailures++
+				continue
+			}
+			cl.Report.Commits++
+			if ok {
+				cl.Report.Latencies = append(cl.Report.Latencies, cl.c.Sim.Now()-out.at)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// resubmit re-offers every uncommitted transaction to the node's fresh
+// incarnation — dlclient's reconnect behaviour. Dedup (recovered from
+// the WAL) turns already-committed copies into duplicate receipts with
+// re-streamed proofs; genuinely lost ones are simply accepted again.
+func (cl *SimClient) resubmit() {
+	pending := make([][]byte, 0, len(cl.order))
+	for _, h := range cl.order {
+		pending = append(pending, cl.outstanding[h].tx)
+	}
+	for _, tx := range pending {
+		if !cl.submit(tx, true) {
+			cl.retryQ = append(cl.retryQ, tx)
+		}
+	}
+	cl.drain()
+}

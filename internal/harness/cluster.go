@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dledger/internal/core"
+	"dledger/internal/gateway"
 	"dledger/internal/replica"
 	"dledger/internal/simnet"
 	"dledger/internal/store"
@@ -44,6 +45,20 @@ type ClusterOptions struct {
 	// protocol, not the persistence layer.
 	Durable bool
 
+	// Clients attaches this many emulated gateway clients to every node
+	// (via a gateway.Hub per node — the library form of the TCP front
+	// door), implying content-hash dedup on every replica. Client
+	// behaviour mirrors package dlclient: Poisson submissions at
+	// ClientRate bytes/s each, retry-after backoff on over-capacity
+	// rejections, resubmission of uncommitted transactions after the
+	// node restarts, and verification of every streamed commit proof.
+	Clients int
+	// ClientRate is each client's offered load (default 20 KB/s).
+	ClientRate float64
+	// ClientStop ends client submissions at this simulated instant so a
+	// run's tail can drain (0 = keep submitting to the horizon).
+	ClientStop time.Duration
+
 	Seed int64
 }
 
@@ -56,9 +71,28 @@ type Cluster struct {
 	Net      *simnet.Network
 	Replicas []*replica.Replica
 	Stores   []*store.MemStore
-	alive    []*bool
+	// Hubs are the per-node client gateways (nil without opts.Clients;
+	// see ClusterOptions.Clients).
+	Hubs    []*gateway.Hub
+	clients []*SimClient
+	alive   []*bool
+	// userHook is the externally-installed delivery observer of each
+	// node (LogRecorder, experiment collectors); the replica's OnDeliver
+	// dispatches to the gateway hub first, then to it. It survives
+	// Crash/Restart re-wiring.
+	userHook []func(replica.Delivery)
 	opts     ClusterOptions
 }
+
+// hubExec runs gateway submissions against a node's CURRENT replica
+// incarnation — the emulator is single-threaded, so inline execution is
+// the loop-posting of the real transports.
+type hubExec struct {
+	c *Cluster
+	i int
+}
+
+func (e hubExec) Exec(fn func(*replica.Replica)) { fn(e.c.Replicas[e.i]) }
 
 type simCtx struct {
 	sim   *simnet.Sim
@@ -90,6 +124,14 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	if opts.TxSize == 0 {
 		opts.TxSize = 250
 	}
+	if opts.Clients > 0 {
+		// Gateway clients need content-hash dedup for idempotent
+		// resubmission (and hashes in Deliveries for commit proofs).
+		opts.Replica.ClientDedup = true
+		if opts.ClientRate == 0 {
+			opts.ClientRate = 20 << 10
+		}
+	}
 	sim := simnet.NewSim()
 	net := simnet.NewNetwork(sim, simnet.Config{
 		N:              opts.Core.N,
@@ -119,7 +161,43 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		c.Stores = append(c.Stores, mem)
 		c.alive = append(c.alive, alive)
 	}
+	c.userHook = make([]func(replica.Delivery), opts.Core.N)
+	if opts.Clients > 0 {
+		c.Hubs = make([]*gateway.Hub, opts.Core.N)
+		for i := range c.Hubs {
+			c.Hubs[i] = gateway.NewHub(hubExec{c, i}, gateway.Options{
+				N: opts.Core.N, F: opts.Core.F,
+				// In simulated time a real 250 ms hint would stall the
+				// clients pointlessly; one batch delay is the natural
+				// backoff quantum.
+				RetryAfter: opts.Replica.BatchDelay,
+			})
+		}
+	}
+	for i := 0; i < opts.Core.N; i++ {
+		c.installDispatch(i)
+	}
 	return c, nil
+}
+
+// installDispatch wires a node's replica.OnDeliver to the gateway hub
+// (when present) followed by the user hook. Looked up dynamically so
+// SetDeliverHook and Restart compose.
+func (c *Cluster) installDispatch(i int) {
+	c.Replicas[i].OnDeliver = func(d replica.Delivery) {
+		if c.Hubs != nil {
+			c.Hubs[i].OnDeliver(d)
+		}
+		if fn := c.userHook[i]; fn != nil {
+			fn(d)
+		}
+	}
+}
+
+// SetDeliverHook installs (or replaces) node i's delivery observer. The
+// gateway hub, when present, always observes first.
+func (c *Cluster) SetDeliverHook(i int, fn func(replica.Delivery)) {
+	c.userHook[i] = fn
 }
 
 // Alive reports whether node i is currently up.
@@ -156,11 +234,19 @@ func (c *Cluster) Restart(i int, onDeliver func(replica.Delivery)) error {
 	if err != nil {
 		return err
 	}
-	r.OnDeliver = onDeliver
+	c.userHook[i] = onDeliver
 	c.Replicas[i] = r
 	c.alive[i] = alive
+	c.installDispatch(i)
 	c.Net.SetHandler(i, func(env wire.Envelope) { r.OnEnvelope(env) })
 	r.Start()
+	// Gateway clients of a restarted node resubmit their uncommitted
+	// transactions, exactly as dlclient does on reconnect.
+	for _, cl := range c.clients {
+		if cl.node == i {
+			cl.resubmit()
+		}
+	}
 	return nil
 }
 
@@ -173,6 +259,9 @@ func (c *Cluster) Start() {
 		c.installBacklog()
 	} else if c.opts.LoadPerNode > 0 {
 		c.installPoisson()
+	}
+	if c.opts.Clients > 0 {
+		c.installClients()
 	}
 }
 

@@ -112,7 +112,7 @@ func RunCrashRestart(p CrashRestartParams) (*CrashRestartResult, error) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		c.Replicas[i].OnDeliver = hook(i)
+		c.SetDeliverHook(i, hook(i))
 	}
 	c.Start()
 

@@ -57,7 +57,7 @@ func NewLogRecorder(c *Cluster) *LogRecorder {
 		txs:  make([][]txRec, len(c.Replicas)),
 	}
 	for i := range c.Replicas {
-		c.Replicas[i].OnDeliver = lr.Hook(i)
+		c.SetDeliverHook(i, lr.Hook(i))
 	}
 	return lr
 }
@@ -126,6 +126,34 @@ func CheckNoDuplicates(node int, log []LogEntry) []string {
 				node, e.Epoch, e.Proposer, k))
 		}
 		seen[key] = true
+	}
+	return out
+}
+
+// CheckNoDuplicateTxs verifies node `node` never delivered the same
+// transaction content twice across honestly-proposed blocks — the
+// exactly-once property the gateway's content-hash dedup promises
+// clients even across retries and crash-restarts. Pairs involving a
+// Byzantine proposer are skipped (such a proposer may copy an honest
+// transaction into its own block; filtering that is the application's
+// job, as with validity).
+func (lr *LogRecorder) CheckNoDuplicateTxs(node int, honest []bool) []string {
+	var out []string
+	seen := map[uint64]int{} // content fingerprint -> first proposer
+	for k, rec := range lr.txs[node] {
+		if rec.proposer >= 0 && rec.proposer < len(honest) && !honest[rec.proposer] {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write(rec.tx)
+		sum := h.Sum64()
+		if first, dup := seen[sum]; dup {
+			out = append(out, fmt.Sprintf(
+				"exactly-once: node %d delivered tx #%d twice (proposers %d and %d)",
+				node, k, first, rec.proposer))
+			continue
+		}
+		seen[sum] = rec.proposer
 	}
 	return out
 }

@@ -90,6 +90,138 @@ func TestPushFrontEmpty(t *testing.T) {
 	}
 }
 
+func TestFairDequeueRoundRobin(t *testing.T) {
+	p := New()
+	// Client 1 floods; clients 2 and 3 each submit one tx afterwards.
+	for i := 0; i < 6; i++ {
+		if err := p.PushFrom(1, []byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.PushFrom(2, []byte("b0"))
+	p.PushFrom(3, []byte("c0"))
+	out := p.PopBatch(8) // four 2-byte txs
+	var got bytes.Buffer
+	for _, tx := range out {
+		got.Write(tx)
+	}
+	// Round-robin: one from each active client per turn, in activation
+	// order — the flooder cannot push the others out of the batch.
+	if got.String() != "a0b0c0a1" {
+		t.Fatalf("dequeue order %q, want a0b0c0a1", got.String())
+	}
+	// The cursor persists: the next batch resumes the rotation rather
+	// than restarting at the flooder.
+	out = p.PopBatch(0)
+	got.Reset()
+	for _, tx := range out {
+		got.Write(tx)
+	}
+	if got.String() != "a2a3a4a5" {
+		t.Fatalf("drain order %q, want a2a3a4a5", got.String())
+	}
+}
+
+func TestDedupLifecycle(t *testing.T) {
+	p := NewWithOptions(Options{Dedup: true})
+	tx := []byte("the transaction")
+	if err := p.PushFrom(1, tx); err != nil {
+		t.Fatal(err)
+	}
+	// Queued: duplicate rejected, from any client.
+	if err := p.PushFrom(2, bytes.Clone(tx)); err != ErrDuplicatePending {
+		t.Fatalf("queued dup: %v", err)
+	}
+	// In flight (popped into a proposal): still pending.
+	if got := p.PopBatch(0); len(got) != 1 {
+		t.Fatal("pop failed")
+	}
+	if err := p.PushFrom(1, bytes.Clone(tx)); err != ErrDuplicatePending {
+		t.Fatalf("in-flight dup: %v", err)
+	}
+	// Committed: rejected as committed, and stays so.
+	p.Committed(HashTx(tx))
+	if err := p.PushFrom(1, bytes.Clone(tx)); err != ErrDuplicateCommitted {
+		t.Fatalf("committed dup: %v", err)
+	}
+	if !p.IsCommitted(HashTx(tx)) {
+		t.Fatal("IsCommitted lost the hash")
+	}
+	// Different content is unaffected.
+	if err := p.PushFrom(1, []byte("another transaction")); err != nil {
+		t.Fatalf("fresh tx rejected: %v", err)
+	}
+}
+
+func TestCommittedMemoryEviction(t *testing.T) {
+	p := NewWithOptions(Options{Dedup: true, CommittedCap: 4})
+	var hashes []Hash
+	for i := 0; i < 6; i++ {
+		h := HashTx([]byte(fmt.Sprintf("tx%d", i)))
+		hashes = append(hashes, h)
+		p.Committed(h)
+	}
+	// FIFO eviction: the two oldest fell out, the four newest remain.
+	for i, h := range hashes {
+		want := i >= 2
+		if p.IsCommitted(h) != want {
+			t.Fatalf("hash %d committed=%v, want %v", i, p.IsCommitted(h), want)
+		}
+	}
+	snap := p.CommittedSnapshot()
+	if len(snap) != 4 || snap[0] != hashes[2] || snap[3] != hashes[5] {
+		t.Fatalf("snapshot order wrong: %d entries", len(snap))
+	}
+}
+
+func TestByteBudget(t *testing.T) {
+	p := NewWithOptions(Options{MaxBytes: 100})
+	if err := p.PushFrom(1, make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PushFrom(2, make([]byte, 60)); err != ErrOverCapacity {
+		t.Fatalf("over budget: %v", err)
+	}
+	if err := p.PushFrom(2, make([]byte, 40)); err != nil {
+		t.Fatalf("exact fit rejected: %v", err)
+	}
+	if p.PendingBytes() != 100 {
+		t.Fatalf("bytes = %d", p.PendingBytes())
+	}
+	// Draining frees budget.
+	p.PopBatch(0)
+	if err := p.PushFrom(1, make([]byte, 100)); err != nil {
+		t.Fatalf("freed budget rejected: %v", err)
+	}
+}
+
+func TestMarkPending(t *testing.T) {
+	p := NewWithOptions(Options{Dedup: true})
+	tx := []byte("recovered in-flight tx")
+	p.MarkPending(HashTx(tx))
+	if err := p.PushFrom(1, tx); err != ErrDuplicatePending {
+		t.Fatalf("marked-pending dup: %v", err)
+	}
+	if p.Len() != 0 {
+		t.Fatal("MarkPending queued bytes")
+	}
+	p.Committed(HashTx(tx))
+	if err := p.PushFrom(1, tx); err != ErrDuplicateCommitted {
+		t.Fatalf("after commit: %v", err)
+	}
+}
+
+func TestLegacyPushIgnoresBudget(t *testing.T) {
+	// Push (the legacy entry point) drops rejected txs silently; the
+	// pool must stay consistent.
+	p := NewWithOptions(Options{MaxBytes: 10})
+	p.Push(make([]byte, 8))
+	p.Push(make([]byte, 8)) // rejected
+	if p.Len() != 1 || p.PendingBytes() != 8 {
+		t.Fatalf("len=%d bytes=%d", p.Len(), p.PendingBytes())
+	}
+}
+
 func TestPopBatchSliceIsolation(t *testing.T) {
 	// The popped batch must not share backing storage growth with the
 	// pool (appending to it must not clobber remaining txs).

@@ -56,6 +56,17 @@ type Params struct {
 	// checkpoints (engine snapshot + WAL/chunk compaction). Zero takes
 	// the default of 64; negative disables checkpointing.
 	CheckpointEvery int
+	// MempoolBytes caps the mempool backlog: a submission that would
+	// push the queued bytes past the budget is rejected (SubmitFrom
+	// returns mempool.ErrOverCapacity) instead of queued unboundedly.
+	// Zero keeps the unbounded seed behaviour.
+	MempoolBytes int
+	// ClientDedup enables the gateway's content-hash machinery: the
+	// mempool deduplicates submissions, every delivered block's
+	// transaction hashes ride its WAL record (and the committed-hash
+	// memory rides checkpoints), and recovery rebuilds both — so client
+	// resubmission after a retry or a crash-restart is idempotent.
+	ClientDedup bool
 }
 
 func (p Params) batchDelay() time.Duration {
@@ -90,6 +101,10 @@ type Delivery struct {
 	Txs      [][]byte
 	Payload  int
 	Linked   bool
+	// TxHashes are the transactions' content hashes in block order,
+	// populated only with Params.ClientDedup (the gateway builds commit
+	// proofs and matches client subscriptions from them).
+	TxHashes []mempool.Hash
 }
 
 // Stats aggregates the measurements the evaluation needs. Across a
@@ -109,6 +124,10 @@ type Stats struct {
 	// the replica stops persisting (availability over durability) and
 	// the node must not be restarted from this datadir.
 	StoreErrors int64
+	// RejectedSubmissions counts submissions the mempool refused
+	// (duplicate or over the byte budget); the gateway keeps the
+	// per-cause split.
+	RejectedSubmissions int64
 	// Progress is cumulative confirmed payload bytes over time (Fig 9).
 	Progress stats.TimeSeries
 	// LatAll / LatLocal are confirmation latencies of all transactions
@@ -140,7 +159,20 @@ type Replica struct {
 	// OnDeliver, when set, observes every delivered block.
 	OnDeliver func(Delivery)
 
+	// recoveredBlocks collects the (epoch, proposer, hashes) of every
+	// block whose WAL record carried tx hashes, for the gateway to
+	// rebuild its commit-proof index after a restart.
+	recoveredBlocks []RecoveredBlock
+
 	Stats Stats
+}
+
+// RecoveredBlock is one delivered block recovered from the WAL with its
+// transaction content hashes (recorded only under Params.ClientDedup).
+type RecoveredBlock struct {
+	Epoch    uint64
+	Proposer int
+	TxHashes []mempool.Hash
 }
 
 // New builds a replica for node self with no durability: nothing is
@@ -163,10 +195,13 @@ func NewWithStore(cfg core.Config, self int, params Params, st store.Store, ctx 
 		return nil, err
 	}
 	r := &Replica{
-		self:    self,
-		ctx:     ctx,
-		engine:  eng,
-		pool:    mempool.New(),
+		self:   self,
+		ctx:    ctx,
+		engine: eng,
+		pool: mempool.NewWithOptions(mempool.Options{
+			MaxBytes: params.MempoolBytes,
+			Dedup:    params.ClientDedup,
+		}),
 		params:  params,
 		st:      st,
 		durable: st.Durable(),
@@ -205,9 +240,23 @@ func NewWithStore(cfg core.Config, self int, params Params, st store.Store, ctx 
 	return r, nil
 }
 
-// replayStats re-derives the delivery counters from one WAL record.
+// replayStats re-derives the delivery counters from one WAL record, and
+// replays committed transaction hashes into the dedup index so a client
+// resubmitting a pre-crash commit is still recognized.
 func (r *Replica) replayStats(rec store.Record) {
 	switch rec.Type {
+	case store.RecProposed:
+		// The block will be re-dispersed (and eventually delivered), so
+		// its transactions are in flight: without pending marks, a
+		// client resubmitting them after the crash would get them
+		// committed a second time.
+		if r.params.ClientDedup && len(rec.Block) > 0 {
+			if blk, err := wire.DecodeBlock(rec.Block); err == nil {
+				for _, tx := range blk.Txs {
+					r.pool.MarkPending(mempool.HashTx(tx))
+				}
+			}
+		}
 	case store.RecDecided:
 		r.Stats.EpochsDecided++
 	case store.RecBlock:
@@ -218,16 +267,35 @@ func (r *Replica) replayStats(rec store.Record) {
 		} else {
 			r.Stats.BADeliveries++
 		}
+		if r.params.ClientDedup && len(rec.TxHashes) > 0 {
+			rb := RecoveredBlock{Epoch: rec.Epoch, Proposer: rec.Proposer,
+				TxHashes: make([]mempool.Hash, len(rec.TxHashes))}
+			for i, h := range rec.TxHashes {
+				rb.TxHashes[i] = mempool.Hash(h)
+				r.pool.Committed(rb.TxHashes[i])
+			}
+			r.recoveredBlocks = append(r.recoveredBlocks, rb)
+		}
 	case store.RecEpochDone:
 		r.Stats.EpochsDelivered++
 	}
 }
 
-// Checkpoint blob layout: u32 snapshot length, engine snapshot, then the
-// six recovered counters.
+// RecoveredBlocks returns the blocks recovered from the WAL with their
+// transaction hashes, in replay order (empty unless Params.ClientDedup).
+// The gateway consumes them to rebuild commit proofs for pre-crash
+// deliveries.
+func (r *Replica) RecoveredBlocks() []RecoveredBlock { return r.recoveredBlocks }
+
+// Checkpoint blob layout: u32 snapshot length, engine snapshot, the six
+// recovered counters, then — on ClientDedup nodes — the committed-hash
+// memory (u32 count + 32-byte hashes, oldest first) so WAL compaction
+// cannot forget hashes of checkpointed-away deliveries. Blobs without
+// the hash section (pre-gateway datadirs) decode with an empty memory.
 func (r *Replica) encodeCheckpoint(snap *core.Snapshot) []byte {
 	eng := snap.Encode()
-	buf := make([]byte, 0, 4+len(eng)+48)
+	hashes := r.pool.CommittedSnapshot()
+	buf := make([]byte, 0, 4+len(eng)+48+4+32*len(hashes))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(eng)))
 	buf = append(buf, eng...)
 	for _, v := range []int64{
@@ -235,6 +303,12 @@ func (r *Replica) encodeCheckpoint(snap *core.Snapshot) []byte {
 		r.Stats.BADeliveries, r.Stats.EpochsDecided, r.Stats.EpochsDelivered,
 	} {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	if r.params.ClientDedup {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(hashes)))
+		for _, h := range hashes {
+			buf = append(buf, h[:]...)
+		}
 	}
 	return buf
 }
@@ -245,7 +319,7 @@ func (r *Replica) decodeCheckpoint(blob []byte) (*core.Snapshot, error) {
 	}
 	n := int(binary.BigEndian.Uint32(blob))
 	blob = blob[4:]
-	if len(blob) != n+48 {
+	if len(blob) < n+48 {
 		return nil, errors.New("replica: malformed checkpoint")
 	}
 	snap, err := core.DecodeSnapshot(blob[:n])
@@ -262,6 +336,25 @@ func (r *Replica) decodeCheckpoint(blob []byte) (*core.Snapshot, error) {
 	r.Stats.BADeliveries += ctrs[3]
 	r.Stats.EpochsDecided += ctrs[4]
 	r.Stats.EpochsDelivered += ctrs[5]
+	rest := blob[n+48:]
+	if len(rest) == 0 {
+		return snap, nil
+	}
+	if len(rest) < 4 {
+		return nil, errors.New("replica: malformed checkpoint hash section")
+	}
+	hn := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != 32*hn {
+		return nil, errors.New("replica: malformed checkpoint hash section")
+	}
+	if r.params.ClientDedup {
+		for i := 0; i < hn; i++ {
+			var h mempool.Hash
+			copy(h[:], rest[32*i:])
+			r.pool.Committed(h)
+		}
+	}
 	return snap, nil
 }
 
@@ -282,12 +375,26 @@ func (r *Replica) Start() {
 	r.apply(r.engine.Start())
 }
 
-// Submit enqueues a client transaction.
+// Submit enqueues a transaction from the node's own in-process client,
+// ignoring admission rejections (the seed behaviour; rejections are
+// still counted in Stats.RejectedSubmissions).
 func (r *Replica) Submit(tx []byte) {
+	_ = r.SubmitFrom(mempool.LocalClient, tx)
+}
+
+// SubmitFrom enqueues a transaction on behalf of a gateway client,
+// subject to the mempool's admission control: the returned error is nil
+// on acceptance or one of mempool.ErrDuplicatePending,
+// mempool.ErrDuplicateCommitted, mempool.ErrOverCapacity.
+func (r *Replica) SubmitFrom(client uint64, tx []byte) error {
+	if err := r.pool.PushFrom(client, tx); err != nil {
+		r.Stats.RejectedSubmissions++
+		return err
+	}
 	r.Stats.Submitted++
 	r.Stats.SubmittedBytes += int64(len(tx))
-	r.pool.Push(tx)
 	r.tryPropose()
+	return nil
 }
 
 // OnEnvelope feeds one network message into the engine.
@@ -303,15 +410,33 @@ func (r *Replica) PendingBytes() int { return r.pool.PendingBytes() }
 // the step is externalized, so nothing the application or a peer
 // observes can be lost to a crash the WAL does not remember.
 func (r *Replica) apply(actions []core.Action) {
-	if r.durable {
-		r.persistStep(actions)
+	// Under ClientDedup every delivered transaction's content hash is
+	// needed twice — in the WAL record and in the dedup/commit path —
+	// so hash each DeliverAction once, keyed by action index.
+	var hashes map[int][]mempool.Hash
+	if r.params.ClientDedup {
+		for idx, a := range actions {
+			if act, ok := a.(core.DeliverAction); ok && len(act.Txs) > 0 {
+				hs := make([]mempool.Hash, len(act.Txs))
+				for i, tx := range act.Txs {
+					hs[i] = mempool.HashTx(tx)
+				}
+				if hashes == nil {
+					hashes = map[int][]mempool.Hash{}
+				}
+				hashes[idx] = hs
+			}
+		}
 	}
-	for _, a := range actions {
+	if r.durable {
+		r.persistStep(actions, hashes)
+	}
+	for idx, a := range actions {
 		switch act := a.(type) {
 		case core.SendAction:
 			r.ctx.Send(act.To, act.Env, act.Prio, act.Stream)
 		case core.DeliverAction:
-			r.onDeliver(act)
+			r.onDeliver(act, hashes[idx])
 		case core.ProposalNeededAction:
 			r.pendingProposal = true
 			r.proposalEmpty = act.Empty
@@ -343,17 +468,24 @@ func (r *Replica) apply(actions []core.Action) {
 
 // persistStep writes the step's durable records and group-commits them
 // with one Sync, before any effect of the step is externalized.
-func (r *Replica) persistStep(actions []core.Action) {
+func (r *Replica) persistStep(actions []core.Action, hashes map[int][]mempool.Hash) {
 	wrote := false
-	for _, a := range actions {
+	for idx, a := range actions {
 		switch act := a.(type) {
 		case core.ProposalMadeAction:
 			wrote = r.persist(store.Record{Type: store.RecProposed, Epoch: act.Epoch, Block: act.Block}) || wrote
 		case core.DeliverAction:
+			var th [][32]byte
+			if hs := hashes[idx]; len(hs) > 0 {
+				th = make([][32]byte, len(hs))
+				for i, h := range hs {
+					th[i] = h
+				}
+			}
 			wrote = r.persist(store.Record{
 				Type: store.RecBlock, Epoch: act.Epoch, Proposer: act.Proposer,
 				Linked: act.Linked, TxCount: uint32(len(act.Txs)),
-				Payload: uint32(act.Payload), V: act.V,
+				Payload: uint32(act.Payload), V: act.V, TxHashes: th,
 			}) || wrote
 		case core.EpochDecidedAction:
 			wrote = r.persist(store.Record{Type: store.RecDecided, Epoch: act.Epoch, S: act.S}) || wrote
@@ -438,8 +570,11 @@ func (r *Replica) checkpoint() {
 	}
 }
 
-func (r *Replica) onDeliver(act core.DeliverAction) {
+func (r *Replica) onDeliver(act core.DeliverAction, hashes []mempool.Hash) {
 	now := r.ctx.Now()
+	for _, h := range hashes {
+		r.pool.Committed(h)
+	}
 	r.Stats.DeliveredTxs += int64(len(act.Txs))
 	r.Stats.DeliveredPayload += int64(act.Payload)
 	if act.Linked {
@@ -466,6 +601,7 @@ func (r *Replica) onDeliver(act core.DeliverAction) {
 		r.OnDeliver(Delivery{
 			At: now, Epoch: act.Epoch, Proposer: act.Proposer,
 			Txs: act.Txs, Payload: act.Payload, Linked: act.Linked,
+			TxHashes: hashes,
 		})
 	}
 }

@@ -57,7 +57,13 @@ const (
 	RecDecided
 	// RecBlock marks the delivery of one block, in delivery order. V is
 	// the block's observed V array (kept for later linking computations);
-	// TxCount/Payload replay the statistics counters.
+	// TxCount/Payload replay the statistics counters. TxHashes, when the
+	// node records them (gateway-enabled nodes), are the block's
+	// transaction content hashes in block order: recovery rebuilds the
+	// dedup index and the commit-proof trees from them, so a client
+	// resubmitting after a crash-restart is still recognized. The field
+	// is optional on the wire — records without it decode with nil
+	// hashes, so pre-gateway datadirs stay readable.
 	RecBlock
 	// RecEpochDone marks that Epoch is fully delivered; Floor is the
 	// linked-delivery floor after the epoch, per node.
@@ -69,14 +75,15 @@ const (
 type Record struct {
 	Type     RecordType
 	Epoch    uint64
-	Proposer int      // RecBlock
-	Linked   bool     // RecBlock
-	TxCount  uint32   // RecBlock
-	Payload  uint32   // RecBlock
-	V        []uint64 // RecBlock
-	S        []int    // RecDecided
-	Floor    []uint64 // RecEpochDone
-	Block    []byte   // RecProposed: the encoded proposed block
+	Proposer int        // RecBlock
+	Linked   bool       // RecBlock
+	TxCount  uint32     // RecBlock
+	Payload  uint32     // RecBlock
+	V        []uint64   // RecBlock
+	TxHashes [][32]byte // RecBlock, optional: tx content hashes in block order
+	S        []int      // RecDecided
+	Floor    []uint64   // RecEpochDone
+	Block    []byte     // RecProposed: the encoded proposed block
 }
 
 // ChunkRecord persists one VID instance's completion at this node: the
@@ -196,6 +203,14 @@ func EncodeRecord(r Record) []byte {
 		buf = binary.BigEndian.AppendUint32(buf, r.TxCount)
 		buf = binary.BigEndian.AppendUint32(buf, r.Payload)
 		buf = appendU64s(buf, r.V)
+		// The hash section is appended only when present, keeping the
+		// encoding of hash-free records byte-identical to the seed format.
+		if len(r.TxHashes) > 0 {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.TxHashes)))
+			for _, h := range r.TxHashes {
+				buf = append(buf, h[:]...)
+			}
+		}
 	case RecEpochDone:
 		buf = appendU64s(buf, r.Floor)
 	}
@@ -249,6 +264,21 @@ func DecodeRecord(data []byte) (Record, error) {
 		r.V, data, err = decodeU64s(data[11:])
 		if err != nil {
 			return Record{}, err
+		}
+		if len(data) > 0 {
+			if len(data) < 4 {
+				return Record{}, errShortRecord
+			}
+			n := int(binary.BigEndian.Uint32(data))
+			data = data[4:]
+			if len(data) < 32*n {
+				return Record{}, errShortRecord
+			}
+			r.TxHashes = make([][32]byte, n)
+			for i := range r.TxHashes {
+				copy(r.TxHashes[i][:], data[32*i:])
+			}
+			data = data[32*n:]
 		}
 	case RecEpochDone:
 		r.Floor, data, err = decodeU64s(data)

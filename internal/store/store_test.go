@@ -56,6 +56,37 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecordTxHashesOptional pins the hash section's compatibility
+// contract: records without hashes encode byte-identically to the seed
+// format (so pre-gateway datadirs replay), and records with hashes
+// round-trip them in order.
+func TestRecordTxHashesOptional(t *testing.T) {
+	base := Record{Type: RecBlock, Epoch: 7, Proposer: 2, Linked: true,
+		TxCount: 3, Payload: 600, V: []uint64{1, 2, 3, 4}}
+	enc := EncodeRecord(base)
+	withHashes := base
+	withHashes.TxHashes = [][32]byte{{1, 2}, {3, 4}, {5, 6}}
+	enc2 := EncodeRecord(withHashes)
+	if len(enc2) != len(enc)+4+3*32 {
+		t.Fatalf("hash section size wrong: %d vs %d", len(enc2), len(enc))
+	}
+	if !bytes.Equal(EncodeRecord(base), enc) {
+		t.Fatal("hash-free encoding changed")
+	}
+	got, err := DecodeRecord(enc)
+	if err != nil || got.TxHashes != nil {
+		t.Fatalf("seed-format decode: %v %v", got.TxHashes, err)
+	}
+	got, err = DecodeRecord(enc2)
+	if err != nil || !reflect.DeepEqual(got.TxHashes, withHashes.TxHashes) {
+		t.Fatalf("hash round trip: %+v %v", got.TxHashes, err)
+	}
+	// A truncated hash section fails loudly instead of misparsing.
+	if _, err := DecodeRecord(enc2[:len(enc2)-5]); err == nil {
+		t.Fatal("truncated hash section decoded")
+	}
+}
+
 // normalize maps empty and nil slices together for comparison.
 func normalize(r Record) Record {
 	if len(r.V) == 0 {

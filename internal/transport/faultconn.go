@@ -1,0 +1,167 @@
+package transport
+
+// Fault-injecting net.Conn wrapper: the chaos layer (internal/chaos)
+// drives the emulated stack, but the TCP transport's reconnect and
+// replay paths — dial backoff, the writer's pending-frame replay after a
+// broken connection, reader resynchronization — only run over real
+// sockets. A FaultInjector wraps every connection of a TCPNode
+// (TCPOptions.Wrap) with seeded failures, extending chaos-style testing
+// to the paths the emulator cannot reach.
+//
+// TCP is a byte stream, so the faults model what a real network can do
+// to one: connections die (after a seeded byte budget, or with a seeded
+// per-operation probability) and I/O stalls. Frame-level corruption is
+// deliberately out of scope — TCP's checksum makes silent corruption a
+// different threat class, and the wire decoder's fuzz tests cover it.
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedFault is returned by I/O on a connection the injector cut.
+var ErrInjectedFault = errors.New("transport: injected connection fault")
+
+// FaultOptions tunes a FaultInjector.
+type FaultOptions struct {
+	// KillAfterBytes kills a connection once it has transferred roughly
+	// this many bytes (each connection draws its budget uniformly from
+	// [KillAfterBytes/2, 3*KillAfterBytes/2)). 0 disables.
+	KillAfterBytes int
+	// CutProbability kills the connection on any single read or write
+	// with this probability. 0 disables.
+	CutProbability float64
+	// MaxDelay stalls each operation for a uniform duration in
+	// [0, MaxDelay). 0 disables.
+	MaxDelay time.Duration
+}
+
+// FaultInjector produces faulty connections from a seed. Safe for
+// concurrent use; the RNG is locked, so fault *placement* depends on
+// scheduling — unlike the emulator, real-socket runs are not replayable,
+// and the tests assert invariants, not byte-identical outcomes.
+type FaultInjector struct {
+	opts FaultOptions
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	cuts int
+}
+
+// NewFaultInjector creates an injector with a seeded RNG.
+func NewFaultInjector(seed int64, opts FaultOptions) *FaultInjector {
+	return &FaultInjector{opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Cuts reports how many connections the injector has killed.
+func (fi *FaultInjector) Cuts() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.cuts
+}
+
+// Wrap returns conn with faults injected; pass it as TCPOptions.Wrap.
+func (fi *FaultInjector) Wrap(conn net.Conn) net.Conn {
+	fc := &faultConn{Conn: conn, fi: fi}
+	if fi.opts.KillAfterBytes > 0 {
+		fi.mu.Lock()
+		half := fi.opts.KillAfterBytes / 2
+		fc.budget = half + fi.rng.Intn(fi.opts.KillAfterBytes)
+		fi.mu.Unlock()
+	}
+	return fc
+}
+
+// roll draws the per-operation fault decisions.
+func (fi *FaultInjector) roll() (cut bool, delay time.Duration) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if p := fi.opts.CutProbability; p > 0 && fi.rng.Float64() < p {
+		return true, 0
+	}
+	if d := fi.opts.MaxDelay; d > 0 {
+		delay = time.Duration(fi.rng.Int63n(int64(d)))
+	}
+	return false, delay
+}
+
+// faultConn applies an injector's faults to one connection.
+type faultConn struct {
+	net.Conn
+	fi *FaultInjector
+
+	mu     sync.Mutex
+	moved  int
+	budget int // 0 = unlimited
+	dead   bool
+}
+
+// charge accounts transferred bytes and decides whether the connection
+// dies now.
+func (fc *faultConn) charge(n int, cut bool) error {
+	fc.mu.Lock()
+	if fc.dead {
+		fc.mu.Unlock()
+		return ErrInjectedFault
+	}
+	fc.moved += n
+	if cut || (fc.budget > 0 && fc.moved >= fc.budget) {
+		fc.dead = true
+		fc.mu.Unlock()
+		fc.fi.mu.Lock()
+		fc.fi.cuts++
+		fc.fi.mu.Unlock()
+		fc.Conn.Close()
+		return ErrInjectedFault
+	}
+	fc.mu.Unlock()
+	return nil
+}
+
+func (fc *faultConn) isDead() bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.dead
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	if fc.isDead() {
+		return 0, ErrInjectedFault
+	}
+	cut, delay := fc.fi.roll()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	n, err := fc.Conn.Read(p)
+	if ferr := fc.charge(n, cut); ferr != nil && err == nil {
+		// The bytes were consumed from the socket; dropping them mid-
+		// frame is exactly the torn-read a dying TCP connection gives.
+		return 0, ferr
+	}
+	return n, err
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	if fc.isDead() {
+		return 0, ErrInjectedFault
+	}
+	cut, delay := fc.fi.roll()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if cut {
+		// Kill before the write: the peer sees a clean break, this side
+		// believes nothing was sent — the replay path's worst case.
+		if err := fc.charge(0, true); err != nil {
+			return 0, err
+		}
+	}
+	n, err := fc.Conn.Write(p)
+	if ferr := fc.charge(n, false); ferr != nil && err == nil {
+		return n, ferr
+	}
+	return n, err
+}

@@ -2,12 +2,14 @@ package transport
 
 import (
 	"bufio"
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dledger/internal/core"
@@ -26,6 +28,13 @@ const (
 	maxFrame = 64 << 20
 	// dialRetryMax bounds the dial backoff.
 	dialRetryMax = 2 * time.Second
+	// Frame-ack replay protocol (see the writer comment): after the
+	// handshake the writer announces (incarnation nonce, start seq) and
+	// the receiver replies with its high-water stream position under
+	// that nonce; thereafter the receiver re-reports its position every
+	// ackEvery frames. ackInitTimeout bounds the handshake reply wait.
+	ackEvery       = 32
+	ackInitTimeout = 5 * time.Second
 )
 
 // TCPOptions configures one TCP node.
@@ -51,6 +60,10 @@ type TCPOptions struct {
 	// durability at all (and no persistence overhead). The caller
 	// retains ownership and closes it after Close.
 	Store store.Store
+	// Wrap, when set, wraps every peer connection (dialed and accepted)
+	// before use. Tests inject faults here (see FaultInjector); it must
+	// not block.
+	Wrap func(net.Conn) net.Conn
 	// OnDeliver observes delivered blocks (called on the node's loop).
 	OnDeliver func(replica.Delivery)
 }
@@ -62,12 +75,24 @@ type TCPNode struct {
 	rep   *replica.Replica
 	ln    net.Listener
 	keys  *Keyring
+	wrap  func(net.Conn) net.Conn
 	peers []*tcpPeer
 
 	mu     sync.Mutex
 	conns  []net.Conn
 	closed bool
 	wg     sync.WaitGroup
+
+	// recv tracks, per (peer, class), the highest stream position
+	// processed under the peer writer's current incarnation nonce.
+	recvMu sync.Mutex
+	recv   map[[2]int]*recvState
+}
+
+// recvState is the receiver half of the frame-ack replay protocol.
+type recvState struct {
+	nonce  uint64
+	maxSeq uint64
 }
 
 // tcpPeer buffers outbound traffic to one peer: a FIFO for the
@@ -110,7 +135,10 @@ func NewTCPNode(opts TCPOptions) (*TCPNode, error) {
 			return nil, errors.New("transport: keyring does not match Self/N")
 		}
 	}
-	n := &TCPNode{self: opts.Self, loop: newEventLoop(), keys: opts.Keys}
+	n := &TCPNode{
+		self: opts.Self, loop: newEventLoop(), keys: opts.Keys, wrap: opts.Wrap,
+		recv: map[[2]int]*recvState{},
+	}
 	st := opts.Store
 	if st == nil {
 		st = store.NewNoop()
@@ -244,6 +272,9 @@ func (n *TCPNode) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if n.wrap != nil {
+			conn = n.wrap(conn)
+		}
 		if !n.trackConn(conn) {
 			conn.Close()
 			return
@@ -253,14 +284,22 @@ func (n *TCPNode) acceptLoop() {
 	}
 }
 
+func writeAck(conn net.Conn, count uint64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], count)
+	_, err := conn.Write(buf[:])
+	return err
+}
+
 func (n *TCPNode) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
 
 	var from int
+	var class byte
 	if n.keys != nil {
 		var err error
-		from, _, err = authAccept(conn, n.keys)
+		from, class, err = authAccept(conn, n.keys)
 		if err != nil {
 			return
 		}
@@ -273,12 +312,40 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 			return
 		}
 		from = int(binary.BigEndian.Uint16(hs[4:6]))
+		class = hs[6]
 	}
-	if from < 0 || from >= len(n.peers) || from == n.self {
+	if from < 0 || from >= len(n.peers) || from == n.self || class > classLow {
 		return
 	}
+	// Ack handshake: the writer announces its incarnation nonce and the
+	// stream position of the first frame this connection will offer; we
+	// answer with the highest position already processed under that
+	// nonce (so the writer prunes its replay tail), which is also where
+	// this connection's frame positions start counting from.
+	var ab [16]byte
+	if _, err := io.ReadFull(conn, ab[:]); err != nil {
+		return
+	}
+	nonce := binary.BigEndian.Uint64(ab[0:8])
+	startSeq := binary.BigEndian.Uint64(ab[8:16])
+	key := [2]int{from, int(class)}
+	n.recvMu.Lock()
+	st := n.recv[key]
+	if st == nil || st.nonce != nonce {
+		st = &recvState{nonce: nonce, maxSeq: startSeq - 1}
+		n.recv[key] = st
+	} else if startSeq-1 > st.maxSeq {
+		st.maxSeq = startSeq - 1
+	}
+	connBase := st.maxSeq
+	n.recvMu.Unlock()
+	if writeAck(conn, connBase) != nil {
+		return
+	}
+
 	br := bufio.NewReaderSize(conn, 256<<10)
 	var lenBuf [4]byte
+	var got uint64 // frames consumed on THIS connection
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
@@ -290,6 +357,24 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		buf := make([]byte, size)
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return
+		}
+		// Every frame counts toward the ack — decodable or not — because
+		// the sender counts flushed frames, not valid envelopes. The
+		// stream position advances monotonically even if a lingering
+		// older connection races this one: positions name the same
+		// frames under the same nonce.
+		got++
+		pos := connBase + got
+		n.recvMu.Lock()
+		if st.nonce == nonce && pos > st.maxSeq {
+			st.maxSeq = pos
+		}
+		ack := st.maxSeq
+		n.recvMu.Unlock()
+		if got%ackEvery == 0 {
+			if writeAck(conn, ack) != nil {
+				return
+			}
 		}
 		env, err := wire.Decode(buf)
 		if err != nil {
@@ -405,13 +490,87 @@ func (p *tcpPeer) close() {
 	p.cond.Broadcast()
 }
 
+// incarnationNonce tags one writer incarnation's stream-position space
+// so receivers can tell a restarted writer from a reconnecting one.
+func incarnationNonce() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// ackReader consumes stream-position reports from the receiving side of
+// a writer connection, publishing the latest into ctr.
+func ackReader(c net.Conn, ctr *atomic.Uint64) {
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(c, buf[:]); err != nil {
+			return
+		}
+		v := binary.BigEndian.Uint64(buf[:])
+		for {
+			cur := ctr.Load()
+			if v <= cur || ctr.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+}
+
 // writer drains one class of the peer's queue over its own connection,
 // redialing with backoff on failure.
+//
+// Reliability across reconnects: TCP guarantees nothing about bytes in
+// flight when a connection dies — flushed frames may or may not have
+// been processed. The writer therefore numbers its frames with
+// monotone stream positions (1-based, per writer incarnation) and
+// retains every frame until the receiver's reported position covers
+// it. Each connection opens with (incarnation nonce, position of the
+// first frame it will offer); the receiver replies with the highest
+// position it has already processed under that nonce — the writer
+// prunes to it and resends the rest — and re-reports its position
+// every ackEvery frames. The nonce makes writer restarts
+// self-describing (a fresh incarnation restarts the position space and
+// the receiver's high-water mark with it), the handshake reply makes
+// progress survive connections too short-lived to carry an in-stream
+// ack, and positions — unlike raw frame counts — are immune to
+// double-counting replayed duplicates. The receiver may still process
+// up to ~ackEvery duplicate frames after a replay; every protocol
+// message is deduplicated at its automaton.
 func (p *tcpPeer) writer(class int) {
 	defer p.node.wg.Done()
 	var conn net.Conn
 	var bw *bufio.Writer
+	var acked *atomic.Uint64 // latest position reported on the CURRENT conn
 	backoff := 50 * time.Millisecond
+	nonce := incarnationNonce()
+
+	// pending holds every unacked frame; baseSeq is the stream position
+	// of the last pruned frame (pending[i] sits at baseSeq+1+i);
+	// written counts the pending frames handed to the CURRENT
+	// connection; unflushed those written since the last flush.
+	var pending [][]byte
+	var baseSeq uint64
+	written := 0
+	unflushed := 0
+	const flushPending = 64 // flush at least this often
+
+	prune := func(to uint64) {
+		if to <= baseSeq {
+			return
+		}
+		k := int(to - baseSeq)
+		if k > len(pending) {
+			k = len(pending)
+		}
+		pending = pending[:copy(pending, pending[k:])]
+		baseSeq += uint64(k)
+		written -= k
+		if written < 0 {
+			written = 0
+		}
+	}
 
 	connect := func() bool {
 		for {
@@ -433,6 +592,9 @@ func (p *tcpPeer) writer(class int) {
 				continue
 			}
 			backoff = 50 * time.Millisecond
+			if p.node.wrap != nil {
+				c = p.node.wrap(c)
+			}
 			if !p.node.trackConn(c) {
 				c.Close()
 				return false
@@ -453,23 +615,36 @@ func (p *tcpPeer) writer(class int) {
 					continue
 				}
 			}
+			// Ack handshake: announce (nonce, first offered position),
+			// learn how far the receiver already got, prune and replay
+			// the rest on this connection.
+			var ab [16]byte
+			binary.BigEndian.PutUint64(ab[0:8], nonce)
+			binary.BigEndian.PutUint64(ab[8:16], baseSeq+1)
+			if _, err := c.Write(ab[:]); err != nil {
+				c.Close()
+				time.Sleep(backoff)
+				continue
+			}
+			c.SetReadDeadline(time.Now().Add(ackInitTimeout))
+			var rb [8]byte
+			if _, err := io.ReadFull(c, rb[:]); err != nil {
+				c.Close()
+				time.Sleep(backoff)
+				continue
+			}
+			c.SetReadDeadline(time.Time{})
+			prune(binary.BigEndian.Uint64(rb[:]))
+			ctr := &atomic.Uint64{}
+			go ackReader(c, ctr)
 			conn = c
 			bw = bufio.NewWriterSize(c, 256<<10)
+			acked = ctr
+			written = 0 // the whole unacked tail replays on this conn
+			unflushed = 0
 			return true
 		}
 	}
-
-	// pending holds frames taken from the queue that have not yet been
-	// flushed to a connection; written counts how many of them have been
-	// handed to the CURRENT connection's buffer. When a connection
-	// breaks, everything buffered but unflushed would silently vanish —
-	// up to the whole bufio buffer — so the writer replays all pending
-	// frames on the next connection instead. Receivers tolerate the
-	// duplicates this can produce (every protocol message is
-	// deduplicated at its automaton).
-	var pending [][]byte
-	written := 0
-	const flushPending = 64 // flush at least this often, bounding replay memory
 
 	for {
 		frame, ok := p.nextFrame(class)
@@ -488,8 +663,8 @@ func (p *tcpPeer) writer(class int) {
 				if !connect() {
 					return
 				}
-				written = 0 // replay everything unflushed on the new conn
 			}
+			prune(acked.Load())
 			ok := true
 			for written < len(pending) {
 				if _, err := bw.Write(pending[written]); err != nil {
@@ -497,13 +672,13 @@ func (p *tcpPeer) writer(class int) {
 					break
 				}
 				written++
+				unflushed++
 			}
-			if ok && (len(pending) >= flushPending || p.empty(class)) {
+			if ok && (unflushed >= flushPending || p.empty(class)) {
 				if err := bw.Flush(); err != nil {
 					ok = false
 				} else {
-					pending = pending[:0]
-					written = 0
+					unflushed = 0
 				}
 			}
 			if ok {
