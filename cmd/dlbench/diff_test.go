@@ -1,0 +1,73 @@
+package main
+
+import "testing"
+
+func snap(records ...benchRecord) *benchFile {
+	return &benchFile{Records: records}
+}
+
+func rec(exp, mode string, params map[string]float64, metrics map[string]float64) benchRecord {
+	return benchRecord{Experiment: exp, Mode: mode, Params: params, Metrics: metrics}
+}
+
+func TestDiffFlagsThroughputRegression(t *testing.T) {
+	oldF := snap(rec("fig8", "DL", nil, map[string]float64{"mean_throughput_mbps": 10}))
+	newF := snap(rec("fig8", "DL", nil, map[string]float64{"mean_throughput_mbps": 8}))
+	lines, _, _ := diffSnapshots(oldF, newF, 0.10)
+	if len(lines) != 1 || !lines[0].Regression {
+		t.Fatalf("20%% throughput drop not flagged: %+v", lines)
+	}
+	// An improvement of the same size is reported but not a regression.
+	newF = snap(rec("fig8", "DL", nil, map[string]float64{"mean_throughput_mbps": 12}))
+	lines, _, _ = diffSnapshots(oldF, newF, 0.10)
+	if len(lines) != 1 || lines[0].Regression {
+		t.Fatalf("improvement misclassified: %+v", lines)
+	}
+}
+
+func TestDiffDirectionPerMetric(t *testing.T) {
+	oldF := snap(rec("fig10", "DL", map[string]float64{"system_load_mbps": 6},
+		map[string]float64{"local_p50_ms": 400}))
+	newF := snap(rec("fig10", "DL", map[string]float64{"system_load_mbps": 6},
+		map[string]float64{"local_p50_ms": 500}))
+	lines, _, _ := diffSnapshots(oldF, newF, 0.10)
+	if len(lines) != 1 || !lines[0].Regression {
+		t.Fatalf("25%% latency increase not flagged: %+v", lines)
+	}
+	// Latency down is an improvement.
+	newF = snap(rec("fig10", "DL", map[string]float64{"system_load_mbps": 6},
+		map[string]float64{"local_p50_ms": 300}))
+	lines, _, _ = diffSnapshots(oldF, newF, 0.10)
+	if len(lines) != 1 || lines[0].Regression {
+		t.Fatalf("latency improvement misclassified: %+v", lines)
+	}
+}
+
+func TestDiffNoiseThresholdAndKeys(t *testing.T) {
+	oldF := snap(
+		rec("fig8", "DL", nil, map[string]float64{"mean_throughput_mbps": 10}),
+		rec("fig12", "", map[string]float64{"n": 16, "block_bytes": 512000},
+			map[string]float64{"dispersal_fraction": 0.5}),
+	)
+	// A 5% wobble under a 10% threshold is silent; params distinguish
+	// records, so a missing baseline point is counted, not compared.
+	newF := snap(
+		rec("fig8", "DL", nil, map[string]float64{"mean_throughput_mbps": 9.6}),
+		rec("fig12", "", map[string]float64{"n": 31, "block_bytes": 512000},
+			map[string]float64{"dispersal_fraction": 0.9}),
+	)
+	lines, missing, added := diffSnapshots(oldF, newF, 0.10)
+	if len(lines) != 0 {
+		t.Fatalf("noise flagged: %+v", lines)
+	}
+	if missing != 1 || added != 1 {
+		t.Fatalf("missing=%d added=%d, want 1 and 1", missing, added)
+	}
+	// Neutral metrics (structure, not performance) never regress.
+	newF = snap(rec("fig12", "", map[string]float64{"n": 16, "block_bytes": 512000},
+		map[string]float64{"dispersal_fraction": 0.9}))
+	lines, _, _ = diffSnapshots(oldF, newF, 0.10)
+	if len(lines) != 1 || lines[0].Regression {
+		t.Fatalf("neutral metric misclassified: %+v", lines)
+	}
+}

@@ -59,7 +59,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	jsonOut := flag.Bool("json", false, "write a machine-readable BENCH_<stamp>.json next to the printed tables")
 	jsonPath := flag.String("jsonpath", "", "override the -json output path")
+	diff := flag.Bool("diff", false, "compare two BENCH_*.json snapshots (old new) and exit non-zero on a regression beyond -noise")
+	noise := flag.Float64("noise", 0.10, "with -diff: relative change below this is noise (0.10 = 10%)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dlbench: -diff needs exactly two snapshot paths: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), *noise))
+	}
 
 	var records []benchRecord
 	record := func(r benchRecord) { records = append(records, r) }

@@ -58,7 +58,9 @@ func (c *collector) receipt(rc dlclient.Receipt) {
 		c.dupPending.Add(1)
 	case dlclient.StatusDuplicateCommitted:
 		c.dupCommitted.Add(1)
-	case dlclient.StatusOverCapacity:
+	case dlclient.StatusOverCapacity, dlclient.StatusRateLimited:
+		// Both are backpressure: the node (or this client's admission
+		// budget) wants the submitter to slow down.
 		c.overCapacity.Add(1)
 	default:
 		c.otherReject.Add(1)

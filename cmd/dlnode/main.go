@@ -46,6 +46,19 @@
 // -retain 0 (keep everything) makes the chunk store grow with the
 // ledger, while e.g. -retain 1000 bounds it. Without -datadir the node
 // is memory-only and a restart rejoins as a fresh, empty node.
+//
+// State sync (on by default; -statesync=false disables): nodes record
+// attestable checkpoints as they deliver and serve them to peers. A
+// node whose outage outlasts every peer's -retain horizon bootstraps
+// from a verified peer checkpoint automatically instead of wedging in
+// catch-up, and a brand-new member joins a long-running cluster with
+//
+//	dlnode -id 3 -peers ... -secret s3cret -datadir /var/lib/dlnode3 -join
+//
+// (the membership slot must already exist in every node's -peers list;
+// membership itself is static). The checkpoint is trusted only on f+1
+// identical peer attestations and every transferred chunk is verified
+// against its Merkle root — see DESIGN.md "State sync".
 package main
 
 import (
@@ -77,6 +90,9 @@ func main() {
 	datadir := flag.String("datadir", "", "directory for the write-ahead log, chunk store and checkpoints; restarting with the same directory recovers the node (empty = memory only)")
 	clientAddr := flag.String("client", "", "serve the client gateway on this address (empty = no client port)")
 	mempoolMB := flag.Float64("mempool", 0, "mempool byte budget in MB; submissions beyond it are rejected with a retry-after hint (0 = unbounded)")
+	clientRate := flag.Float64("clientrate", 0, "per-client admission rate limit in KB/s; a flooder is rejected with a retry-after hint before it can consume the shared mempool budget (0 = unlimited)")
+	stateSync := flag.Bool("statesync", true, "enable the state-sync subsystem: serve checkpoints to joining peers and bootstrap from one if an outage outlasts every peer's -retain horizon")
+	join := flag.Bool("join", false, "join a running cluster as a brand-new member: bootstrap from a peer checkpoint instead of replaying history (requires an empty -datadir and peers running with state sync; implies -statesync)")
 	flag.Parse()
 
 	if *genkeys > 0 {
@@ -130,15 +146,18 @@ func main() {
 	node, err := dl.NewTCPNode(dl.NodeOptions{
 		Config: dl.Config{
 			N: n, F: faults, Mode: mode,
-			CoinSecret:   []byte(*secret),
-			RetainEpochs: *retain,
-			DataDir:      *datadir,
-			MempoolBytes: int(*mempoolMB * trace.MB),
+			CoinSecret:      []byte(*secret),
+			RetainEpochs:    *retain,
+			DataDir:         *datadir,
+			MempoolBytes:    int(*mempoolMB * trace.MB),
+			ClientRateLimit: *clientRate * 1024,
+			StateSync:       *stateSync || *join,
 		},
 		Self:       *id,
 		Addrs:      addrs,
 		Keys:       keys,
 		ClientAddr: *clientAddr,
+		Join:       *join,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dlnode:", err)
@@ -192,6 +211,10 @@ func main() {
 				fmt.Printf("  gateway: accepted=%d busy=%d dup=%d commits=%d streamed=%d mempool=%.0fKB\n",
 					g.Accepted, g.RejectedOverCapacity, g.RejectedDuplicate,
 					g.Commits, g.CommitsStreamed, float64(s.MempoolBytes)/1024)
+			}
+			if s.StateSyncs > 0 || s.StateSyncServed > 0 {
+				fmt.Printf("  state-sync: %d bootstraps (%.1fMB fetched, %d chunks imported), %d pages served\n",
+					s.StateSyncs, float64(s.StateSyncBytes)/trace.MB, s.StateSyncChunks, s.StateSyncServed)
 			}
 			if s.StoreErrors > 0 {
 				fmt.Fprintf(os.Stderr, "dlnode: WARNING: %d durable-write failures — persistence is OFF and %s is no longer a valid restart point\n",

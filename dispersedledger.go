@@ -99,6 +99,23 @@ type Config struct {
 	// NodeOptions.ClientAddr TCP front door. Setting ClientAddr on a
 	// node implies it. Costs one SHA-256 per delivered transaction.
 	ClientGateway bool
+	// ClientRateLimit, when positive, rate-limits each gateway client's
+	// admission to this many bytes/second (token bucket, 4-second
+	// burst): a single flooder is rejected with a retry-after hint
+	// before its bytes can contend for the shared mempool budget, so
+	// admission fairness matches the mempool's round-robin dequeue
+	// fairness. Zero disables the limit.
+	ClientRateLimit float64
+	// StateSync enables the checkpoint-transfer subsystem: the node
+	// records attestable sync points as it delivers, serves checkpoint
+	// manifests and chunk inventories to joining peers, and — if its
+	// own outage ever outlasts the cluster's RetainEpochs horizon —
+	// bootstraps itself from a peer checkpoint instead of wedging in
+	// catch-up. Pair with RetainEpochs: with StateSync the horizon is
+	// enforced unconditionally (bounded memory even with a dead peer),
+	// because laggards beyond it have the checkpoint path. All nodes of
+	// a cluster must agree on this setting and on RetainEpochs.
+	StateSync bool
 }
 
 func (c Config) coreConfig() core.Config {
@@ -109,6 +126,7 @@ func (c Config) coreConfig() core.Config {
 	return core.Config{
 		N: n, F: f, Mode: c.Mode, CoinSecret: c.CoinSecret,
 		RetainEpochs: c.RetainEpochs, StagedRetrieval: c.StagedRetrieval,
+		StateSync: c.StateSync,
 	}
 }
 
@@ -159,6 +177,18 @@ type Stats struct {
 	// MempoolBytes is the current queued-transaction backlog — with
 	// Config.MempoolBytes set it never exceeds that budget.
 	MempoolBytes int64
+	// StateSyncs counts completed bootstrap-from-checkpoint installs on
+	// this node (a node that was down past the cluster's retention
+	// horizon, or started with dlnode -join, recovers this way).
+	StateSyncs int64
+	// StateSyncBytes is the total checkpoint-page payload this node
+	// fetched as a state-sync client; StateSyncServed counts the pages
+	// it served to joining peers as a donor.
+	StateSyncBytes  int64
+	StateSyncServed int64
+	// StateSyncChunks counts Merkle-verified chunk records this node
+	// imported from donors' retained inventories during syncs.
+	StateSyncChunks int64
 	// Gateway holds the client-gateway counters (zero without one).
 	Gateway GatewayStats
 }
@@ -177,6 +207,9 @@ type GatewayStats struct {
 	// malformed-submission rejections.
 	RejectedOversize int64
 	RejectedInvalid  int64
+	// RejectedRateLimited counts submissions refused by the per-client
+	// admission token bucket (Config.ClientRateLimit).
+	RejectedRateLimited int64
 	// Commits counts committed transactions indexed for proofs;
 	// CommitsStreamed those delivered to subscriptions, CommitsDropped
 	// those lost to a full subscriber buffer (recoverable by
@@ -193,6 +226,7 @@ func gatewayStats(c gateway.Counters) GatewayStats {
 		RejectedOverCapacity: c.RejectedOverCapacity,
 		RejectedOversize:     c.RejectedOversize,
 		RejectedInvalid:      c.RejectedInvalid,
+		RejectedRateLimited:  c.RejectedRateLimited,
 		Commits:              c.Commits,
 		CommitsStreamed:      c.CommitsStreamed,
 		CommitsDropped:       c.CommitsDropped,
@@ -247,7 +281,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.hubs = make([]*gateway.Hub, cc.N)
 		for i := range c.hubs {
 			c.hubs[i] = gateway.NewHub(clusterExec{c, i}, gateway.Options{
-				N: cc.N, F: cc.F,
+				N: cc.N, F: cc.F, RatePerClient: cfg.ClientRateLimit,
 			})
 		}
 	}
@@ -346,6 +380,7 @@ func (c *Cluster) Stats(i int) (Stats, error) {
 	}
 	var out Stats
 	c.mem.Inspect(i, func(r *replica.Replica) {
+		ss := r.Engine().SyncStats()
 		out = Stats{
 			Submitted:           r.Stats.Submitted,
 			DeliveredTxs:        r.Stats.DeliveredTxs,
@@ -355,6 +390,10 @@ func (c *Cluster) Stats(i int) (Stats, error) {
 			StoreErrors:         r.Stats.StoreErrors,
 			RejectedSubmissions: r.Stats.RejectedSubmissions,
 			MempoolBytes:        int64(r.PendingBytes()),
+			StateSyncs:          r.Stats.StateSyncs,
+			StateSyncBytes:      ss.BytesFetched,
+			StateSyncServed:     ss.PagesServed,
+			StateSyncChunks:     ss.ChunksImported,
 		}
 	})
 	out.DroppedDeliveries = atomic.LoadInt64(&c.dropped[i])
@@ -424,6 +463,15 @@ type NodeOptions struct {
 	// connect with package dlclient to submit transactions and receive
 	// commit proofs. Implies Config.ClientGateway.
 	ClientAddr string
+	// Join marks this node as a brand-new member joining a running
+	// cluster with an empty DataDir: before participating it fetches a
+	// verified checkpoint from its peers (f+1 identical attestations)
+	// and resumes from there — replaying a history the cluster may long
+	// since have garbage-collected is not required. Implies
+	// Config.StateSync; the membership slot must already be in every
+	// node's Addrs list (membership itself is static), and the running
+	// peers must have StateSync enabled.
+	Join bool
 }
 
 // NewTCPNode starts one node of a TCP cluster. Config.CoinSecret must be
@@ -436,8 +484,14 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 		opts.Config.ClientGateway = true
 	}
 	cc := opts.Config.coreConfig()
+	if opts.Join {
+		cc.StateSync = true
+		cc.JoinSync = true
+	}
 	if opts.Config.ClientGateway {
-		n.hub = gateway.NewHub(nodeExec{n}, gateway.Options{N: cc.N, F: cc.F})
+		n.hub = gateway.NewHub(nodeExec{n}, gateway.Options{
+			N: cc.N, F: cc.F, RatePerClient: opts.Config.ClientRateLimit,
+		})
 	}
 	var st store.Store
 	if opts.Config.DataDir != "" {
@@ -517,6 +571,7 @@ func (n *Node) ClientAddr() string {
 func (n *Node) Stats() Stats {
 	var out Stats
 	n.tcp.Inspect(func(r *replica.Replica) {
+		ss := r.Engine().SyncStats()
 		out = Stats{
 			Submitted:           r.Stats.Submitted,
 			DeliveredTxs:        r.Stats.DeliveredTxs,
@@ -526,6 +581,10 @@ func (n *Node) Stats() Stats {
 			StoreErrors:         r.Stats.StoreErrors,
 			RejectedSubmissions: r.Stats.RejectedSubmissions,
 			MempoolBytes:        int64(r.PendingBytes()),
+			StateSyncs:          r.Stats.StateSyncs,
+			StateSyncBytes:      ss.BytesFetched,
+			StateSyncServed:     ss.PagesServed,
+			StateSyncChunks:     ss.ChunksImported,
 		}
 	})
 	out.DroppedDeliveries = atomic.LoadInt64(&n.dropped)

@@ -49,6 +49,7 @@ const (
 	StatusOverCapacity       = gateway.StatusOverCapacity
 	StatusOversize           = gateway.StatusOversize
 	StatusInvalid            = gateway.StatusInvalid
+	StatusRateLimited        = gateway.StatusRateLimited
 )
 
 // Options configures a client.

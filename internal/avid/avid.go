@@ -90,6 +90,24 @@ func Disperse(p Params, block []byte) ([]wire.Chunk, merkle.Root, error) {
 	return msgs, root, nil
 }
 
+// OwnChunk re-encodes a full block and returns server self's leaf: the
+// Merkle root, the chunk, and its inclusion proof. A node that
+// retrieved a block over the network uses it to back-fill the chunk its
+// crashed or not-yet-joined incarnation never received, restoring its
+// availability promise for the instance.
+func OwnChunk(p Params, self int, block []byte) (merkle.Root, []byte, merkle.Proof, error) {
+	shards, err := p.Coder.Split(block)
+	if err != nil {
+		return merkle.Root{}, nil, merkle.Proof{}, err
+	}
+	tree := merkle.NewTree(shards)
+	proof, err := tree.Prove(self)
+	if err != nil {
+		return merkle.Root{}, nil, merkle.Proof{}, err
+	}
+	return tree.Root(), shards[self], proof, nil
+}
+
 // Server is the per-instance server automaton.
 type Server struct {
 	p    Params
@@ -154,6 +172,31 @@ func RestoreServer(p Params, self int, root merkle.Root, hasChunk bool, data []b
 // Completed reports whether dispersal has Completed at this server, and
 // the agreed root.
 func (s *Server) Completed() (bool, merkle.Root) { return s.completed, s.chunkRoot }
+
+// AdoptComplete installs a completion learned outside the quorum path:
+// the caller retrieved (and re-encoding-verified) the instance's full
+// block, so the dispersal provably completed cluster-wide, and root,
+// data, proof are this server's own recomputed leaf. Like a restored
+// server it re-broadcasts no quorum messages — completion is stable and
+// the instance's epoch is already decided or linked. Pending retrieval
+// requests are answered now that a chunk is in hand. A server already
+// completed under a different root ignores the call.
+func (s *Server) AdoptComplete(root merkle.Root, data []byte, proof merkle.Proof) []Send {
+	if s.completed && s.chunkRoot != root {
+		return nil
+	}
+	s.completed = true
+	s.chunkRoot = root
+	s.sentGot = true
+	s.sentReady = true
+	if !s.haveMy || s.myRoot != root {
+		s.haveMy = true
+		s.myChunk = data
+		s.myProof = proof
+		s.myRoot = root
+	}
+	return s.flushPending()
+}
 
 // StoredChunk exposes the server's durable state for persistence: the
 // agreed root and, when the server holds a chunk matching it, the chunk

@@ -40,6 +40,16 @@ type Config struct {
 	// reliable transport, so liveness is NOT checked on lossy runs —
 	// only safety (agreement, integrity, validity).
 	Lossy bool
+	// StateSync runs the cluster with the checkpoint-transfer subsystem
+	// on (core.Config.StateSync, RetainEpochs=8, sync points every 8
+	// epochs) and lets the generator schedule outage-beyond-horizon
+	// events: a long crash whose victim must bootstrap from a peer
+	// checkpoint, or a fresh member joining mid-run with an empty store.
+	// Crash victims' and joiners' logs are then checked with the window
+	// form of agreement (their pre-outage prefix must match, and their
+	// post-sync log must re-attach as a contiguous window of a full
+	// node's log — the synced-over gap simply absent).
+	StateSync bool
 	// Clients attaches this many emulated gateway clients to every node
 	// (0 = none): Poisson submissions through each node's gateway.Hub,
 	// receipt-driven backoff, post-restart resubmission, and proof
@@ -170,7 +180,7 @@ func (r *Result) replayCommand() string {
 	// else must match what dlsim (and this config) derive by default, or
 	// no CLI command reproduces the run.
 	cliCfg := Config{N: r.Cfg.N, Mode: r.Cfg.Mode, Horizon: r.Cfg.Horizon,
-		Lossy: r.Cfg.Lossy, Clients: r.Cfg.Clients}.withDefaults()
+		Lossy: r.Cfg.Lossy, Clients: r.Cfg.Clients, StateSync: r.Cfg.StateSync}.withDefaults()
 	if r.Cfg != cliCfg {
 		return fmt.Sprintf("chaos.Explore(%d, <the identical Config>)", r.Seed)
 	}
@@ -184,6 +194,9 @@ func (r *Result) replayCommand() string {
 	}
 	if r.Cfg.Clients > 0 {
 		cmd += fmt.Sprintf(" -clients %d", r.Cfg.Clients)
+	}
+	if r.Cfg.StateSync {
+		cmd += " -sync"
 	}
 	return cmd
 }
@@ -208,20 +221,43 @@ func Generate(seed int64, cfg Config) *Plan {
 	}
 
 	// Byzantine assignments, then crashes among the remaining honest
-	// nodes: the total of byzantine + concurrently-crashed stays <= F so
-	// liveness remains guaranteed once everything heals.
+	// nodes: the total of byzantine + concurrently-down (crashed or
+	// not-yet-joined) stays <= F so liveness remains guaranteed once
+	// everything heals.
 	nodes := rng.Perm(cfg.N)
 	byz := rng.Intn(cfg.MaxByzantine + 1)
 	for _, i := range nodes[:byz] {
 		p.Byzantine[i] = Behaviors[rng.Intn(len(Behaviors))]
 	}
+	budget := cfg.F - byz
+	next := byz // next unassigned node in the permutation
+
+	// With state sync on, schedule one beyond-horizon event when the
+	// fault budget allows: either a fresh member joining mid-run, or a
+	// crash long enough that the cluster prunes past the victim.
+	if cfg.StateSync && budget > 0 {
+		victim := nodes[next]
+		next++
+		budget--
+		// Land the event in [40%, 55%] of the horizon: late enough that
+		// sync points exist and the cluster has pruned, early enough
+		// that the quiet tail can absorb the bootstrap and catch-up.
+		at := cfg.Horizon*2/5 + time.Duration(rng.Int63n(int64(cfg.Horizon*3/20)))
+		if rng.Intn(2) == 0 {
+			p.Joins = append(p.Joins, Join{Node: victim, At: at})
+		} else {
+			crashAt := time.Second + time.Duration(rng.Int63n(int64(cfg.Horizon/5)))
+			p.Crashes = append(p.Crashes, Crash{Node: victim, At: crashAt, RestartAt: at})
+		}
+	}
+
 	crashes := rng.Intn(cfg.MaxCrashes + 1)
-	if crashes > cfg.F-byz {
-		crashes = cfg.F - byz
+	if crashes > budget {
+		crashes = budget
 	}
 	for k := 0; k < crashes; k++ {
 		at, until := window()
-		p.Crashes = append(p.Crashes, Crash{Node: nodes[byz+k], At: at, RestartAt: until})
+		p.Crashes = append(p.Crashes, Crash{Node: nodes[next+k], At: at, RestartAt: until})
 	}
 
 	for k := rng.Intn(cfg.MaxPartitions + 1); k > 0; k-- {
@@ -274,11 +310,17 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 	for i := range traces {
 		traces[i] = trace.Constant(cfg.Rate)
 	}
+	cc := core.Config{
+		N: cfg.N, F: cfg.F, Mode: cfg.Mode,
+		CoinSecret: []byte("chaos exploration coin"),
+	}
+	if cfg.StateSync {
+		cc.StateSync = true
+		cc.RetainEpochs = 8
+		cc.SyncPointEvery = 8
+	}
 	c, err := harness.NewCluster(harness.ClusterOptions{
-		Core: core.Config{
-			N: cfg.N, F: cfg.F, Mode: cfg.Mode,
-			CoinSecret: []byte("chaos exploration coin"),
-		},
+		Core:        cc,
 		Replica:     replica.Params{BatchDelay: 100 * time.Millisecond},
 		Egress:      traces,
 		TxSize:      250,
@@ -295,7 +337,7 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	lr := harness.NewLogRecorder(c)
-	st, err := apply(c, core.Config{N: cfg.N, F: cfg.F, Mode: cfg.Mode}, lr, p)
+	st, err := apply(c, cc, lr, p)
 	if err != nil {
 		return nil, err
 	}
@@ -316,8 +358,49 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 		res.EpochsDelivered = append(res.EpochsDelivered, c.Replicas[i].Stats.EpochsDelivered)
 	}
 
-	// Safety invariants hold under every fault plan.
-	res.Violations = append(res.Violations, harness.CheckPrefixAgreement(res.Logs, res.Honest)...)
+	// Safety invariants hold under every fault plan. With state sync any
+	// node may have legitimately bootstrapped past history — restarted
+	// victims, fresh joiners, and live laggards the cluster pruned past
+	// all do — so a node that completed installs is held to segmented
+	// agreement (one gap allowed per install) against the nodes that
+	// never synced, which keep position-for-position prefix equality.
+	// The install counter is node-local and does not survive a crash,
+	// so a restarted victim gets one extra gap of budget per restart:
+	// its pre-crash incarnation may have synced without the final
+	// incarnation's counter knowing.
+	syncs := map[int]int{}
+	for _, i := range res.Honest {
+		syncs[i] = int(c.Replicas[i].Stats.StateSyncs)
+	}
+	if cfg.StateSync {
+		for _, cr := range p.Crashes {
+			if cr.RestartAt > 0 {
+				syncs[cr.Node]++
+			}
+		}
+	}
+	var full []int
+	for _, i := range res.Honest {
+		if syncs[i] == 0 {
+			full = append(full, i)
+		}
+	}
+	res.Violations = append(res.Violations, harness.CheckPrefixAgreement(res.Logs, full)...)
+	for _, i := range res.Honest {
+		if syncs[i] == 0 {
+			continue
+		}
+		for _, w := range full {
+			// A witness still behind the synced node's position has not
+			// delivered the log segment under test and yields no
+			// verdict (an entry "missing" there proves nothing).
+			if c.Replicas[w].Engine().DeliveredEpoch() < c.Replicas[i].Engine().DeliveredEpoch() {
+				continue
+			}
+			_, v := harness.CheckSegmentedAgreement(i, res.Logs[i], w, res.Logs[w], syncs[i])
+			res.Violations = append(res.Violations, v...)
+		}
+	}
 	for _, i := range res.Honest {
 		res.Violations = append(res.Violations, harness.CheckNoDuplicates(i, res.Logs[i])...)
 		res.Violations = append(res.Violations, lr.CheckTxValidity(i, cfg.N, honestMask)...)
@@ -389,6 +472,12 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 				res.Violations = append(res.Violations, fmt.Sprintf(
 					"recovery: node %d never delivered again after its restart (stuck at %d blocks)",
 					cr.Node, got))
+			}
+		}
+		for _, j := range p.Joins {
+			if len(res.Logs[j.Node]) == 0 {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"recovery: fresh node %d never delivered after joining at %v", j.Node, j.At))
 			}
 		}
 	}

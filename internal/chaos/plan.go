@@ -97,6 +97,16 @@ type Crash struct {
 	At, RestartAt time.Duration
 }
 
+// Join holds Node out of the initial boot and spawns it at At as a
+// brand-new member with an empty store (harness.Cluster.AddNode): the
+// outage-beyond-horizon event class. Requires a cluster configuration
+// with state sync enabled (Config.StateSync) — a fresh member can only
+// reach the log through checkpoint transfer.
+type Join struct {
+	Node int
+	At   time.Duration
+}
+
 // Plan is a deterministic fault schedule for one cluster run.
 type Plan struct {
 	// Seed feeds the network's probabilistic fault RNG (drop, jitter,
@@ -106,6 +116,7 @@ type Plan struct {
 	Partitions []Partition
 	Links      []LinkRule
 	Crashes    []Crash
+	Joins      []Join
 }
 
 // byzNodes returns the Byzantine assignments sorted by node id.
@@ -184,6 +195,12 @@ func (p *Plan) Encode() []byte {
 		u64(uint64(cr.At))
 		u64(uint64(cr.RestartAt))
 	}
+	for _, j := range p.Joins {
+		// Appended (rather than length-prefixed in the middle) so plans
+		// without joins keep their historical encoding and fingerprints.
+		u64(uint64(j.Node))
+		u64(uint64(j.At))
+	}
 	return buf
 }
 
@@ -206,6 +223,9 @@ func (p *Plan) String() string {
 	}
 	for _, cr := range p.Crashes {
 		fmt.Fprintf(&sb, "  crash node %d at %v, restart %v\n", cr.Node, cr.At, cr.RestartAt)
+	}
+	for _, j := range p.Joins {
+		fmt.Fprintf(&sb, "  join fresh node %d at %v\n", j.Node, j.At)
 	}
 	if sb.Len() == len("fault plan (seed 0):\n") {
 		sb.WriteString("  (no faults)\n")
@@ -327,6 +347,19 @@ func apply(c *harness.Cluster, cfg core.Config, lr *harness.LogRecorder, p *Plan
 	for _, cr := range p.Crashes {
 		crashed[cr.Node] = true
 	}
+	joined := map[int]bool{}
+	for _, j := range p.Joins {
+		if j.Node < 0 || j.Node >= cfg.N {
+			return nil, fmt.Errorf("chaos: join node %d out of range", j.Node)
+		}
+		if crashed[j.Node] || joined[j.Node] {
+			return nil, fmt.Errorf("chaos: node %d cannot both join fresh and crash", j.Node)
+		}
+		if !cfg.StateSync {
+			return nil, fmt.Errorf("chaos: join events require Config.StateSync")
+		}
+		joined[j.Node] = true
+	}
 	honest := p.HonestMask(cfg.N)
 	for _, i := range p.byzNodes() {
 		if i < 0 || i >= cfg.N {
@@ -337,9 +370,21 @@ func apply(c *harness.Cluster, cfg core.Config, lr *harness.LogRecorder, p *Plan
 			// keep the fault model clean by forbidding the combination.
 			return nil, fmt.Errorf("chaos: node %d cannot be both byzantine and crashed", i)
 		}
+		if joined[i] {
+			return nil, fmt.Errorf("chaos: node %d cannot be both byzantine and a fresh join", i)
+		}
 		if err := installByzantine(c.Replicas[i].Engine(), cfg, i, p.Byzantine[i], honest); err != nil {
 			return nil, err
 		}
+	}
+	for _, j := range p.Joins {
+		j := j
+		c.Hold(j.Node)
+		c.Sim.At(j.At, func() {
+			if err := c.AddNode(j.Node, lr.Hook(j.Node)); err != nil && st.restartErr == nil {
+				st.restartErr = fmt.Errorf("chaos: join of node %d: %w", j.Node, err)
+			}
+		})
 	}
 	c.Net.SetFaultSeed(p.Seed)
 	lc := newLinkClaims(c.Net)

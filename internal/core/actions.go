@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"dledger/internal/merkle"
+	"dledger/internal/store"
 	"dledger/internal/wire"
 )
 
@@ -121,6 +122,31 @@ type ChunkStoredAction struct {
 	Proof    merkle.Proof
 }
 
+// SyncPointAction reports that the engine reached a state-sync
+// checkpoint cadence boundary: the epoch just delivered is a sync point,
+// and Floor/Blocks are the objective engine state of the canonical
+// manifest at exactly that position (captured inside the delivery step,
+// so several epochs delivering in one step each get their own accurate
+// snapshot). The replica adds the committed-hash memory — which it has
+// advanced through exactly this epoch's deliveries when it processes the
+// action — and records the manifest in its statesync.Tracker.
+type SyncPointAction struct {
+	Epoch  uint64
+	Floor  []uint64
+	Blocks []store.ManifestBlock
+}
+
+// SyncInstallAction reports that a state-sync manifest was verified and
+// installed into the engine: the node bootstrapped from a checkpoint at
+// Epoch instead of replaying history. The replica seeds its mempool's
+// committed-hash memory from Committed (exactly-once across the
+// synced-over gap) and persists a fresh durable checkpoint so a crash
+// after this point recovers from the synced position.
+type SyncInstallAction struct {
+	Epoch     uint64
+	Committed [][32]byte
+}
+
 func (SendAction) isAction()           {}
 func (DeliverAction) isAction()        {}
 func (ProposalNeededAction) isAction() {}
@@ -132,3 +158,5 @@ func (EpochDecidedAction) isAction()   {}
 func (EpochDeliveredAction) isAction() {}
 func (ChunkStoredAction) isAction()    {}
 func (CatchupDoneAction) isAction()    {}
+func (SyncPointAction) isAction()      {}
+func (SyncInstallAction) isAction()    {}

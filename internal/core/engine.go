@@ -31,6 +31,7 @@ import (
 	"dledger/internal/avid"
 	"dledger/internal/ba"
 	"dledger/internal/coin"
+	"dledger/internal/statesync"
 	"dledger/internal/wire"
 )
 
@@ -114,11 +115,32 @@ type Config struct {
 	// epoch is more than RetainEpochs behind this node's delivery
 	// watermark. The horizon bounds memory in long runs, at a documented
 	// cost: a peer lagging further than the horizon can no longer fetch
-	// chunks from this node and must rely on the other >= N−2f holders
-	// (deploy with a horizon comfortably above the §4.5 lag bound, or a
-	// state-sync layer — out of scope here as in the paper). Zero keeps
+	// chunks from this node and must rely on the other >= N−2f holders —
+	// or, with StateSync enabled, on checkpoint transfer. Zero keeps
 	// everything, the paper-prototype behaviour.
 	RetainEpochs uint64
+	// StateSync enables the checkpoint-transfer subsystem
+	// (internal/statesync): the node records attestable sync points,
+	// serves manifest and chunk pages to joiners, back-fills its own
+	// chunk (and VID completion) for blocks it retrieves over the
+	// network, and — when its own catch-up discovers the cluster pruned
+	// the epochs it needs — bootstraps itself from a peer checkpoint.
+	// It also changes pruning: without state sync a silent peer stalls
+	// the RetainEpochs horizon forever (its slot's linked floor stops
+	// advancing, and dropping state a laggard may still need would
+	// strand it); with a state-sync path available the horizon is
+	// enforced unconditionally, restoring the memory bound.
+	StateSync bool
+	// JoinSync makes a fresh (state-free) node bootstrap from a peer
+	// checkpoint before participating — the dlnode -join path for
+	// spawning a new member into a long-running cluster. Requires
+	// StateSync; ignored when the engine restores durable state (a
+	// stale restart discovers the need for state sync by itself).
+	JoinSync bool
+	// SyncPointEvery is the sync-point cadence in delivered epochs
+	// (default statesync.DefaultPointEvery). Only meaningful with
+	// StateSync.
+	SyncPointEvery uint64
 }
 
 func (c Config) stageDelay() time.Duration {
@@ -140,6 +162,13 @@ func (c Config) lagLimit() uint64 {
 		return 1
 	}
 	return c.LagLimit
+}
+
+func (c Config) syncPointEvery() uint64 {
+	if c.SyncPointEvery == 0 {
+		return statesync.DefaultPointEvery
+	}
+	return c.SyncPointEvery
 }
 
 // Validate checks the configuration.
@@ -190,7 +219,18 @@ type retrState struct {
 	// incarnation may already have consumed: requests use the
 	// duplicate-suppression-clearing variant and re-fire on a timer.
 	resend bool
+	// retries counts full re-ask rounds that produced nothing (progress
+	// marks how many servers had answered at the last round, so a slow
+	// but advancing retrieval resets the count); with state sync
+	// enabled, a retrieval dry for syncRetrievalGiveUp rounds concludes
+	// the cluster pruned the chunks and bootstraps forward.
+	retries  int
+	progress int
 }
+
+// syncRetrievalGiveUp is how many fruitless full re-ask rounds a
+// retrieval tolerates before falling back to state sync.
+const syncRetrievalGiveUp = 5
 
 // deliveryStage tracks the two-phase delivery of an epoch (Fig 17).
 type deliveryStage int
@@ -258,6 +298,17 @@ type Engine struct {
 	recoveredUntil uint64
 	catchup        *catchupState
 	catchupToken   uint64
+
+	// State-sync machinery (see statesync.go): the joiner-side automaton
+	// while this node bootstraps from a peer checkpoint, the donor-side
+	// source serving manifest pages, and the staging area for verified
+	// donor chunks awaiting their retrievals.
+	syncer      *statesync.Syncer
+	syncToken   uint64
+	syncSource  SyncSource
+	syncStaged  map[blockKey]map[int]wire.ReturnChunk
+	stagedCount int
+	syncStats   statesync.Stats
 
 	// step state: internal self-delivery queue and accumulated actions.
 	queue      []wire.Envelope
@@ -335,11 +386,15 @@ func (e *Engine) DecidedThrough() uint64 { return e.decidedThrough }
 // Start initializes the engine and solicits the first proposal. On an
 // engine restored via Restore it also re-arms the recovery machinery:
 // retrievals for decided-but-undelivered epochs, re-votes for restored
-// dispersals, and the status catch-up protocol.
+// dispersals, and the status catch-up protocol. A fresh engine with
+// Config.JoinSync instead bootstraps from a peer checkpoint before
+// participating.
 func (e *Engine) Start() []Action {
 	e.actions = nil
 	if e.recovered {
 		e.resumeRecovered()
+	} else if e.cfg.StateSync && e.cfg.JoinSync {
+		e.startStateSync()
 	}
 	e.maybeSolicitProposal()
 	e.drain()
@@ -444,6 +499,24 @@ func (e *Engine) priorityFor(msg wire.Msg) wire.Priority {
 }
 
 func (e *Engine) dispatch(env wire.Envelope) {
+	// State-sync traffic routes before every epoch guard: a joiner's
+	// position is arbitrarily far behind the cluster (that is the whole
+	// point), and the messages allocate nothing per epoch — offers are
+	// f+1-checked, pages hash- or Merkle-verified.
+	switch msg := env.Payload.(type) {
+	case wire.SyncHello:
+		e.onSyncHello(env)
+		return
+	case wire.SyncOffer:
+		e.onSyncOffer(env, msg)
+		return
+	case wire.SyncPull:
+		e.onSyncPull(env, msg)
+		return
+	case wire.SyncPage:
+		e.onSyncPage(env, msg)
+		return
+	}
 	// The ahead-bound tracks both our dispersal epoch and our decided
 	// watermark: a recovering node holds proposals (lastProposed frozen)
 	// while catch-up advances decidedThrough, and bounding by the frozen
@@ -604,11 +677,7 @@ func (e *Engine) onVIDComplete(epoch uint64, proposer int) {
 	}
 
 	// Track the completion watermark that feeds our V arrays.
-	e.vidDone[proposer][epoch] = true
-	for e.vidDone[proposer][e.watermark[proposer]+1] {
-		delete(e.vidDone[proposer], e.watermark[proposer]+1)
-		e.watermark[proposer]++
-	}
+	e.advanceWatermark(proposer, epoch)
 
 	if e.cfg.Mode.voteAfterRetrieve() {
 		// HoneyBadger: VID-as-reliable-broadcast. Download the block
@@ -688,6 +757,12 @@ func (e *Engine) maybeSolicitProposal() {
 	if e.awaitingProposal {
 		return
 	}
+	if e.syncBootstrapping() {
+		// A block proposed before the bootstrap lands would target an
+		// epoch the cluster decided long ago; the post-sync catch-up
+		// re-solicits.
+		return
+	}
 	next := e.lastProposed + 1
 	if next > 1 && !e.isDecided(next-1) {
 		return
@@ -702,6 +777,19 @@ func (e *Engine) maybeSolicitProposal() {
 	}
 	empty := false
 	if e.cfg.Mode == ModeDLCoupled && next-1 > e.deliveredEpoch+e.cfg.lagLimit() {
+		empty = true
+	}
+	if next <= e.decidedThrough {
+		// Gap fill: the cluster decided this epoch while the node was
+		// away (crash or state sync), so a block here can only commit
+		// through the linking backstop — and filling the slot is still
+		// necessary: peers' completion watermark for this node advances
+		// only through CONSECUTIVE dispersals, and every later block
+		// that loses the BA race needs that chain intact to be linked
+		// in. Propose the gap empty (empty proposals dispatch
+		// immediately, with no batching delay, and risk no
+		// transactions), so the first transaction-carrying block lands
+		// at the frontier with its linking safety net restored.
 		empty = true
 	}
 	e.awaitingProposal = true
@@ -745,12 +833,33 @@ func (e *Engine) startRetrieval(key blockKey) {
 	// window can eat frames; such retrievals use the resend request
 	// variant and keep a retry timer until the block is in hand.
 	rs.resend = e.recovered
+	// Chunks already transferred by state sync may satisfy the retrieval
+	// outright — bulk pages instead of per-instance round-trips. When
+	// they only partially satisfy it, mark their donors as already
+	// answered so the request wave skips them (asking an answered server
+	// would make it re-send a chunk the bulk transfer already paid for).
+	if e.drainStaged(key, rs) {
+		return
+	}
+	if rs.ret != nil {
+		for i := range rs.asked {
+			if rs.ret.Answered(i) {
+				rs.asked[i] = true
+				rs.requested++
+			}
+		}
+	}
 	if e.cfg.StagedRetrieval {
 		e.requestChunks(key, rs, e.params.K())
 		e.armRetrievalTimer(key)
 	} else {
 		e.requestChunks(key, rs, e.cfg.N)
-		if rs.resend {
+		// With state sync every retrieval keeps a retry timer: a live
+		// node can lag past the cluster's pruning horizon (hard pruning
+		// never stalls for it), and a silently-unretrievable block must
+		// escalate to a checkpoint bootstrap instead of wedging the
+		// delivery pipeline forever.
+		if rs.resend || e.cfg.StateSync {
 			e.armRetrievalTimer(key)
 		}
 	}
@@ -795,6 +904,12 @@ func (e *Engine) HandleTimer(token uint64) []Action {
 		e.drain()
 		return e.takeActions()
 	}
+	if token != 0 && token == e.syncToken {
+		e.syncToken = 0
+		e.syncTick()
+		e.drain()
+		return e.takeActions()
+	}
 	key, ok := e.timers[token]
 	if !ok {
 		return nil
@@ -811,14 +926,31 @@ func (e *Engine) HandleTimer(token uint64) []Action {
 		// have consumed the answers, and the crash/reconnect window can
 		// eat frames — so it re-asks the servers still silent (only
 		// those: re-asking an answered server would make it re-send its
-		// whole chunk) until the block is in hand.
-		if rs.resend {
+		// whole chunk) until the block is in hand. With state sync the
+		// same applies to every retrieval (the cluster prunes by
+		// horizon unconditionally, so a laggard's requests can be
+		// dropped for good), and a retrieval dry for several full
+		// rounds concludes the chunks are gone cluster-wide and
+		// bootstraps forward from a peer checkpoint instead.
+		if rs.resend || e.cfg.StateSync {
+			rs.resend = true
 			rs.requested = 0
 			for i := range rs.asked {
 				answered := rs.ret != nil && rs.ret.Answered(i)
 				rs.asked[i] = answered
 				if answered {
 					rs.requested++
+				}
+			}
+			if rs.requested > rs.progress {
+				// Chunks are trickling in — slow is not gone.
+				rs.progress = rs.requested
+				rs.retries = 0
+			} else {
+				rs.retries++
+				if e.cfg.StateSync && rs.retries >= syncRetrievalGiveUp {
+					rs.retries = 0
+					e.startStateSync()
 				}
 			}
 			e.requestChunks(key, rs, e.cfg.N)
@@ -845,16 +977,23 @@ func (e *Engine) toRetriever(env wire.Envelope, msg wire.ReturnChunk) {
 	if !ok || rs.done || rs.ret == nil {
 		return
 	}
+	e.ingestReturnChunk(key, rs, env.From, msg)
+}
+
+// ingestReturnChunk feeds one chunk (from the network or a state-sync
+// transfer) into an active retrieval; reports whether the retrieval
+// completed on this chunk.
+func (e *Engine) ingestReturnChunk(key blockKey, rs *retrState, from int, msg wire.ReturnChunk) bool {
 	// The retriever's own output would be a CancelRequest broadcast; the
 	// engine instead cancels exactly the servers it asked.
-	_, done := rs.ret.HandleReturnChunk(env.From, msg)
+	_, done := rs.ret.HandleReturnChunk(from, msg)
 	if !done {
-		return
+		return false
 	}
 	for to, asked := range rs.asked {
 		if asked && to != e.self {
-			out := wire.Envelope{From: e.self, Epoch: env.Epoch, Proposer: env.Proposer, Payload: wire.CancelRequest{}}
-			e.emit(to, out, e.priorityFor(wire.CancelRequest{}), env.Epoch)
+			out := wire.Envelope{From: e.self, Epoch: key.epoch, Proposer: key.proposer, Payload: wire.CancelRequest{}}
+			e.emit(to, out, e.priorityFor(wire.CancelRequest{}), key.epoch)
 		}
 	}
 	raw, bad := rs.ret.Block()
@@ -867,11 +1006,15 @@ func (e *Engine) toRetriever(env wire.Envelope, msg wire.ReturnChunk) {
 			rs.V = blk.V
 			rs.txs = blk.Txs
 			rs.payload = blk.PayloadBytes()
+			if e.cfg.StateSync && key.proposer != e.self {
+				e.backfillOwnChunk(key, raw)
+			}
 		} else {
 			rs.bad = true
 		}
 	}
 	e.onRetrievalDone(key)
+	return true
 }
 
 func (e *Engine) onRetrievalDone(key blockKey) {
@@ -934,6 +1077,17 @@ func (e *Engine) tryDeliver() {
 		e.actions = append(e.actions, EpochDeliveredAction{
 			Epoch: d.epoch, Floor: append([]uint64(nil), e.linkedFloor...),
 		})
+		if e.cfg.StateSync && d.epoch%e.cfg.syncPointEvery() == 0 {
+			// Capture the sync point inside the delivery loop: one step
+			// can deliver several epochs, and the manifest must reflect
+			// the state at exactly this position or its hash would not
+			// match other nodes' attestations.
+			e.actions = append(e.actions, SyncPointAction{
+				Epoch:  d.epoch,
+				Floor:  append([]uint64(nil), e.linkedFloor...),
+				Blocks: e.frontierBlocks(d.epoch),
+			})
+		}
 		// Recovery ends once the node has drained to the frontier the
 		// catch-up found; retrievals started after this point are normal.
 		if e.recovered && e.catchup == nil && e.deliveredEpoch >= e.recoveredUntil {
@@ -952,12 +1106,36 @@ func (e *Engine) maybePrune() {
 	}
 	for e.prunedThrough+e.cfg.RetainEpochs < e.deliveredEpoch {
 		epoch := e.prunedThrough + 1
-		// The linked-delivery floor must have passed this epoch for
-		// every node, or a future E computation could still demand one
-		// of its blocks.
-		for j := 0; j < e.cfg.N; j++ {
-			if e.linkedFloor[j] < epoch {
-				return
+		// Without a state-sync path, the linked-delivery floor must have
+		// passed this epoch for every node before it may go: under
+		// asynchrony a silent node is indistinguishable from a slow one
+		// whose old blocks may still be demanded, and dropping them
+		// would strand it forever — so a dead peer stalls the horizon
+		// (and the memory bound with it). With StateSync the horizon is
+		// enforced unconditionally: a peer that sleeps past it
+		// bootstraps from a checkpoint instead of replaying history.
+		if !e.cfg.StateSync {
+			for j := 0; j < e.cfg.N; j++ {
+				if e.linkedFloor[j] < epoch {
+					return
+				}
+			}
+		} else {
+			// Hard pruning breaks the per-node completion-watermark
+			// chains at the horizon (VIDs at or below it can never
+			// complete here again), which would strand the linking
+			// backstop for any node whose dispersals have a synced-over
+			// gap. Jump each chain to just below the horizon: epochs at
+			// or below it are out of every future linked walk's reach
+			// (see horizonFloor), so the claim "retrievable through
+			// epoch-1" is never put to the test for slots that were
+			// never dispersed, while the jump reconnects the chain so a
+			// joiner's post-sync blocks can be linked in.
+			for j := 0; j < e.cfg.N; j++ {
+				if epoch >= 1 && e.watermark[j] < epoch-1 {
+					e.watermark[j] = epoch - 1
+					e.advanceContiguous(j)
+				}
 			}
 		}
 		delete(e.epochs, epoch)
@@ -965,10 +1143,33 @@ func (e *Engine) maybePrune() {
 			key := blockKey{epoch, j}
 			delete(e.retr, key)
 			delete(e.delivered, key)
+			e.dropStaged(key)
+			// A completion recorded beyond a watermark gap can only be
+			// consumed if every missing link below it completes — and
+			// links at or below the pruned horizon never will (their
+			// messages are dropped above). Shed the bookkeeping so a
+			// node that joined mid-history does not accrete it forever.
+			delete(e.vidDone[j], epoch)
 		}
 		delete(e.myBlocks, epoch)
 		e.prunedThrough = epoch
 	}
+}
+
+// horizonFloor is the deterministic cutoff below which the linked walk
+// of epoch u does not demand blocks when state sync enforces the
+// retention horizon. Hard pruning ties the pruning watermark exactly to
+// the delivery position (pruned = delivered − RetainEpochs), so every
+// honest node delivering epoch u computes the same cutoff — walks stay
+// identical cluster-wide, and blocks the horizon has collected (whether
+// delivered-then-pruned or never dispersed at all) are provably outside
+// every future walk's reach. Without state sync pruning waits for the
+// floors, no walk can reach below them, and the cutoff is moot.
+func (e *Engine) horizonFloor(u uint64) uint64 {
+	if !e.cfg.StateSync || e.cfg.RetainEpochs == 0 || u <= e.cfg.RetainEpochs+1 {
+		return 0
+	}
+	return u - 1 - e.cfg.RetainEpochs
 }
 
 // PrunedThrough reports the garbage-collection watermark.
@@ -1018,7 +1219,11 @@ func (e *Engine) deliverBAStage(d *epochDelivery) {
 			// anyway so corrupted state cannot demand infinite retrievals.
 			continue
 		}
-		for t := e.linkedFloor[j] + 1; t <= ej; t++ {
+		base := e.linkedFloor[j]
+		if hf := e.horizonFloor(d.epoch); hf > base {
+			base = hf
+		}
+		for t := base + 1; t <= ej; t++ {
 			key := blockKey{t, j}
 			if e.delivered[key] {
 				continue
@@ -1062,6 +1267,7 @@ func (e *Engine) deliverBlock(key blockKey, linked bool) {
 		return
 	}
 	e.delivered[key] = true
+	e.dropStaged(key)
 	rs := e.retr[key]
 	if rs == nil || rs.bad {
 		return

@@ -608,14 +608,29 @@ func (e *Engine) onStatusReply(env wire.Envelope, m wire.StatusReply) {
 		// "Undecided" from f+1 peers normally means we are at the
 		// frontier — but a peer that PRUNED the epoch also replies
 		// undecided, with a Through watermark far ahead. Finish only
-		// when no f+1-supported claim places the cluster ahead of us;
-		// otherwise keep asking (a peer with longer retention may still
-		// serve the set), staying visibly in catch-up rather than
-		// proposing into epochs every peer would drop. An outage longer
-		// than every peer's RetainEpochs horizon is unrecoverable from
-		// this datadir — by design, as documented in DESIGN.md.
+		// when no f+1-supported claim places the cluster ahead of us.
 		if len(cu.notDecided) >= e.cfg.F+1 && e.catchupTarget() <= e.decidedThrough {
 			e.finishCatchup()
+			return
+		}
+		// The cluster is ahead, yet f+1 peers whose decided watermark
+		// covers this epoch report it undecided: at least one honest
+		// peer garbage-collected it, which means this node slept past
+		// the retention horizon and replaying history is impossible.
+		// With state sync enabled, bootstrap from a checkpoint instead;
+		// without it, keep asking (a peer with longer retention may
+		// still serve the set), staying visibly in catch-up rather than
+		// proposing into epochs every peer would drop.
+		if e.cfg.StateSync {
+			pruned := 0
+			for p := range cu.notDecided {
+				if cu.through[p] >= cu.epoch {
+					pruned++
+				}
+			}
+			if pruned >= e.cfg.F+1 {
+				e.startStateSync()
+			}
 		}
 		return
 	}
@@ -685,5 +700,7 @@ func (e *Engine) adoptDecided(epoch uint64, S []int) {
 	e.maybeSolicitProposal()
 }
 
-// CatchingUp reports whether the recovery status protocol is running.
-func (e *Engine) CatchingUp() bool { return e.catchup != nil }
+// CatchingUp reports whether the recovery status protocol (or a
+// state-sync bootstrap, which precedes it) is running. The replica holds
+// proposals while it is true.
+func (e *Engine) CatchingUp() bool { return e.catchup != nil || e.syncBootstrapping() }

@@ -255,3 +255,135 @@ func TestClientIDNeverLocal(t *testing.T) {
 		t.Fatal("distinct names mapped to one id")
 	}
 }
+
+func TestHubRateLimit(t *testing.T) {
+	node := newStub(t, replica.Params{ClientDedup: true})
+	var now time.Duration
+	hub := NewHub(node, Options{
+		N: 4, F: 1,
+		RatePerClient: 1000, RateBurst: 2000,
+		Now: func() time.Duration { return now },
+	})
+
+	tx := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 500) }
+	// The burst admits four 500-byte transactions, then the bucket is dry.
+	for i := 0; i < 4; i++ {
+		if rc := hub.Submit(9, uint64(i), tx(i)); rc.Status != StatusAccepted {
+			t.Fatalf("submission %d: %v, want accepted", i, rc.Status)
+		}
+	}
+	rc := hub.Submit(9, 5, tx(5))
+	if rc.Status != StatusRateLimited {
+		t.Fatalf("flood status = %v, want rate-limited", rc.Status)
+	}
+	if rc.RetryAfter <= 0 {
+		t.Fatal("rate-limited receipt carries no retry-after hint")
+	}
+	// The limit is per client: a different client is unaffected.
+	if rc := hub.Submit(10, 1, tx(6)); rc.Status != StatusAccepted {
+		t.Fatalf("other client: %v, want accepted", rc.Status)
+	}
+	// Tokens refill with time: after the hinted wait the retry passes.
+	now += rc.RetryAfter + time.Millisecond
+	if rc := hub.Submit(9, 6, tx(5)); rc.Status != StatusAccepted {
+		t.Fatalf("post-refill status = %v, want accepted", rc.Status)
+	}
+	c := hub.Counters()
+	if c.RejectedRateLimited != 1 {
+		t.Fatalf("RejectedRateLimited = %d, want 1", c.RejectedRateLimited)
+	}
+	if c.Rejected() != 1 {
+		t.Fatalf("Rejected() = %d, want 1", c.Rejected())
+	}
+}
+
+func TestHubRateLimitProtectsBudget(t *testing.T) {
+	// A flooder with a rate limit cannot exhaust the shared mempool
+	// budget before the well-behaved client's submission arrives — the
+	// regression the admission-time limit exists to prevent.
+	node := newStub(t, replica.Params{ClientDedup: true, MempoolBytes: 4000})
+	hub := NewHub(node, Options{N: 4, F: 1, RatePerClient: 500, RateBurst: 1000,
+		Now: func() time.Duration { return 0 }})
+	flooded, limited := 0, 0
+	for i := 0; i < 20; i++ {
+		rc := hub.Submit(1, uint64(i), bytes.Repeat([]byte{byte(i)}, 500))
+		switch rc.Status {
+		case StatusAccepted:
+			flooded++
+		case StatusRateLimited:
+			limited++
+		}
+	}
+	if flooded > 2 || limited == 0 {
+		t.Fatalf("flooder got %d txs in (%d limited), want <= 2", flooded, limited)
+	}
+	// The honest client still has mempool room.
+	if rc := hub.Submit(2, 1, bytes.Repeat([]byte{0xee}, 500)); rc.Status != StatusAccepted {
+		t.Fatalf("honest client rejected: %v", rc.Status)
+	}
+}
+
+func TestHubRateLimitAdmitsOversizeTxAsDebt(t *testing.T) {
+	// A legal transaction larger than the whole burst must eventually be
+	// admitted (as debt against future refill), not livelocked forever.
+	node := newStub(t, replica.Params{ClientDedup: true})
+	var now time.Duration
+	hub := NewHub(node, Options{N: 4, F: 1,
+		RatePerClient: 1000, RateBurst: 2000,
+		Now: func() time.Duration { return now }})
+	big := bytes.Repeat([]byte{1}, 5000) // 2.5x the burst
+	rc := hub.Submit(3, 1, big)
+	if rc.Status != StatusAccepted {
+		t.Fatalf("full-bucket oversize submission: %v, want accepted", rc.Status)
+	}
+	// The debt throttles what follows: an immediate small submission is
+	// limited, and the hinted wait is finite and honest.
+	rc = hub.Submit(3, 2, bytes.Repeat([]byte{2}, 100))
+	if rc.Status != StatusRateLimited || rc.RetryAfter <= 0 {
+		t.Fatalf("post-debt submission: %v (retry %v), want rate-limited with a hint", rc.Status, rc.RetryAfter)
+	}
+	now += 4 * time.Second // debt (3000) + 100 repaid at 1000 B/s, plus slack
+	if rc := hub.Submit(3, 3, bytes.Repeat([]byte{2}, 100)); rc.Status != StatusAccepted {
+		t.Fatalf("post-repayment submission: %v, want accepted", rc.Status)
+	}
+}
+
+func TestHubRateLimitDoesNotBlockProofRecovery(t *testing.T) {
+	// Resubmitting an already-committed transaction is how a client
+	// recovers a lost commit proof; it must bypass (and not drain) the
+	// admission rate limit.
+	node := newStub(t, replica.Params{ClientDedup: true})
+	hub := NewHub(node, Options{N: 4, F: 1,
+		RatePerClient: 100, RateBurst: 200,
+		Now: func() time.Duration { return 0 }})
+	tx := bytes.Repeat([]byte{7}, 200)
+	sub := hub.Subscribe(4, 4)
+	if rc := hub.Submit(4, 1, tx); rc.Status != StatusAccepted {
+		t.Fatalf("first submission: %v", rc.Status)
+	}
+	hub.OnDeliver(delivery(3, 0, tx))
+	// Bucket is now empty (200-byte burst consumed); the committed
+	// resubmission must still answer duplicate-committed with a proof.
+	rc := hub.Submit(4, 2, tx)
+	if rc.Status != StatusDuplicateCommitted {
+		t.Fatalf("committed resubmission: %v, want duplicate-committed", rc.Status)
+	}
+	gotProofs := 0
+	for {
+		select {
+		case <-sub.C:
+			gotProofs++
+			continue
+		default:
+		}
+		break
+	}
+	if gotProofs < 2 { // delivery push + re-streamed proof
+		t.Fatalf("proof not re-streamed (got %d)", gotProofs)
+	}
+	// An uncommitted submission from the same dry bucket is still
+	// limited — the bypass is for committed duplicates only.
+	if rc := hub.Submit(4, 3, bytes.Repeat([]byte{8}, 200)); rc.Status != StatusRateLimited {
+		t.Fatalf("fresh submission from dry bucket: %v, want rate-limited", rc.Status)
+	}
+}

@@ -31,6 +31,12 @@ const (
 	StatusOversize
 	// StatusInvalid: structurally unacceptable (empty).
 	StatusInvalid
+	// StatusRateLimited: the client exhausted its per-client admission
+	// rate budget (Options.RatePerClient); retry after the receipt's
+	// RetryAfter hint. Unlike StatusOverCapacity — a statement about the
+	// whole node — this one is about the submitting client alone: one
+	// flooder hits it long before it can exhaust the shared byte budget.
+	StatusRateLimited
 )
 
 // Accepted reports whether the submission entered (or already passed
@@ -55,6 +61,8 @@ func (s Status) String() string {
 		return "oversize"
 	case StatusInvalid:
 		return "invalid"
+	case StatusRateLimited:
+		return "rate-limited"
 	default:
 		return "unknown"
 	}
@@ -76,6 +84,7 @@ type Counters struct {
 	RejectedOverCapacity int64
 	RejectedOversize     int64
 	RejectedInvalid      int64
+	RejectedRateLimited  int64
 	// Commits counts committed transactions indexed by the hub;
 	// CommitsStreamed those pushed to a live subscription, and
 	// CommitsDropped those lost to a full subscriber buffer (the client
@@ -87,7 +96,8 @@ type Counters struct {
 
 // Rejected returns the total rejections across causes.
 func (c Counters) Rejected() int64 {
-	return c.RejectedDuplicate + c.RejectedOverCapacity + c.RejectedOversize + c.RejectedInvalid
+	return c.RejectedDuplicate + c.RejectedOverCapacity + c.RejectedOversize +
+		c.RejectedInvalid + c.RejectedRateLimited
 }
 
 // Node is the consensus node a hub fronts: Exec runs a function on the
@@ -112,6 +122,19 @@ type Options struct {
 	// duplicates — the mempool's committed memory is the authority — but
 	// can no longer re-stream a proof.
 	ProofBlocks int
+	// RatePerClient, when positive, rate-limits admission per client to
+	// this many bytes/second (token bucket, burst RateBurst): a flooder
+	// is rejected with StatusRateLimited at the hub — before its bytes
+	// ever contend for the shared mempool budget — so admission
+	// fairness matches the mempool's round-robin dequeue fairness. Zero
+	// disables the limit.
+	RatePerClient float64
+	// RateBurst is the token bucket's capacity in bytes (default 4
+	// seconds of RatePerClient).
+	RateBurst int
+	// Now is the clock the rate limiter meters against; the emulated
+	// harness injects simulated time. Defaults to wall time.
+	Now func() time.Duration
 }
 
 func (o Options) maxTx() int {
@@ -135,6 +158,13 @@ func (o Options) proofBlocks() int {
 	return o.ProofBlocks
 }
 
+func (o Options) rateBurst() float64 {
+	if o.RateBurst > 0 {
+		return float64(o.RateBurst)
+	}
+	return 4 * o.RatePerClient
+}
+
 // blockID names a log slot.
 type blockID struct {
 	epoch    uint64
@@ -155,6 +185,7 @@ type Sub struct {
 type Hub struct {
 	node Node
 	opts Options
+	now  func() time.Duration
 
 	mu       sync.Mutex
 	blocks   map[blockID]*proofBlock
@@ -162,8 +193,20 @@ type Hub struct {
 	index    map[mempool.Hash]txRef
 	interest map[mempool.Hash][]uint64
 	subs     map[uint64][]*Sub
+	buckets  map[uint64]*bucket
 	counters Counters
 }
+
+// bucket is one client's admission token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Duration
+}
+
+// maxRateBuckets bounds the bucket map; past it the map resets (a
+// mass-client flood cannot grow hub memory unboundedly, at the cost of
+// refreshing every bucket to a full burst once per epoch of churn).
+const maxRateBuckets = 1 << 16
 
 // proofBlock caches one delivered block's ordered tx hashes; the proof
 // tree is built on the first proof request and kept until eviction.
@@ -179,14 +222,76 @@ type txRef struct {
 
 // NewHub creates the hub fronting node.
 func NewHub(node Node, opts Options) *Hub {
+	now := opts.Now
+	if now == nil {
+		start := time.Now()
+		now = func() time.Duration { return time.Since(start) }
+	}
 	return &Hub{
 		node:     node,
 		opts:     opts,
+		now:      now,
 		blocks:   map[blockID]*proofBlock{},
 		index:    map[mempool.Hash]txRef{},
 		interest: map[mempool.Hash][]uint64{},
 		subs:     map[uint64][]*Sub{},
+		buckets:  map[uint64]*bucket{},
 	}
+}
+
+// takeTokens runs the per-client admission token bucket: it consumes n
+// bytes of budget, or returns how long the client should wait. Zero
+// means admitted.
+func (h *Hub) takeTokens(client uint64, n int) time.Duration {
+	now := h.now()
+	burst := h.opts.rateBurst()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.buckets[client]
+	if b == nil {
+		if len(h.buckets) >= maxRateBuckets {
+			// Shed idle buckets but carry debtors over: the reset must
+			// not be a way for a client to erase what it owes by
+			// helping churn the map full.
+			kept := map[uint64]*bucket{}
+			for id, ob := range h.buckets {
+				if ob.tokens < 0 {
+					kept[id] = ob
+				}
+			}
+			h.buckets = kept
+		}
+		b = &bucket{tokens: burst, last: now}
+		h.buckets[client] = b
+	}
+	if now > b.last {
+		// Monotonic guard: Now() is sampled outside the lock, so two
+		// racing submissions can present timestamps out of order; a
+		// negative delta must not subtract tokens.
+		b.tokens += h.opts.RatePerClient * (now - b.last).Seconds()
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = now
+	}
+	// A transaction larger than the whole burst is admitted once the
+	// bucket is full and paid off as debt (tokens go negative) — the
+	// long-term rate still holds, and without the debt path such a
+	// transaction could never be admitted at all: the client would
+	// livelock on retry-after hints that can never come true.
+	need := float64(n)
+	if need > burst {
+		need = burst
+	}
+	if b.tokens >= need {
+		b.tokens -= float64(n)
+		return 0
+	}
+	wait := time.Duration((need - b.tokens) / h.opts.RatePerClient * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait
 }
 
 // N and F report the cluster shape (for the protocol handshake).
@@ -256,6 +361,24 @@ func (h *Hub) push(client uint64, c Commit) {
 	}
 }
 
+// refundTokens returns rate budget for a submission that admitted
+// nothing (duplicates, over-capacity): only bytes that actually enter
+// the mempool should count against the client's rate, or an honest
+// client's reconnect-resubmission burst would exhaust its own bucket.
+func (h *Hub) refundTokens(client uint64, n int) {
+	if h.opts.RatePerClient <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if b := h.buckets[client]; b != nil {
+		b.tokens += float64(n)
+		if burst := h.opts.rateBurst(); b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+}
+
 // Submit runs admission for one client transaction and returns its
 // receipt. Accepted transactions are remembered so the client's
 // subscription receives the Commit on delivery; duplicate-committed
@@ -275,7 +398,11 @@ func (h *Hub) Submit(client uint64, reqID uint64, tx []byte) Receipt {
 	hash := mempool.HashTx(tx)
 	rc.TxHash = hash
 
-	// Fast path: already committed and still proof-resident.
+	// Fast path: already committed and still proof-resident. This runs
+	// BEFORE the rate limiter: re-streaming a proof is how a client
+	// recovers a lost commit (dlclient resubmits on reconnect), costs
+	// no mempool admission, and must neither be refused as rate-limited
+	// nor drain the client's admission budget.
 	h.mu.Lock()
 	if ref, ok := h.index[hash]; ok {
 		rc.Status = StatusDuplicateCommitted
@@ -286,6 +413,21 @@ func (h *Hub) Submit(client uint64, reqID uint64, tx []byte) Receipt {
 		h.mu.Unlock()
 		return rc
 	}
+	h.mu.Unlock()
+
+	if h.opts.RatePerClient > 0 {
+		// Admission-time fairness: the limit applies before the
+		// transaction can contend for the shared mempool byte budget,
+		// so a flooder cannot starve other clients admission-first and
+		// leave fair dequeue with nothing to arbitrate.
+		if wait := h.takeTokens(client, len(tx)); wait > 0 {
+			rc.Status = StatusRateLimited
+			rc.RetryAfter = wait
+			h.count(rc.Status)
+			return rc
+		}
+	}
+	h.mu.Lock()
 	// Register interest before the submission reaches the replica: the
 	// consensus loop may deliver the block (and call OnDeliver) between
 	// SubmitFrom returning and this goroutine reacquiring the lock.
@@ -305,8 +447,10 @@ func (h *Hub) Submit(client uint64, reqID uint64, tx []byte) Receipt {
 		// commit satisfies this client too (it may be the same client
 		// retrying over a fresh connection).
 		rc.Status = StatusDuplicatePending
+		h.refundTokens(client, len(tx))
 	case mempool.ErrDuplicateCommitted:
 		rc.Status = StatusDuplicateCommitted
+		h.refundTokens(client, len(tx))
 		h.mu.Lock()
 		h.dropInterest(hash, client)
 		if ref, ok := h.index[hash]; ok {
@@ -318,6 +462,7 @@ func (h *Hub) Submit(client uint64, reqID uint64, tx []byte) Receipt {
 	case mempool.ErrOverCapacity:
 		rc.Status = StatusOverCapacity
 		rc.RetryAfter = h.opts.retryAfter()
+		h.refundTokens(client, len(tx))
 		h.mu.Lock()
 		h.dropInterest(hash, client)
 		h.mu.Unlock()
@@ -345,6 +490,8 @@ func (h *Hub) count(s Status) {
 		h.counters.RejectedOversize++
 	case StatusInvalid:
 		h.counters.RejectedInvalid++
+	case StatusRateLimited:
+		h.counters.RejectedRateLimited++
 	}
 }
 

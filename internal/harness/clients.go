@@ -155,7 +155,7 @@ func (cl *SimClient) submit(tx []byte, isRetry bool) bool {
 		// re-streamed just now) satisfies this copy.
 		cl.Report.RejectedDup++
 		cl.track(rc.TxHash, tx)
-	case gateway.StatusOverCapacity:
+	case gateway.StatusOverCapacity, gateway.StatusRateLimited:
 		cl.Report.RejectedBusy++
 		if !isRetry {
 			cl.retryQ = append(cl.retryQ, tx)

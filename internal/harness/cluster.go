@@ -55,6 +55,10 @@ type ClusterOptions struct {
 	Clients int
 	// ClientRate is each client's offered load (default 20 KB/s).
 	ClientRate float64
+	// ClientRateLimit, when positive, enables the gateways' per-client
+	// admission token bucket at this many bytes/second (metered on
+	// simulated time).
+	ClientRateLimit float64
 	// ClientStop ends client submissions at this simulated instant so a
 	// run's tail can drain (0 = keep submitting to the horizon).
 	ClientStop time.Duration
@@ -76,6 +80,7 @@ type Cluster struct {
 	Hubs    []*gateway.Hub
 	clients []*SimClient
 	alive   []*bool
+	held    map[int]bool
 	// userHook is the externally-installed delivery observer of each
 	// node (LogRecorder, experiment collectors); the replica's OnDeliver
 	// dispatches to the gateway hub first, then to it. It survives
@@ -170,7 +175,9 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 				// In simulated time a real 250 ms hint would stall the
 				// clients pointlessly; one batch delay is the natural
 				// backoff quantum.
-				RetryAfter: opts.Replica.BatchDelay,
+				RetryAfter:    opts.Replica.BatchDelay,
+				RatePerClient: opts.ClientRateLimit,
+				Now:           sim.Now,
 			})
 		}
 	}
@@ -250,9 +257,70 @@ func (c *Cluster) Restart(i int, onDeliver func(replica.Delivery)) error {
 	return nil
 }
 
+// Hold excludes node i from the initial boot: it neither starts nor
+// receives traffic until AddNode spawns it into the running cluster as
+// a brand-new member. Call before Start.
+func (c *Cluster) Hold(i int) {
+	if c.held == nil {
+		c.held = map[int]bool{}
+	}
+	c.held[i] = true
+	*c.alive[i] = false
+	c.Net.SetHandler(i, func(wire.Envelope) {})
+}
+
+// AddNode boots a Held node as a brand-new member of the running
+// cluster: an empty store, and — with Core.StateSync — a checkpoint
+// bootstrap from its peers before it participates (the emulated
+// counterpart of `dlnode -join`). The membership slot must have been
+// part of the cluster's configuration from the start; DispersedLedger's
+// membership is static, so "a fresh node" means a configured member
+// whose first boot happens mid-run.
+func (c *Cluster) AddNode(i int, onDeliver func(replica.Delivery)) error {
+	if !c.held[i] {
+		return fmt.Errorf("harness: AddNode(%d) requires a prior Hold(%d)", i, i)
+	}
+	if !c.opts.Core.StateSync {
+		// Without checkpoint transfer a fresh member can never reach the
+		// cluster's log; fail loudly (as the chaos planner does) instead
+		// of booting a node that silently wedges.
+		return fmt.Errorf("harness: AddNode(%d) requires Core.StateSync", i)
+	}
+	delete(c.held, i)
+	cfg := c.opts.Core
+	cfg.JoinSync = true
+	var st store.Store = store.NewNoop()
+	if c.opts.Durable {
+		c.Stores[i] = store.NewMem()
+		st = c.Stores[i]
+	}
+	alive := new(bool)
+	*alive = true
+	r, err := replica.NewWithStore(cfg, i, c.opts.Replica, st,
+		&simCtx{sim: c.Sim, net: c.Net, self: i, alive: alive})
+	if err != nil {
+		return err
+	}
+	c.userHook[i] = onDeliver
+	c.Replicas[i] = r
+	c.alive[i] = alive
+	c.installDispatch(i)
+	c.Net.SetHandler(i, func(env wire.Envelope) { r.OnEnvelope(env) })
+	r.Start()
+	for _, cl := range c.clients {
+		if cl.node == i {
+			cl.resubmit()
+		}
+	}
+	return nil
+}
+
 // Start boots all replicas and installs the workload.
 func (c *Cluster) Start() {
-	for _, r := range c.Replicas {
+	for i, r := range c.Replicas {
+		if c.held[i] {
+			continue
+		}
 		r.Start()
 	}
 	if c.opts.InfiniteBacklog {

@@ -113,6 +113,54 @@ func CheckPrefixAgreement(logs [][]LogEntry, honest []int) []string {
 	return out
 }
 
+// CheckSegmentedAgreement verifies the log of a node that state-synced
+// past history: the log must decompose into contiguous, content-
+// identical windows of the witness log, in order, with at most maxGaps
+// discontinuities — one per completed checkpoint bootstrap, each gap
+// being the history the node verifiably skipped. A never-synced node
+// (maxGaps 0) degenerates to strict prefix agreement. It returns how
+// many witness positions the gaps skipped in total. A witness that has
+// not yet delivered far enough yields no verdict on the remaining tail
+// (the caller's liveness checks cover progress).
+func CheckSegmentedAgreement(node int, log []LogEntry, witnessNode int, witness []LogEntry, maxGaps int) (skipped int, out []string) {
+	wi := 0
+	gaps := 0
+	for li := 0; li < len(log); li++ {
+		if wi >= len(witness) {
+			return skipped, out // witness is behind; tail is unjudgeable
+		}
+		if log[li] == witness[wi] {
+			wi++
+			continue
+		}
+		if gaps >= maxGaps {
+			out = append(out, fmt.Sprintf(
+				"agreement: nodes %d and %d diverge at log position %d (%d sync gaps already used): %+v vs %+v",
+				node, witnessNode, li, gaps, log[li], witness[wi]))
+			return skipped, out
+		}
+		found := -1
+		for k := wi + 1; k < len(witness); k++ {
+			if witness[k] == log[li] {
+				found = k
+				break
+			}
+		}
+		if found == -1 {
+			if len(witness)-wi >= len(log)-li {
+				out = append(out, fmt.Sprintf(
+					"agreement: node %d's log position %d never re-attaches to node %d's log: %+v",
+					node, li, witnessNode, log[li]))
+			}
+			return skipped, out
+		}
+		gaps++
+		skipped += found - wi
+		wi = found + 1
+	}
+	return skipped, out
+}
+
 // CheckNoDuplicates verifies a single log delivers each (epoch, proposer)
 // slot at most once.
 func CheckNoDuplicates(node int, log []LogEntry) []string {

@@ -1,0 +1,259 @@
+package harness
+
+// State-sync experiments: the workload class checkpoint transfer opens
+// up. Two scenarios exercise internal/statesync end to end on the
+// deterministic emulator:
+//
+//   - RunOutageBeyondHorizon crashes a node, drives the cluster far
+//     enough past its RetainEpochs horizon that every peer prunes the
+//     epochs the victim would need to replay, then restarts it from its
+//     (now hopelessly stale) store. The victim's catch-up must discover
+//     the pruned gap, bootstrap from a peer checkpoint, and return to
+//     full participation.
+//   - RunJoin boots a configured-but-never-started member into a
+//     running cluster with an empty store (`dlnode -join`'s emulated
+//     counterpart) and requires the same outcome.
+//
+// "Full participation" is checked from the outside: the rejoined node
+// delivers new epochs in agreement with a witness (its log re-attaches
+// as a contiguous window of the witness log after the synced-over gap),
+// and the witness commits blocks the rejoined node proposed after its
+// return.
+
+import (
+	"fmt"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/replica"
+	"dledger/internal/trace"
+)
+
+// StateSyncParams configures the state-sync scenarios.
+type StateSyncParams struct {
+	// N and F size the cluster (defaults 4 and 1).
+	N, F int
+	// Victim is the node crashed (or joined late); default 0.
+	Victim int
+	// RetainEpochs is the peers' GC horizon (default 12) and
+	// SyncPointEvery the checkpoint cadence (default 8).
+	RetainEpochs   uint64
+	SyncPointEvery uint64
+	// CrashAt / RestartAt bound the outage (defaults 6s / 22s; RestartAt
+	// doubles as the join instant in RunJoin). Duration is the horizon
+	// (default 40s).
+	CrashAt   time.Duration
+	RestartAt time.Duration
+	Duration  time.Duration
+	// Rate is per-node bandwidth (default 2 MB/s); LoadPerNode the
+	// offered load (default 50 KB/s).
+	Rate        float64
+	LoadPerNode float64
+	// Clients attaches emulated gateway clients per node (0 = none),
+	// exercising committed-hash seeding across the gap.
+	Clients int
+	Seed    int64
+}
+
+func (p *StateSyncParams) defaults() {
+	if p.N == 0 {
+		p.N, p.F = 4, 1
+	}
+	if p.F == 0 {
+		p.F = (p.N - 1) / 3
+	}
+	if p.RetainEpochs == 0 {
+		p.RetainEpochs = 12
+	}
+	if p.SyncPointEvery == 0 {
+		p.SyncPointEvery = 8
+	}
+	if p.CrashAt == 0 {
+		p.CrashAt = 6 * time.Second
+	}
+	if p.RestartAt == 0 {
+		p.RestartAt = 22 * time.Second
+	}
+	if p.Duration == 0 {
+		p.Duration = 40 * time.Second
+	}
+	if p.Rate == 0 {
+		p.Rate = 2 * trace.MB
+	}
+	if p.LoadPerNode == 0 {
+		p.LoadPerNode = 50 << 10
+	}
+}
+
+// StateSyncResult reports one scenario run.
+type StateSyncResult struct {
+	// PreCrash is the victim's delivered-block count at the crash (0 for
+	// a fresh join).
+	PreCrash int
+	// StateSyncs is the victim's completed-bootstrap count (must be >= 1
+	// for the scenario to have exercised the subsystem).
+	StateSyncs int64
+	// SyncedTo is the checkpoint position the victim adopted.
+	SyncedTo uint64
+	// VictimBlocks / WitnessBlocks are final delivered-block counts.
+	VictimBlocks, WitnessBlocks int
+	// GapSkipped is how many witness log positions the victim's
+	// re-attached log skipped over — nonzero proves the node synced past
+	// history instead of replaying it.
+	GapSkipped int
+	// Violations collects agreement/participation failures (empty on
+	// success).
+	Violations []string
+	// ProposedAfter is true when the witness delivered a block the
+	// victim proposed after its return.
+	ProposedAfter bool
+	// CaughtUp is true when the victim closed most of the delivery gap
+	// to the witness by the horizon.
+	CaughtUp bool
+	// PrunedAtPeers is the witness's pruned-through watermark at the
+	// restart instant (sanity: must exceed the victim's position for the
+	// outage to be beyond the horizon).
+	PrunedAtPeers uint64
+}
+
+// Failed reports whether the scenario missed any requirement.
+func (r *StateSyncResult) Failed() bool { return len(r.Violations) > 0 }
+
+func (p StateSyncParams) cluster() (*Cluster, *LogRecorder, error) {
+	traces := make([]trace.Trace, p.N)
+	for i := range traces {
+		traces[i] = trace.Constant(p.Rate)
+	}
+	c, err := NewCluster(ClusterOptions{
+		Core: core.Config{
+			N: p.N, F: p.F, Mode: core.ModeDL,
+			CoinSecret:     []byte("state sync experiment"),
+			RetainEpochs:   p.RetainEpochs,
+			StateSync:      true,
+			SyncPointEvery: p.SyncPointEvery,
+		},
+		Replica:     replica.Params{BatchDelay: 100 * time.Millisecond},
+		Egress:      traces,
+		TxSize:      250,
+		LoadPerNode: p.LoadPerNode,
+		Durable:     true,
+		Clients:     p.Clients,
+		Seed:        p.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, NewLogRecorder(c), nil
+}
+
+// finish runs the common assertions after the horizon.
+func (p StateSyncParams) finish(c *Cluster, lr *LogRecorder, res *StateSyncResult, frontierAtReturn int64) {
+	witness := (p.Victim + 1) % p.N
+	victimLog, witnessLog := lr.Log(p.Victim), lr.Log(witness)
+	res.VictimBlocks, res.WitnessBlocks = len(victimLog), len(witnessLog)
+	res.StateSyncs = c.Replicas[p.Victim].Stats.StateSyncs
+	res.SyncedTo = c.Replicas[p.Victim].Engine().SyncStats().LastSyncEpoch
+	if res.StateSyncs < 1 {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"victim completed %d state syncs, want >= 1", res.StateSyncs))
+	}
+
+	gap, violations := CheckSegmentedAgreement(p.Victim, victimLog, witness, witnessLog, int(res.StateSyncs))
+	res.GapSkipped = gap
+	res.Violations = append(res.Violations, violations...)
+	if res.StateSyncs >= 1 && gap == 0 && res.PreCrash > 0 {
+		res.Violations = append(res.Violations, "victim state-synced but its log shows no skipped gap")
+	}
+
+	// Full participation: the victim proposed after its return and the
+	// witness committed it.
+	for _, e := range witnessLog {
+		if e.Proposer == p.Victim && int64(e.Epoch) > frontierAtReturn {
+			res.ProposedAfter = true
+			break
+		}
+	}
+	if !res.ProposedAfter {
+		res.Violations = append(res.Violations,
+			"witness never delivered a block the victim proposed after its return")
+	}
+
+	// Compare delivered log positions, not epoch counters: a synced node
+	// never counts the epochs it checkpointed across.
+	caughtTo := c.Replicas[p.Victim].Engine().DeliveredEpoch()
+	witnessTo := c.Replicas[witness].Engine().DeliveredEpoch()
+	res.CaughtUp = res.VictimBlocks > res.PreCrash && caughtTo+2 >= witnessTo
+	if !res.CaughtUp {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"victim did not catch up (delivered through epoch %d vs witness %d)", caughtTo, witnessTo))
+	}
+}
+
+// RunOutageBeyondHorizon executes the long-outage scenario.
+func RunOutageBeyondHorizon(p StateSyncParams) (*StateSyncResult, error) {
+	p.defaults()
+	c, lr, err := p.cluster()
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+
+	res := &StateSyncResult{}
+	var restartErr error
+	var frontierAtReturn int64
+	witness := (p.Victim + 1) % p.N
+	c.Sim.After(p.CrashAt, func() {
+		c.Crash(p.Victim)
+		res.PreCrash = len(lr.Log(p.Victim))
+	})
+	c.Sim.After(p.RestartAt, func() {
+		res.PrunedAtPeers = c.Replicas[witness].Engine().PrunedThrough()
+		frontierAtReturn = c.Replicas[witness].Stats.EpochsDelivered
+		if err := c.Restart(p.Victim, lr.Hook(p.Victim)); err != nil {
+			restartErr = err
+		}
+	})
+	c.Run(p.Duration)
+	if restartErr != nil {
+		return nil, restartErr
+	}
+	// The outage must genuinely exceed the horizon, or the run proves
+	// nothing about state sync.
+	if res.PrunedAtPeers == 0 {
+		res.Violations = append(res.Violations,
+			"peers never pruned past the victim's position — outage was within the horizon")
+	}
+	p.finish(c, lr, res, frontierAtReturn)
+	return res, nil
+}
+
+// RunJoin executes the fresh-member scenario: node Victim is configured
+// but never boots until RestartAt, when AddNode spawns it with an empty
+// store.
+func RunJoin(p StateSyncParams) (*StateSyncResult, error) {
+	p.defaults()
+	c, lr, err := p.cluster()
+	if err != nil {
+		return nil, err
+	}
+	c.Hold(p.Victim)
+	c.Start()
+
+	res := &StateSyncResult{}
+	var joinErr error
+	var frontierAtReturn int64
+	witness := (p.Victim + 1) % p.N
+	c.Sim.After(p.RestartAt, func() {
+		res.PrunedAtPeers = c.Replicas[witness].Engine().PrunedThrough()
+		frontierAtReturn = c.Replicas[witness].Stats.EpochsDelivered
+		if err := c.AddNode(p.Victim, lr.Hook(p.Victim)); err != nil {
+			joinErr = err
+		}
+	})
+	c.Run(p.Duration)
+	if joinErr != nil {
+		return nil, joinErr
+	}
+	p.finish(c, lr, res, frontierAtReturn)
+	return res, nil
+}

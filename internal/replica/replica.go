@@ -20,6 +20,7 @@ import (
 
 	"dledger/internal/core"
 	"dledger/internal/mempool"
+	"dledger/internal/statesync"
 	"dledger/internal/stats"
 	"dledger/internal/store"
 	"dledger/internal/wire"
@@ -128,6 +129,9 @@ type Stats struct {
 	// (duplicate or over the byte budget); the gateway keeps the
 	// per-cause split.
 	RejectedSubmissions int64
+	// StateSyncs counts completed bootstrap-from-checkpoint installs
+	// (engine-level transfer counters live in Engine().SyncStats()).
+	StateSyncs int64
 	// Progress is cumulative confirmed payload bytes over time (Fig 9).
 	Progress stats.TimeSeries
 	// LatAll / LatLocal are confirmation latencies of all transactions
@@ -149,6 +153,10 @@ type Replica struct {
 	lastLSN     uint64
 	storeBroken bool
 	sinceCkpt   int
+
+	// tracker records the attestable state-sync checkpoints this node
+	// can serve to joiners (nil without core.Config.StateSync).
+	tracker *statesync.Tracker
 
 	pendingProposal bool
 	proposalEmpty   bool
@@ -237,8 +245,18 @@ func NewWithStore(cfg core.Config, self int, params Params, st store.Store, ctx 
 			return nil, err
 		}
 	}
+	if cfg.StateSync {
+		r.tracker = statesync.NewTracker(0)
+		eng.SetSyncSource(trackerSource{r.tracker})
+	}
 	return r, nil
 }
+
+// trackerSource adapts the tracker to the engine's donor interface.
+type trackerSource struct{ t *statesync.Tracker }
+
+func (s trackerSource) SyncPoints() []wire.SyncPoint { return s.t.Points() }
+func (s trackerSource) SyncBlob(epoch uint64) []byte { return s.t.Blob(epoch) }
 
 // replayStats re-derives the delivery counters from one WAL record, and
 // replays committed transaction hashes into the dedup index so a client
@@ -459,6 +477,10 @@ func (r *Replica) apply(actions []core.Action) {
 			r.sinceCkpt++
 		case core.CatchupDoneAction:
 			r.tryPropose()
+		case core.SyncPointAction:
+			r.recordSyncPoint(act)
+		case core.SyncInstallAction:
+			r.installSync(act)
 		}
 	}
 	if n := r.params.checkpointEvery(); r.durable && n > 0 && r.sinceCkpt >= n {
@@ -546,6 +568,54 @@ func (r *Replica) syncStore() {
 func (r *Replica) storeFail() {
 	r.storeBroken = true
 	r.Stats.StoreErrors++
+}
+
+// recordSyncPoint builds the canonical state-sync manifest at a cadence
+// boundary — the engine's objective frontier plus this node's
+// committed-hash memory, which the action ordering guarantees reflects
+// exactly the deliveries through act.Epoch — and records it in the
+// tracker for joiners to attest and pull.
+func (r *Replica) recordSyncPoint(act core.SyncPointAction) {
+	if r.tracker == nil {
+		return
+	}
+	m := &store.Manifest{
+		N:           len(act.Floor),
+		Epoch:       act.Epoch,
+		LinkedFloor: act.Floor,
+		Blocks:      act.Blocks,
+	}
+	hashes := r.pool.CommittedSnapshot()
+	if len(hashes) > statesync.SyncCommittedCap {
+		hashes = hashes[len(hashes)-statesync.SyncCommittedCap:]
+	}
+	for _, h := range hashes {
+		m.Committed = append(m.Committed, [32]byte(h))
+	}
+	r.tracker.Add(act.Epoch, store.EncodeManifest(m))
+}
+
+// installSync applies the replica-level half of a state-sync bootstrap:
+// the committed-hash memory is seeded (so a client resubmitting a
+// transaction committed during the synced-over gap is still recognized)
+// and, on durable nodes, a fresh checkpoint pins the synced position so
+// a crash after this point recovers from it instead of re-syncing.
+func (r *Replica) installSync(act core.SyncInstallAction) {
+	r.Stats.StateSyncs++
+	for _, h := range act.Committed {
+		r.pool.Committed(mempool.Hash(h))
+	}
+	if r.pendingProposal {
+		// A solicitation from before the install now targets a slot the
+		// cluster decided long ago (the engine recomputes the epoch at
+		// Propose time, but not the emptiness): answer it empty so no
+		// transactions ride a gap block. At worst — no gap after the
+		// catch-up — one spurious empty block is proposed.
+		r.proposalEmpty = true
+	}
+	if r.durable {
+		r.checkpoint()
+	}
 }
 
 // checkpoint snapshots the engine at the current WAL position, then

@@ -1,0 +1,262 @@
+package store
+
+// Checkpoint manifest: the self-describing unit of state-sync transfer
+// (internal/statesync). A manifest captures the *objective* part of a
+// node's durable state at one delivered-log position — the part every
+// honest node that delivered through that position computes identically:
+//
+//   - the delivered-log position itself and the per-node linked-delivery
+//     floors,
+//   - the delivered blocks beyond those floors, with their linking
+//     observations (V arrays) and BAD_UPLOADER marks, which is exactly
+//     what a resuming engine needs so future linking computations and
+//     exactly-once delivery still work,
+//   - the committed transaction-hash memory, so client resubmission
+//     stays idempotent across the synced-over gap.
+//
+// Node-local state (the node's own proposals, its VID completion
+// watermark, in-flight retrievals) is deliberately excluded — it is not
+// objective, and a joiner rebuilds it through live participation.
+//
+// The encoding is deterministic (sections in fixed order, blocks sorted)
+// so that ManifestHash is attestable: f+1 identical (epoch, hash) claims
+// prove the manifest content to a joiner that trusts no single peer.
+// Each section carries its own CRC32 so a damaged transfer names the
+// broken section instead of failing opaquely.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Manifest section ids (fixed order on the wire).
+const (
+	manifestMagic   = 0x444C5353 // "DLSS"
+	manifestVersion = 1
+
+	sectionPosition uint8 = 1
+	sectionBlocks   uint8 = 2
+	sectionHashes   uint8 = 3
+)
+
+// ManifestBlock is one delivered block in a manifest: the slot, whether
+// it retrieved as BAD_UPLOADER, and its observation array (nil iff Bad).
+type ManifestBlock struct {
+	Epoch    uint64
+	Proposer int
+	Bad      bool
+	V        []uint64
+}
+
+// Manifest is the state-sync checkpoint at one delivered position.
+type Manifest struct {
+	// N is the cluster size the manifest was built for.
+	N int
+	// Epoch is the delivered-log position: epochs 1..Epoch are fully
+	// delivered at this point.
+	Epoch uint64
+	// LinkedFloor is the per-node linked-delivery floor at Epoch.
+	LinkedFloor []uint64
+	// Blocks lists the delivered blocks beyond the floors (sorted by
+	// epoch then proposer), the ones future engine steps may consult.
+	Blocks []ManifestBlock
+	// Committed is the committed transaction-hash memory at Epoch,
+	// oldest first (empty on clusters without the client gateway).
+	Committed [][32]byte
+}
+
+// ErrBadManifest reports a manifest that failed structural validation or
+// a section CRC.
+var ErrBadManifest = errors.New("store: malformed state-sync manifest")
+
+// Normalize sorts the block list into the canonical order. EncodeManifest
+// calls it; exposed for builders that want a stable in-memory form.
+func (m *Manifest) Normalize() {
+	sort.Slice(m.Blocks, func(a, b int) bool {
+		if m.Blocks[a].Epoch != m.Blocks[b].Epoch {
+			return m.Blocks[a].Epoch < m.Blocks[b].Epoch
+		}
+		return m.Blocks[a].Proposer < m.Blocks[b].Proposer
+	})
+}
+
+// appendSection frames one section: id, length, payload, CRC32 over all
+// three — a torn or bit-flipped transfer fails closed on decode.
+func appendSection(buf []byte, id uint8, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, id)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.ChecksumIEEE(buf[start:])
+	return binary.BigEndian.AppendUint32(buf, crc)
+}
+
+// EncodeManifest serializes the manifest in its canonical byte form (the
+// form ManifestHash attests).
+func EncodeManifest(m *Manifest) []byte {
+	m.Normalize()
+
+	pos := make([]byte, 0, 8+8*len(m.LinkedFloor))
+	pos = binary.BigEndian.AppendUint64(pos, m.Epoch)
+	for _, v := range m.LinkedFloor {
+		pos = binary.BigEndian.AppendUint64(pos, v)
+	}
+
+	blocks := make([]byte, 0, 4+16*len(m.Blocks))
+	blocks = binary.BigEndian.AppendUint32(blocks, uint32(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		blocks = binary.BigEndian.AppendUint64(blocks, b.Epoch)
+		blocks = binary.BigEndian.AppendUint16(blocks, uint16(b.Proposer))
+		flags := byte(0)
+		if b.Bad {
+			flags |= 1
+		}
+		if b.V != nil {
+			flags |= 2
+		}
+		blocks = append(blocks, flags)
+		if b.V != nil {
+			blocks = binary.BigEndian.AppendUint16(blocks, uint16(len(b.V)))
+			for _, v := range b.V {
+				blocks = binary.BigEndian.AppendUint64(blocks, v)
+			}
+		}
+	}
+
+	hashes := make([]byte, 0, 4+32*len(m.Committed))
+	hashes = binary.BigEndian.AppendUint32(hashes, uint32(len(m.Committed)))
+	for _, h := range m.Committed {
+		hashes = append(hashes, h[:]...)
+	}
+
+	buf := make([]byte, 0, 7+len(pos)+len(blocks)+len(hashes)+27)
+	buf = binary.BigEndian.AppendUint32(buf, manifestMagic)
+	buf = append(buf, manifestVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(m.N))
+	buf = appendSection(buf, sectionPosition, pos)
+	buf = appendSection(buf, sectionBlocks, blocks)
+	buf = appendSection(buf, sectionHashes, hashes)
+	return buf
+}
+
+// ManifestHash returns the attestation hash of a manifest's canonical
+// encoding.
+func ManifestHash(encoded []byte) [32]byte { return sha256.Sum256(encoded) }
+
+// readSection consumes one framed section, checking its CRC.
+func readSection(data []byte, wantID uint8) (payload, rest []byte, err error) {
+	if len(data) < 9 {
+		return nil, nil, fmt.Errorf("%w: truncated section %d", ErrBadManifest, wantID)
+	}
+	if data[0] != wantID {
+		return nil, nil, fmt.Errorf("%w: expected section %d, found %d", ErrBadManifest, wantID, data[0])
+	}
+	n := int(binary.BigEndian.Uint32(data[1:5]))
+	if len(data) < 5+n+4 {
+		return nil, nil, fmt.Errorf("%w: truncated section %d", ErrBadManifest, wantID)
+	}
+	crc := binary.BigEndian.Uint32(data[5+n:])
+	if crc32.ChecksumIEEE(data[:5+n]) != crc {
+		return nil, nil, fmt.Errorf("%w: section %d CRC mismatch", ErrBadManifest, wantID)
+	}
+	return data[5 : 5+n], data[5+n+4:], nil
+}
+
+// DecodeManifest parses EncodeManifest output, verifying every section
+// CRC and all structural invariants.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) < 7 {
+		return nil, ErrBadManifest
+	}
+	if binary.BigEndian.Uint32(data[0:4]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadManifest)
+	}
+	if data[4] != manifestVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadManifest, data[4])
+	}
+	m := &Manifest{N: int(binary.BigEndian.Uint16(data[5:7]))}
+	data = data[7:]
+
+	pos, data, err := readSection(data, sectionPosition)
+	if err != nil {
+		return nil, err
+	}
+	if len(pos) != 8+8*m.N {
+		return nil, fmt.Errorf("%w: position section size", ErrBadManifest)
+	}
+	m.Epoch = binary.BigEndian.Uint64(pos[0:8])
+	m.LinkedFloor = make([]uint64, m.N)
+	for i := range m.LinkedFloor {
+		m.LinkedFloor[i] = binary.BigEndian.Uint64(pos[8+8*i:])
+	}
+
+	blocks, data, err := readSection(data, sectionBlocks)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) < 4 {
+		return nil, fmt.Errorf("%w: blocks section size", ErrBadManifest)
+	}
+	nb := int(binary.BigEndian.Uint32(blocks))
+	blocks = blocks[4:]
+	for i := 0; i < nb; i++ {
+		if len(blocks) < 11 {
+			return nil, fmt.Errorf("%w: truncated block entry", ErrBadManifest)
+		}
+		b := ManifestBlock{
+			Epoch:    binary.BigEndian.Uint64(blocks[0:8]),
+			Proposer: int(binary.BigEndian.Uint16(blocks[8:10])),
+		}
+		flags := blocks[10]
+		b.Bad = flags&1 != 0
+		blocks = blocks[11:]
+		if flags&2 != 0 {
+			if len(blocks) < 2 {
+				return nil, fmt.Errorf("%w: truncated block entry", ErrBadManifest)
+			}
+			nv := int(binary.BigEndian.Uint16(blocks))
+			blocks = blocks[2:]
+			if len(blocks) < 8*nv {
+				return nil, fmt.Errorf("%w: truncated block entry", ErrBadManifest)
+			}
+			b.V = make([]uint64, nv)
+			for k := range b.V {
+				b.V[k] = binary.BigEndian.Uint64(blocks[8*k:])
+			}
+			blocks = blocks[8*nv:]
+		}
+		if b.Epoch == 0 || b.Proposer < 0 || b.Proposer >= m.N {
+			return nil, fmt.Errorf("%w: block entry out of range", ErrBadManifest)
+		}
+		m.Blocks = append(m.Blocks, b)
+	}
+	if len(blocks) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes in blocks section", ErrBadManifest)
+	}
+
+	hashes, data, err := readSection(data, sectionHashes)
+	if err != nil {
+		return nil, err
+	}
+	if len(hashes) < 4 {
+		return nil, fmt.Errorf("%w: hashes section size", ErrBadManifest)
+	}
+	nh := int(binary.BigEndian.Uint32(hashes))
+	hashes = hashes[4:]
+	if len(hashes) != 32*nh {
+		return nil, fmt.Errorf("%w: hashes section size", ErrBadManifest)
+	}
+	for i := 0; i < nh; i++ {
+		var h [32]byte
+		copy(h[:], hashes[32*i:])
+		m.Committed = append(m.Committed, h)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadManifest)
+	}
+	return m, nil
+}

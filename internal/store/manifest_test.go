@@ -1,0 +1,90 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func testManifest() *Manifest {
+	return &Manifest{
+		N:           4,
+		Epoch:       128,
+		LinkedFloor: []uint64{128, 126, 130, 127},
+		Blocks: []ManifestBlock{
+			{Epoch: 130, Proposer: 1, V: []uint64{9, 9, 9, 9}},
+			{Epoch: 129, Proposer: 0, Bad: true},
+			{Epoch: 129, Proposer: 3, V: []uint64{1, 2, 3, 4}},
+		},
+		Committed: [][32]byte{{1, 2, 3}, {4, 5, 6}},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest()
+	enc := EncodeManifest(m)
+	got, err := DecodeManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", m, got)
+	}
+	// Encoding is canonical: re-encoding the decoded form is identical.
+	if !bytes.Equal(enc, EncodeManifest(got)) {
+		t.Fatal("re-encoding differs")
+	}
+}
+
+func TestManifestCanonicalOrder(t *testing.T) {
+	a := testManifest()
+	b := testManifest()
+	// Shuffle b's blocks: the canonical encoding must not care.
+	b.Blocks[0], b.Blocks[2] = b.Blocks[2], b.Blocks[0]
+	ea, eb := EncodeManifest(a), EncodeManifest(b)
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("block order leaked into the canonical encoding")
+	}
+	if ManifestHash(ea) != ManifestHash(eb) {
+		t.Fatal("hash differs for identical content")
+	}
+}
+
+func TestManifestCRCDetectsCorruption(t *testing.T) {
+	enc := EncodeManifest(testManifest())
+	// Flip one bit in every byte position in turn: every corruption must
+	// be caught by a section CRC or a structural check.
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, err := DecodeManifest(bad); err == nil {
+			// A flip inside a length field may still decode if lengths
+			// happen to stay consistent — but the CRC covers those too,
+			// so any successful decode is a real failure.
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestManifestTruncation(t *testing.T) {
+	enc := EncodeManifest(testManifest())
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeManifest(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d went undetected", i)
+		}
+	}
+	if _, err := DecodeManifest(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte went undetected")
+	}
+}
+
+func TestManifestEmptySections(t *testing.T) {
+	m := &Manifest{N: 4, Epoch: 16, LinkedFloor: []uint64{0, 0, 0, 0}}
+	got, err := DecodeManifest(EncodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 16 || len(got.Blocks) != 0 || len(got.Committed) != 0 {
+		t.Fatalf("empty manifest mangled: %+v", got)
+	}
+}

@@ -294,10 +294,15 @@ func DecodeRecord(data []byte) (Record, error) {
 	return r, nil
 }
 
+// ChunkRecordSize returns EncodeChunkRecord's exact output size without
+// encoding (pagination over large inventories skips by size).
+func ChunkRecordSize(c ChunkRecord) int {
+	return 8 + 2 + 1 + merkle.RootSize + 4 + len(c.Data) + 5 + len(c.Proof.Path)*merkle.RootSize
+}
+
 // EncodeChunkRecord serializes a chunk record.
 func EncodeChunkRecord(c ChunkRecord) []byte {
-	size := 8 + 2 + 1 + merkle.RootSize + 4 + len(c.Data) + 5 + len(c.Proof.Path)*merkle.RootSize
-	buf := make([]byte, 0, size)
+	buf := make([]byte, 0, ChunkRecordSize(c))
 	buf = binary.BigEndian.AppendUint64(buf, c.Epoch)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Proposer))
 	buf = append(buf, boolByte(c.HasChunk))

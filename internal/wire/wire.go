@@ -55,6 +55,10 @@ const (
 	TRequestChunkAgain
 	TStatusRequest
 	TStatusReply
+	TSyncHello
+	TSyncOffer
+	TSyncPull
+	TSyncPage
 )
 
 // Msg is implemented by every protocol message.
@@ -142,6 +146,14 @@ func Decode(data []byte) (Envelope, error) {
 		msg, rest = StatusRequest{}, body
 	case TStatusReply:
 		msg, rest, err = decodeStatusReply(body)
+	case TSyncHello:
+		msg, rest = SyncHello{}, body
+	case TSyncOffer:
+		msg, rest, err = decodeSyncOffer(body)
+	case TSyncPull:
+		msg, rest, err = decodeSyncPull(body)
+	case TSyncPage:
+		msg, rest, err = decodeSyncPage(body)
 	default:
 		return Envelope{}, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
@@ -481,12 +493,144 @@ func BitmapSet(b []byte, nBits int) []int {
 // PriorityOf returns the transport priority class of a message: dispersal
 // and agreement traffic is high priority, retrieval traffic low (§4.5).
 // Recovery status traffic rides the high-priority class — it is tiny and
-// gates a node's rejoin.
+// gates a node's rejoin. State-sync control messages (hello, offer, pull)
+// are tiny and high priority too; the bulk checkpoint pages ride the
+// retrieval class so a joining node's download never delays dispersal.
 func PriorityOf(m Msg) Priority {
 	switch m.Type() {
-	case TRequestChunk, TReturnChunk, TCancelRequest, TRequestChunkAgain:
+	case TRequestChunk, TReturnChunk, TCancelRequest, TRequestChunkAgain, TSyncPage:
 		return PrioRetrieval
 	default:
 		return PrioDispersal
 	}
+}
+
+// ----- State-sync messages (internal/statesync's checkpoint transfer) -----
+
+// SyncPoint names one attestable checkpoint: the canonical state-sync
+// manifest at delivered position Epoch hashes to Hash. All honest nodes
+// that delivered through Epoch (with state sync enabled) compute the
+// identical manifest, so a joining node adopts a point only on f+1
+// identical (Epoch, Hash) attestations — the same trust argument as the
+// status catch-up protocol.
+type SyncPoint struct {
+	Epoch uint64
+	Hash  [32]byte
+}
+
+// SyncHello asks every peer for its resident sync points. Broadcast by a
+// node whose datadir is empty (dlnode -join) or stale beyond every
+// peer's retention horizon.
+type SyncHello struct{}
+
+func (SyncHello) Type() byte                 { return TSyncHello }
+func (SyncHello) BodySize() int              { return 0 }
+func (SyncHello) AppendTo(buf []byte) []byte { return buf }
+
+// SyncOffer answers SyncHello with the responder's resident sync points,
+// newest first. An empty list is a valid answer ("no checkpoint to
+// offer"): f+1 empty offers tell a joiner the cluster is young enough
+// for the ordinary status catch-up.
+type SyncOffer struct {
+	Points []SyncPoint
+}
+
+func (SyncOffer) Type() byte      { return TSyncOffer }
+func (m SyncOffer) BodySize() int { return 1 + len(m.Points)*40 }
+func (m SyncOffer) AppendTo(buf []byte) []byte {
+	buf = append(buf, byte(len(m.Points)))
+	for _, p := range m.Points {
+		buf = binary.BigEndian.AppendUint64(buf, p.Epoch)
+		buf = append(buf, p.Hash[:]...)
+	}
+	return buf
+}
+
+func decodeSyncOffer(data []byte) (Msg, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, ErrShort
+	}
+	n := int(data[0])
+	data = data[1:]
+	if len(data) < 40*n {
+		return nil, nil, ErrShort
+	}
+	m := SyncOffer{}
+	for i := 0; i < n; i++ {
+		var p SyncPoint
+		p.Epoch = binary.BigEndian.Uint64(data[40*i:])
+		copy(p.Hash[:], data[40*i+8:])
+		m.Points = append(m.Points, p)
+	}
+	return m, data[40*n:], nil
+}
+
+// Sync stream sections.
+const (
+	// SyncSectionManifest streams the canonical checkpoint manifest for
+	// the target point (hash-verified after reassembly).
+	SyncSectionManifest uint8 = 0
+	// SyncSectionChunks streams the donor's retained chunk inventory for
+	// epochs beyond the target point. Entries are donor-specific and
+	// verified individually against their Merkle roots.
+	SyncSectionChunks uint8 = 1
+)
+
+// SyncPull requests one page of one section of the sync point named by
+// the envelope's Epoch. The puller keeps a single request in flight per
+// donor (self-clocking flow control) and re-pulls on a timer, so the
+// transfer resumes across reconnects and donor failures.
+type SyncPull struct {
+	Section uint8
+	Page    uint32
+}
+
+func (SyncPull) Type() byte    { return TSyncPull }
+func (SyncPull) BodySize() int { return 5 }
+func (m SyncPull) AppendTo(buf []byte) []byte {
+	buf = append(buf, m.Section)
+	return binary.BigEndian.AppendUint32(buf, m.Page)
+}
+
+func decodeSyncPull(data []byte) (Msg, []byte, error) {
+	if len(data) < 5 {
+		return nil, nil, ErrShort
+	}
+	return SyncPull{Section: data[0], Page: binary.BigEndian.Uint32(data[1:5])}, data[5:], nil
+}
+
+// SyncPage answers SyncPull with one page of section bytes. Last marks
+// the section's final page; a page with Last and no Data means the donor
+// no longer holds the requested point (evicted from its ring) and the
+// puller should pick a fresh target.
+type SyncPage struct {
+	Section uint8
+	Page    uint32
+	Last    bool
+	Data    []byte
+}
+
+func (SyncPage) Type() byte      { return TSyncPage }
+func (m SyncPage) BodySize() int { return 1 + 4 + 1 + 4 + len(m.Data) }
+func (m SyncPage) AppendTo(buf []byte) []byte {
+	buf = append(buf, m.Section)
+	buf = binary.BigEndian.AppendUint32(buf, m.Page)
+	buf = append(buf, boolByte(m.Last))
+	return appendBytes(buf, m.Data)
+}
+
+func decodeSyncPage(data []byte) (Msg, []byte, error) {
+	if len(data) < 6 {
+		return nil, nil, ErrShort
+	}
+	m := SyncPage{Section: data[0], Page: binary.BigEndian.Uint32(data[1:5]), Last: data[5] != 0}
+	var err error
+	m.Data, data, err = decodeBytes(data[6:])
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(m.Data) == 0 {
+		m.Data = nil
+	}
+	return m, data, nil
 }
