@@ -30,11 +30,13 @@
 // files, and start every node with `-keydir ./keys`. Without -keydir the
 // mesh trusts self-declared peer ids (fine on closed networks only).
 //
-// Durability: with -datadir the node persists a write-ahead log, its
-// stored AVID chunks and periodic checkpoints to the directory, and a
-// node restarted with the same -datadir recovers its log position,
-// serves retrievals for pre-crash epochs, and rejoins the cluster where
-// it left off:
+// Durability: with -datadir the node persists a write-ahead log (its
+// protocol outcomes AND every binary-agreement vote it sends — so a
+// restarted node re-sends exactly its pre-crash votes and a restart
+// never consumes the cluster's fault budget), its stored AVID chunks
+// and periodic checkpoints to the directory, and a node restarted with
+// the same -datadir recovers its log position, serves retrievals for
+// pre-crash epochs, and rejoins the cluster where it left off:
 //
 //	dlnode -id 0 -peers ... -secret s3cret -datadir /var/lib/dlnode0
 //
@@ -59,6 +61,10 @@
 // membership itself is static). The checkpoint is trusted only on f+1
 // identical peer attestations and every transferred chunk is verified
 // against its Merkle root — see DESIGN.md "State sync".
+//
+// The operator guide — flag reference, crash/restart and
+// beyond-horizon runbooks, and what every Stats counter means in
+// production — is docs/OPERATIONS.md.
 package main
 
 import (

@@ -54,6 +54,7 @@ func main() {
 	lossy := flag.Bool("lossy", false, "with -chaos: allow message-destroying faults (safety checks only)")
 	clients := flag.Int("clients", 0, "with -chaos: attach this many gateway clients per node and check the gateway invariants (proof verification, exactly-once commitment)")
 	sync := flag.Bool("sync", false, "with -chaos: enable state sync and schedule outage-beyond-horizon events (long crashes, fresh joins)")
+	voteCrash := flag.Bool("votecrash", false, "with -chaos: generate the BA vote-persistence schedule (flip-votes Byzantine peers plus a crash restarted mid-round)")
 	join := flag.Bool("join", false, "demo: run an emulated cluster where one configured member first boots mid-run with an empty store and state-syncs in")
 	flag.Parse()
 
@@ -78,7 +79,7 @@ func main() {
 		return
 	}
 	if *chaosRun {
-		runChaos(mode, *n, *seed, *seeds, *duration, *lossy, *clients, *sync)
+		runChaos(mode, *n, *seed, *seeds, *duration, *lossy, *clients, *sync, *voteCrash)
 		return
 	}
 
@@ -112,8 +113,8 @@ func main() {
 // runChaos sweeps [seed, seed+count) through chaos.Explore and exits
 // nonzero if any invariant is violated; each failing seed's report
 // carries the exact replay command.
-func runChaos(mode core.Mode, n int, seed int64, count int, duration time.Duration, lossy bool, clients int, sync bool) {
-	cfg := chaos.Config{Mode: mode, Lossy: lossy, Clients: clients, StateSync: sync}
+func runChaos(mode core.Mode, n int, seed int64, count int, duration time.Duration, lossy bool, clients int, sync, voteCrash bool) {
+	cfg := chaos.Config{Mode: mode, Lossy: lossy, Clients: clients, StateSync: sync, VoteCrash: voteCrash}
 	if n > 0 {
 		cfg.N = n
 	}

@@ -79,11 +79,14 @@ type Config struct {
 	// the process, no filesystem I/O happens.
 	//
 	// Durability is fsync-batched: one fsync covers every record of a
-	// protocol step, so a host crash can lose at most the latest step
-	// (which recovery treats as never having happened — safe, because
-	// nothing was externalized before its fsync). Checkpoints compact
-	// the log every ~64 delivered epochs; chunk segments are reclaimed
-	// in step with the RetainEpochs garbage-collection horizon.
+	// protocol step — including the step's binary-agreement votes, so a
+	// restarted node re-sends exactly its pre-crash votes and a restart
+	// never consumes the cluster's fault budget — and a host crash can
+	// lose at most the latest step (which recovery treats as never
+	// having happened — safe, because nothing was externalized before
+	// its fsync). Checkpoints compact the log every ~64 delivered
+	// epochs; chunk segments are reclaimed in step with the
+	// RetainEpochs garbage-collection horizon.
 	DataDir string
 	// MempoolBytes caps the node's queued transaction bytes: a
 	// submission that would exceed the budget is rejected (gateway

@@ -39,6 +39,37 @@ type Send struct {
 	Msg wire.Msg
 }
 
+// VoteKind distinguishes vote-journal entries.
+type VoteKind uint8
+
+// Journal entry kinds. The first three mirror wire messages; VoteRound
+// is journal-only — it records the estimate the instance entered a round
+// with, which no wire message carries when the matching BVal was already
+// sent by the echo rule.
+const (
+	// VoteBVal records a broadcast of wire.BVal{Round, Value}.
+	VoteBVal VoteKind = iota + 1
+	// VoteAux records a broadcast of wire.Aux{Round, Value}.
+	VoteAux
+	// VoteTerm records a broadcast of wire.Term{Value}.
+	VoteTerm
+	// VoteRound records entering Round with estimate Value (no wire
+	// message; needed so a restore resumes from the right round/estimate
+	// instead of re-running round 0 with a possibly-different input).
+	VoteRound
+)
+
+// Vote is one vote-journal entry: everything this instance has committed
+// itself to on the wire (or, for VoteRound, in its round progression).
+// The journal is what vote persistence stores in the WAL: replaying it
+// into Restore rebuilds an instance that re-sends exactly its pre-crash
+// votes and can never contradict them.
+type Vote struct {
+	Kind  VoteKind
+	Round uint32
+	Value bool
+}
+
 // BA is one binary agreement instance.
 type BA struct {
 	n, f int
@@ -56,6 +87,16 @@ type BA struct {
 	termSent bool
 	termFrom map[int]bool // senders of any Term (first one counts)
 	termCnt  [2]int
+
+	// votes is the journal of everything this instance has sent (plus
+	// round transitions); journal, when set, observes each new entry as
+	// it is appended — the seam the engine uses to persist votes before
+	// they reach the wire. At halt the round entries are released (a
+	// halted instance never votes again, so there is nothing left to
+	// contradict) but the Term survives: it is the decision's only
+	// carrier once checkpoints subsume the WAL's vote records.
+	votes   []Vote
+	journal func(Vote)
 }
 
 type roundState struct {
@@ -86,6 +127,109 @@ func New(n, f int, c coin.Func) *BA {
 		rounds:   map[uint32]*roundState{},
 		termFrom: map[int]bool{},
 	}
+}
+
+// SetJournal installs an observer for new vote-journal entries. The
+// callback fires synchronously, before the corresponding Send is
+// returned to the caller, so a caller that persists journal entries and
+// syncs before transmitting Sends gets record-before-wire for free.
+// Passing nil removes the observer. Entries appended before SetJournal
+// (none, in normal use) are not replayed.
+func (b *BA) SetJournal(fn func(Vote)) { b.journal = fn }
+
+// Votes returns a copy of the vote journal (nil after halt).
+func (b *BA) Votes() []Vote { return append([]Vote(nil), b.votes...) }
+
+// record appends one journal entry and notifies the observer.
+func (b *BA) record(v Vote) {
+	b.votes = append(b.votes, v)
+	if b.journal != nil {
+		b.journal(v)
+	}
+}
+
+// Restore rebuilds an instance from a recovered vote journal: sent-state
+// guards (bvalSent, auxSent, termSent) are re-armed for every recorded
+// vote, and the round/estimate position resumes where the journal left
+// off, so the restored instance can never send a message inconsistent
+// with one its previous incarnation put on the wire. Received state
+// (bvalFrom, bin_values, aux counts) is NOT restored — it is rebuilt
+// from live traffic and from every node's own re-sent votes; losing it
+// affects only this node's progress, never safety. A halted instance
+// restores as halted: it ignores all input and sends nothing.
+func Restore(n, f int, c coin.Func, halted bool, votes []Vote) *BA {
+	b := New(n, f, c)
+	if halted {
+		// Only the decision matters for a halted instance (it ignores
+		// all input and sends nothing), but it matters a lot: the
+		// engine's restore propagates it into the epoch's outcome
+		// bookkeeping, without which the slot could wedge the epoch.
+		b.halted = true
+		b.rounds = nil
+		for _, v := range votes {
+			if v.Kind == VoteTerm {
+				b.decided = true
+				b.decision = v.Value
+				b.termSent = true
+			}
+		}
+		b.votes = termVotes(votes)
+		return b
+	}
+	for _, v := range votes {
+		switch v.Kind {
+		case VoteRound:
+			b.started = true
+			if v.Round >= b.round {
+				b.round = v.Round
+				b.est = v.Value
+			}
+		case VoteBVal:
+			b.roundState(v.Round).bvalSent[vi(v.Value)] = true
+		case VoteAux:
+			b.roundState(v.Round).auxSent = true
+		case VoteTerm:
+			b.decided = true
+			b.decision = v.Value
+			b.termSent = true
+		}
+	}
+	// Guards for rounds behind the restored position are moot (round
+	// messages below b.round are rejected outright); shed their state.
+	for old := range b.rounds {
+		if old < b.round {
+			delete(b.rounds, old)
+		}
+	}
+	b.votes = append([]Vote(nil), votes...)
+	return b
+}
+
+// ResendVotes returns the wire messages of every journaled vote, in
+// journal order, for broadcast after a restart. Re-sending is safe by
+// construction — receivers deduplicate per (sender, round, type) — and
+// necessary for two reasons: a vote recorded just before the crash may
+// never have reached the wire, and after a whole-cluster restart every
+// node's received-state is gone, so the union of all journals is the
+// only surviving copy of the in-flight rounds.
+func (b *BA) ResendVotes() []Send {
+	if b.halted {
+		// 2f+1 Terms are out — enough for every peer to decide AND halt
+		// without this instance's help; a halted instance stays silent.
+		return nil
+	}
+	var outs []Send
+	for _, v := range b.votes {
+		switch v.Kind {
+		case VoteBVal:
+			outs = append(outs, Send{To: wire.Broadcast, Msg: wire.BVal{Round: v.Round, Value: v.Value}})
+		case VoteAux:
+			outs = append(outs, Send{To: wire.Broadcast, Msg: wire.Aux{Round: v.Round, Value: v.Value}})
+		case VoteTerm:
+			outs = append(outs, Send{To: wire.Broadcast, Msg: wire.Term{Value: v.Value}})
+		}
+	}
+	return outs
 }
 
 // Decided reports whether the instance has decided, and the value.
@@ -160,6 +304,7 @@ func (b *BA) onBVal(from int, m wire.BVal) []Send {
 	// f+1 rule: echo the value if enough peers vouch for it.
 	if len(rs.bvalFrom[v]) >= b.f+1 && !rs.bvalSent[v] {
 		rs.bvalSent[v] = true
+		b.record(Vote{Kind: VoteBVal, Round: m.Round, Value: m.Value})
 		outs = append(outs, Send{To: wire.Broadcast, Msg: wire.BVal{Round: m.Round, Value: m.Value}})
 	}
 	// 2f+1 rule: admit the value into bin_values.
@@ -168,6 +313,7 @@ func (b *BA) onBVal(from int, m wire.BVal) []Send {
 		// First value entering bin_values triggers our AUX vote.
 		if !rs.auxSent {
 			rs.auxSent = true
+			b.record(Vote{Kind: VoteAux, Round: m.Round, Value: m.Value})
 			outs = append(outs, Send{To: wire.Broadcast, Msg: wire.Aux{Round: m.Round, Value: m.Value}})
 		}
 		outs = append(outs, b.tryAdvance(m.Round)...)
@@ -203,8 +349,26 @@ func (b *BA) onTerm(from int, m wire.Term) []Send {
 	if b.termCnt[v] >= 2*b.f+1 {
 		b.halted = true
 		b.rounds = nil // release round state
+		// A halted instance never votes again, so the round journal is
+		// dead weight — but its Term must survive: a snapshot taken
+		// after the halt is the only carrier of the decision once the
+		// WAL's vote records compact away, and a restore without it
+		// would silently swallow the instance's outcome (the epoch
+		// could then never decide at the restored node).
+		b.votes = termVotes(b.votes)
 	}
 	return outs
+}
+
+// termVotes filters a journal down to its Term entries.
+func termVotes(votes []Vote) []Vote {
+	var out []Vote
+	for _, v := range votes {
+		if v.Kind == VoteTerm {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // decide records the decision (once) and broadcasts Term.
@@ -216,13 +380,17 @@ func (b *BA) decide(v bool) []Send {
 	}
 	if !b.termSent {
 		b.termSent = true
+		b.record(Vote{Kind: VoteTerm, Value: v})
 		outs = append(outs, Send{To: wire.Broadcast, Msg: wire.Term{Value: v}})
 	}
 	return outs
 }
 
 // enterRound broadcasts our BVal for the round (if we have not already
-// echoed the same value) and prunes state of finished rounds.
+// echoed the same value) and prunes state of finished rounds. The round
+// transition itself is journaled even when no BVal goes out (the echo
+// rule may have sent it already), so a restore knows the estimate this
+// round was entered with.
 func (b *BA) enterRound(r uint32) []Send {
 	b.round = r
 	for old := range b.rounds {
@@ -230,12 +398,14 @@ func (b *BA) enterRound(r uint32) []Send {
 			delete(b.rounds, old)
 		}
 	}
+	b.record(Vote{Kind: VoteRound, Round: r, Value: b.est})
 	rs := b.roundState(r)
 	v := vi(b.est)
 	if rs.bvalSent[v] {
 		return nil
 	}
 	rs.bvalSent[v] = true
+	b.record(Vote{Kind: VoteBVal, Round: r, Value: b.est})
 	return []Send{{To: wire.Broadcast, Msg: wire.BVal{Round: r, Value: b.est}}}
 }
 

@@ -351,3 +351,184 @@ func BenchmarkBARoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// TestJournalMatchesWire checks the vote journal records exactly the
+// wire messages an instance sends (plus its round transitions), in
+// order — the property vote persistence's "re-send exactly the
+// pre-crash votes" rests on.
+func TestJournalMatchesWire(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		type sent struct {
+			kind  VoteKind
+			round uint32
+			value bool
+		}
+		wires := make([][]sent, 4)
+		h := newHarness(t, 4, 1, seed, 0)
+		journals := make([][]Vote, 4)
+		for i, n := range h.nodes {
+			i := i
+			n.SetJournal(func(v Vote) { journals[i] = append(journals[i], v) })
+		}
+		capture := func(i int, sends []Send) []Send {
+			for _, s := range sends {
+				switch m := s.Msg.(type) {
+				case wire.BVal:
+					wires[i] = append(wires[i], sent{VoteBVal, m.Round, m.Value})
+				case wire.Aux:
+					wires[i] = append(wires[i], sent{VoteAux, m.Round, m.Value})
+				case wire.Term:
+					wires[i] = append(wires[i], sent{VoteTerm, 0, m.Value})
+				}
+			}
+			return sends
+		}
+		for i, n := range h.nodes {
+			h.enqueue(i, capture(i, n.Input(seed%2 == 0 || i%2 == 0)))
+		}
+		steps := 0
+		for len(h.queue) > 0 {
+			steps++
+			if steps > 2_000_000 {
+				t.Fatal("no quiescence")
+			}
+			k := h.rng.Intn(len(h.queue))
+			m := h.queue[k]
+			h.queue[k] = h.queue[len(h.queue)-1]
+			h.queue = h.queue[:len(h.queue)-1]
+			h.enqueue(m.to, capture(m.to, h.nodes[m.to].Handle(m.from, m.msg)))
+		}
+		for i := range h.nodes {
+			var jw []sent
+			for _, v := range journals[i] {
+				if v.Kind == VoteRound {
+					continue
+				}
+				jw = append(jw, sent{v.Kind, v.Round, v.Value})
+			}
+			if len(jw) != len(wires[i]) {
+				t.Fatalf("seed %d node %d: journal has %d wire votes, wire saw %d", seed, i, len(jw), len(wires[i]))
+			}
+			for k := range jw {
+				if jw[k] != wires[i][k] {
+					t.Fatalf("seed %d node %d: journal[%d]=%+v, wire[%d]=%+v", seed, i, k, jw[k], k, wires[i][k])
+				}
+			}
+		}
+	}
+}
+
+// TestRestoreNeverContradicts restores an instance from a mid-run
+// journal and feeds it an adversarial message schedule: whatever
+// arrives, the restored instance must never send an Aux for a round it
+// already voted in with a different value, never a second Term, and
+// never a BVal contradicting its recorded initial estimate.
+func TestRestoreNeverContradicts(t *testing.T) {
+	scheme := coin.NewScheme([]byte("test secret"))
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := New(4, 1, scheme.ForInstance(1, 1))
+		var journal []Vote
+		b.SetJournal(func(v Vote) { journal = append(journal, v) })
+		sent := map[[2]interface{}]bool{} // {kind+round} -> value for aux/term uniqueness
+		note := func(sends []Send) {
+			for _, s := range sends {
+				switch m := s.Msg.(type) {
+				case wire.Aux:
+					sent[[2]interface{}{"aux", m.Round}] = m.Value
+				case wire.Term:
+					sent[[2]interface{}{"term", 0}] = m.Value
+				}
+			}
+		}
+		note(b.Input(rng.Intn(2) == 0))
+		// Random pre-crash traffic.
+		for i := 0; i < 40; i++ {
+			from := 1 + rng.Intn(3)
+			var m wire.Msg
+			switch rng.Intn(3) {
+			case 0:
+				m = wire.BVal{Round: uint32(rng.Intn(3)), Value: rng.Intn(2) == 0}
+			case 1:
+				m = wire.Aux{Round: uint32(rng.Intn(3)), Value: rng.Intn(2) == 0}
+			default:
+				m = wire.Term{Value: rng.Intn(2) == 0}
+			}
+			note(b.Handle(from, m))
+		}
+		// Crash and restore from the journal.
+		r := Restore(4, 1, scheme.ForInstance(1, 1), b.Halted(), journal)
+		note(r.ResendVotes()) // re-sends must agree with sent by construction
+		// Adversarial post-restart traffic.
+		check := func(sends []Send) {
+			for _, s := range sends {
+				switch m := s.Msg.(type) {
+				case wire.Aux:
+					key := [2]interface{}{"aux", m.Round}
+					if v, ok := sent[key]; ok && v != m.Value {
+						t.Fatalf("seed %d: restored instance sent Aux(%d,%v) after pre-crash Aux(%d,%v)",
+							seed, m.Round, m.Value, m.Round, v)
+					}
+					sent[key] = m.Value
+				case wire.Term:
+					key := [2]interface{}{"term", 0}
+					if v, ok := sent[key]; ok && v != m.Value {
+						t.Fatalf("seed %d: restored instance sent Term(%v) after Term(%v)", seed, m.Value, v)
+					}
+					sent[key] = m.Value
+				}
+			}
+		}
+		for i := 0; i < 60; i++ {
+			from := 1 + rng.Intn(3)
+			var m wire.Msg
+			switch rng.Intn(3) {
+			case 0:
+				m = wire.BVal{Round: uint32(rng.Intn(4)), Value: rng.Intn(2) == 0}
+			case 1:
+				m = wire.Aux{Round: uint32(rng.Intn(4)), Value: rng.Intn(2) == 0}
+			default:
+				m = wire.Term{Value: rng.Intn(2) == 0}
+			}
+			check(r.Handle(from, m))
+		}
+	}
+}
+
+// TestRestoreHalted checks a halted instance restores as halted: silent
+// and input-proof.
+func TestRestoreHalted(t *testing.T) {
+	scheme := coin.NewScheme([]byte("test secret"))
+	r := Restore(4, 1, scheme.ForInstance(1, 1), true, nil)
+	if !r.Halted() {
+		t.Fatal("not halted")
+	}
+	if outs := r.Handle(1, wire.BVal{Round: 0, Value: true}); outs != nil {
+		t.Fatalf("halted instance replied: %v", outs)
+	}
+	if outs := r.Input(true); outs != nil {
+		t.Fatalf("halted instance accepted input: %v", outs)
+	}
+	if outs := r.ResendVotes(); outs != nil {
+		t.Fatalf("halted instance re-sent votes: %v", outs)
+	}
+}
+
+// TestRestoreHaltedKeepsDecision checks the halted restore path carries
+// the decision (the engine propagates it into epoch bookkeeping) while
+// staying silent.
+func TestRestoreHaltedKeepsDecision(t *testing.T) {
+	scheme := coin.NewScheme([]byte("test secret"))
+	r := Restore(4, 1, scheme.ForInstance(1, 1), true, []Vote{{Kind: VoteTerm, Value: true}})
+	if d, v := r.Decided(); !d || !v {
+		t.Fatalf("halted restore lost the decision: %v %v", d, v)
+	}
+	if !r.Halted() || r.ResendVotes() != nil {
+		t.Fatal("halted restore is not silent")
+	}
+	// The Term survives the journal for the NEXT snapshot too.
+	votes := r.Votes()
+	if len(votes) != 1 || votes[0].Kind != VoteTerm || !votes[0].Value {
+		t.Fatalf("halted journal = %+v, want the Term only", votes)
+	}
+}

@@ -405,3 +405,56 @@ func TestJoinRequiresStateSync(t *testing.T) {
 		t.Fatalf("join with StateSync rejected: %v", err)
 	}
 }
+
+// TestVoteCrashSweep is the BA vote-persistence regression net: the
+// generated schedule pairs flip-votes Byzantine peers with an honest
+// node crashed and restarted MID-round, the exact window where a
+// vote-less restart (the pre-vote-persistence code) could re-send
+// BVal/Aux inconsistent with its pre-crash votes and hand the flippers
+// an f+1-th effectively-faulty node. With WAL-backed vote restore the
+// restart re-sends byte-identical votes, so every seed must hold
+// agreement, integrity, liveness and recovery.
+func TestVoteCrashSweep(t *testing.T) {
+	cfg := Config{VoteCrash: true, Horizon: 15 * time.Second}
+	seeds := int64(20)
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		r, err := Explore(seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Failed() {
+			t.Errorf("seed %d:\n%s", seed, r.Report())
+		}
+		// The schedule must actually exercise the window: a crash with a
+		// short outage, plus flip-votes peers whenever F > 1 allows.
+		if len(r.Plan.Crashes) != 1 || r.Plan.Crashes[0].RestartAt == 0 {
+			t.Fatalf("seed %d: vote-crash plan without a restarting crash: %s", seed, r.Plan)
+		}
+		if outage := r.Plan.Crashes[0].RestartAt - r.Plan.Crashes[0].At; outage > 2*time.Second {
+			t.Fatalf("seed %d: outage %v too long to land mid-round", seed, outage)
+		}
+		if r.Cfg.F > 1 && len(r.Plan.Byzantine) == 0 {
+			t.Fatalf("seed %d: no flip-votes peers in the schedule", seed)
+		}
+		for n, b := range r.Plan.Byzantine {
+			if b != FlipVotes {
+				t.Fatalf("seed %d: node %d has behavior %s, want flip-votes", seed, n, b)
+			}
+		}
+	}
+	// Replay determinism for the new generator.
+	r1, err := Explore(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Explore(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Errorf("vote-crash fingerprints differ: %016x vs %016x", r1.Fingerprint, r2.Fingerprint)
+	}
+}

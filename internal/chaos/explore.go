@@ -50,6 +50,19 @@ type Config struct {
 	// post-sync log must re-attach as a contiguous window of a full
 	// node's log — the synced-over gap simply absent).
 	StateSync bool
+	// VoteCrash generates the BA vote-persistence regression schedule
+	// instead of a fully random plan: every Byzantine assignment is
+	// flip-votes (F−1 of them, keeping one fault-budget slot for the
+	// victim) and one honest node crashes mid-run with a SHORT outage —
+	// restarted within ~2s, while the epochs it was voting in are still
+	// in flight cluster-wide. That restart window is exactly where a
+	// node without durable votes could re-send BVal/Aux inconsistent
+	// with its pre-crash votes, handing the vote-flipping peers an
+	// f+1-th effectively-faulty node; with WAL vote persistence the
+	// restart re-sends byte-identical votes and the sweep must hold
+	// agreement/integrity/liveness. Random link delay/jitter rules keep
+	// the rounds honestly asynchronous.
+	VoteCrash bool
 	// Clients attaches this many emulated gateway clients to every node
 	// (0 = none): Poisson submissions through each node's gateway.Hub,
 	// receipt-driven backoff, post-restart resubmission, and proof
@@ -180,7 +193,8 @@ func (r *Result) replayCommand() string {
 	// else must match what dlsim (and this config) derive by default, or
 	// no CLI command reproduces the run.
 	cliCfg := Config{N: r.Cfg.N, Mode: r.Cfg.Mode, Horizon: r.Cfg.Horizon,
-		Lossy: r.Cfg.Lossy, Clients: r.Cfg.Clients, StateSync: r.Cfg.StateSync}.withDefaults()
+		Lossy: r.Cfg.Lossy, Clients: r.Cfg.Clients, StateSync: r.Cfg.StateSync,
+		VoteCrash: r.Cfg.VoteCrash}.withDefaults()
 	if r.Cfg != cliCfg {
 		return fmt.Sprintf("chaos.Explore(%d, <the identical Config>)", r.Seed)
 	}
@@ -198,6 +212,9 @@ func (r *Result) replayCommand() string {
 	if r.Cfg.StateSync {
 		cmd += " -sync"
 	}
+	if r.Cfg.VoteCrash {
+		cmd += " -votecrash"
+	}
 	return cmd
 }
 
@@ -206,6 +223,9 @@ func (r *Result) replayCommand() string {
 func Generate(seed int64, cfg Config) *Plan {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(seed))
+	if cfg.VoteCrash {
+		return generateVoteCrash(rng, seed, cfg)
+	}
 	p := &Plan{Seed: seed, Byzantine: map[int]Behavior{}}
 
 	// Fault window: everything starts in [1s, half) and ends by 60%.
@@ -290,6 +310,45 @@ func Generate(seed int64, cfg Config) *Plan {
 	return p
 }
 
+// generateVoteCrash builds the Config.VoteCrash schedule: flip-votes
+// Byzantine peers plus one short-outage crash that restarts mid-round.
+func generateVoteCrash(rng *rand.Rand, seed int64, cfg Config) *Plan {
+	p := &Plan{Seed: seed, Byzantine: map[int]Behavior{}}
+	nodes := rng.Perm(cfg.N)
+	byz := cfg.F - 1 // one budget slot stays reserved for the crash victim
+	if byz > cfg.MaxByzantine {
+		byz = cfg.MaxByzantine
+	}
+	if byz < 0 {
+		byz = 0
+	}
+	for _, i := range nodes[:byz] {
+		p.Byzantine[i] = FlipVotes
+	}
+	// Crash inside the first half; restart 0.5–2s later — epochs the
+	// victim was mid-round in are still undecided when it comes back.
+	victim := nodes[byz]
+	crashAt := 2*time.Second + time.Duration(rng.Int63n(int64(cfg.Horizon/2-2*time.Second)))
+	restartAt := crashAt + 500*time.Millisecond + time.Duration(rng.Int63n(int64(1500*time.Millisecond)))
+	p.Crashes = append(p.Crashes, Crash{Node: victim, At: crashAt, RestartAt: restartAt})
+	// Delay/jitter rules around the crash window stress message
+	// reordering across the restart boundary (never loss: the liveness
+	// and recovery invariants stay checkable).
+	for k := 1 + rng.Intn(cfg.MaxLinkRules); k > 0; k-- {
+		from := rng.Intn(cfg.N)
+		to := rng.Intn(cfg.N)
+		if to == from {
+			to = (to + 1) % cfg.N
+		}
+		until := restartAt + time.Duration(rng.Int63n(int64(2*time.Second)))
+		rule := LinkRule{From: from, To: to, At: time.Second, Until: until}
+		rule.Fault.Delay = time.Duration(rng.Int63n(int64(200 * time.Millisecond)))
+		rule.Fault.Jitter = time.Duration(rng.Int63n(int64(150 * time.Millisecond)))
+		p.Links = append(p.Links, rule)
+	}
+	return p
+}
+
 // Explore generates a random fault plan from seed, runs a full emulated
 // cluster under it, and checks the global invariants. The run is
 // deterministic: calling Explore twice with the same seed and config
@@ -337,7 +396,8 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	lr := harness.NewLogRecorder(c)
-	st, err := apply(c, cc, lr, p)
+	vr := harness.NewVoteRecorder()
+	st, err := apply(c, cc, lr, vr, p)
 	if err != nil {
 		return nil, err
 	}
@@ -405,6 +465,12 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 		res.Violations = append(res.Violations, harness.CheckNoDuplicates(i, res.Logs[i])...)
 		res.Violations = append(res.Violations, lr.CheckTxValidity(i, cfg.N, honestMask)...)
 	}
+	// Vote consistency: no honest node — across crash-restart
+	// incarnations — may ever put contradictory Aux/Term votes on the
+	// wire. This is the invariant WAL-backed vote restore guarantees and
+	// the one a vote-less restart under a crash-mid-round schedule
+	// (Config.VoteCrash) breaks.
+	res.Violations = append(res.Violations, vr.Check()...)
 
 	// Gateway-client invariants: proofs always verify and honest nodes
 	// never double-commit a client transaction (safety, even lossy).

@@ -329,12 +329,14 @@ type applied struct {
 }
 
 // apply installs the plan onto a built-but-not-started cluster. The
-// recorder must already be attached (restart hooks re-attach through
-// it). Byzantine taps install immediately; everything else is scheduled
-// on the cluster's simulator. Run is the public entry point — it owns
-// the result plumbing (restart errors surface after the run; the
-// scheduler cannot return them).
-func apply(c *harness.Cluster, cfg core.Config, lr *harness.LogRecorder, p *Plan) (*applied, error) {
+// recorders must already be attached (restart hooks re-attach through
+// them). Byzantine taps install immediately; everything else is
+// scheduled on the cluster's simulator. Run is the public entry point —
+// it owns the result plumbing (restart errors surface after the run;
+// the scheduler cannot return them). vr observes honest nodes' BA votes
+// across incarnations for the equivocation invariant; Byzantine nodes
+// keep their behavior tap instead.
+func apply(c *harness.Cluster, cfg core.Config, lr *harness.LogRecorder, vr *harness.VoteRecorder, p *Plan) (*applied, error) {
 	st := &applied{preCrash: map[int]int{}}
 	if len(p.Byzantine) > cfg.F {
 		// The invariant checkers rest on N >= 3F+1 with at most F
@@ -377,13 +379,22 @@ func apply(c *harness.Cluster, cfg core.Config, lr *harness.LogRecorder, p *Plan
 			return nil, err
 		}
 	}
+	for i := 0; i < cfg.N; i++ {
+		if honest[i] && !joined[i] {
+			vr.Attach(c.Replicas[i].Engine(), i)
+		}
+	}
 	for _, j := range p.Joins {
 		j := j
 		c.Hold(j.Node)
 		c.Sim.At(j.At, func() {
-			if err := c.AddNode(j.Node, lr.Hook(j.Node)); err != nil && st.restartErr == nil {
-				st.restartErr = fmt.Errorf("chaos: join of node %d: %w", j.Node, err)
+			if err := c.AddNode(j.Node, lr.Hook(j.Node)); err != nil {
+				if st.restartErr == nil {
+					st.restartErr = fmt.Errorf("chaos: join of node %d: %w", j.Node, err)
+				}
+				return
 			}
+			vr.Attach(c.Replicas[j.Node].Engine(), j.Node)
 		})
 	}
 	c.Net.SetFaultSeed(p.Seed)
@@ -416,9 +427,16 @@ func apply(c *harness.Cluster, cfg core.Config, lr *harness.LogRecorder, p *Plan
 		})
 		if cr.RestartAt > 0 {
 			c.Sim.At(cr.RestartAt, func() {
-				if err := c.Restart(cr.Node, lr.Hook(cr.Node)); err != nil && st.restartErr == nil {
-					st.restartErr = fmt.Errorf("chaos: restart of node %d: %w", cr.Node, err)
+				if err := c.Restart(cr.Node, lr.Hook(cr.Node)); err != nil {
+					if st.restartErr == nil {
+						st.restartErr = fmt.Errorf("chaos: restart of node %d: %w", cr.Node, err)
+					}
+					return
 				}
+				// The fresh incarnation sheds the old tap; re-attach so
+				// the equivocation record spans the restart — comparing
+				// the two incarnations' votes is the entire point.
+				vr.Attach(c.Replicas[cr.Node].Engine(), cr.Node)
 			})
 		}
 	}

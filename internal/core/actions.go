@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"dledger/internal/ba"
 	"dledger/internal/merkle"
 	"dledger/internal/store"
 	"dledger/internal/wire"
@@ -122,6 +123,20 @@ type ChunkStoredAction struct {
 	Proof    merkle.Proof
 }
 
+// VoteCastAction reports that the BA instance (Epoch, Proposer) appended
+// Vote to its journal — a BVal/Aux/Term about to go on the wire, or a
+// round transition. It precedes the vote's SendAction in the same action
+// batch; the replica appends it to the WAL and group-commits it with the
+// rest of the step before any send is externalized, so every vote a peer
+// can ever have seen is durable, and a restarted node re-sends exactly
+// its pre-crash votes instead of consuming fault budget (see
+// ba.Restore). Non-durable replicas ignore it.
+type VoteCastAction struct {
+	Epoch    uint64
+	Proposer wire.NodeID
+	Vote     ba.Vote
+}
+
 // SyncPointAction reports that the engine reached a state-sync
 // checkpoint cadence boundary: the epoch just delivered is a sync point,
 // and Floor/Blocks are the objective engine state of the canonical
@@ -158,5 +173,6 @@ func (EpochDecidedAction) isAction()   {}
 func (EpochDeliveredAction) isAction() {}
 func (ChunkStoredAction) isAction()    {}
 func (CatchupDoneAction) isAction()    {}
+func (VoteCastAction) isAction()       {}
 func (SyncPointAction) isAction()      {}
 func (SyncInstallAction) isAction()    {}

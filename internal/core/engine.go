@@ -601,9 +601,22 @@ func (e *Engine) vid(epoch uint64, proposer int) *avid.Server {
 func (e *Engine) ba(epoch uint64, proposer int) *ba.BA {
 	es := e.epochState(epoch)
 	if es.bas[proposer] == nil {
-		es.bas[proposer] = ba.New(e.cfg.N, e.cfg.F, e.coins.ForInstance(epoch, proposer))
+		b := ba.New(e.cfg.N, e.cfg.F, e.coins.ForInstance(epoch, proposer))
+		b.SetJournal(e.voteJournal(epoch, proposer))
+		es.bas[proposer] = b
 	}
 	return es.bas[proposer]
+}
+
+// voteJournal builds the instance's journal observer: every vote the BA
+// commits itself to becomes a VoteCastAction in the current step's batch,
+// which durable replicas group-commit before any send of the step leaves
+// the node. This is the record-before-wire invariant vote persistence
+// rests on — if a peer can have seen a vote, a restart will restore it.
+func (e *Engine) voteJournal(epoch uint64, proposer int) func(ba.Vote) {
+	return func(v ba.Vote) {
+		e.actions = append(e.actions, VoteCastAction{Epoch: epoch, Proposer: proposer, Vote: v})
+	}
 }
 
 func (e *Engine) toVID(env wire.Envelope, msg wire.Msg) {
@@ -633,6 +646,15 @@ func (e *Engine) toVID(env wire.Envelope, msg wire.Msg) {
 }
 
 func (e *Engine) toBA(env wire.Envelope, msg wire.Msg) {
+	// An epoch whose outcome was installed without live round state
+	// (WAL-replayed or catch-up-adopted decisions leave bas nil) must not
+	// grow a fresh instance from a stray message: the fresh instance
+	// could vote where the pre-crash incarnation already voted
+	// differently. Live-decided epochs keep their instances and keep
+	// serving rounds normally until the Bracha gadget halts them.
+	if es := e.epochs[env.Epoch]; es != nil && es.decided && es.bas[env.Proposer] == nil {
+		return
+	}
 	b := e.ba(env.Epoch, env.Proposer)
 	wasDecided, _ := b.Decided()
 	outs := b.Handle(env.From, msg)
@@ -648,6 +670,16 @@ func (e *Engine) toBA(env wire.Envelope, msg wire.Msg) {
 // inputBA feeds a value into a BA instance (idempotent) and processes any
 // resulting decision.
 func (e *Engine) inputBA(epoch uint64, proposer int, val bool) {
+	// Same guard as toBA: an epoch whose outcome is installed without
+	// live round state (restored or adopted decisions leave bas nil, and
+	// their vote journals were discarded with the decision) must not
+	// grow a fresh votable instance — a straggler VID completion or an
+	// HB retrieval finishing in such an epoch would otherwise cast a
+	// first-vote the pre-crash incarnation may have contradicted. The
+	// vote serves no purpose there anyway: the outcome is fixed.
+	if es := e.epochs[epoch]; e.isDecided(epoch) && (es == nil || es.bas[proposer] == nil) {
+		return
+	}
 	b := e.ba(epoch, proposer)
 	if b.InputCalled() {
 		return

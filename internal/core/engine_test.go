@@ -39,6 +39,9 @@ type testCluster struct {
 	deferred    []routed
 	// txFor generates the batch for a node's k-th proposal.
 	txFor func(node, seq int) [][]byte
+	// onAction, when set, observes every action each engine emits (the
+	// vote-persistence tests use it as a stand-in for the replica's WAL).
+	onAction func(node int, a Action)
 }
 
 type routed struct {
@@ -91,6 +94,9 @@ func (c *testCluster) start() {
 
 func (c *testCluster) apply(node int, actions []Action) {
 	for _, a := range actions {
+		if c.onAction != nil {
+			c.onAction(node, a)
+		}
 		switch act := a.(type) {
 		case SendAction:
 			c.queue = append(c.queue, routed{to: act.To, env: act.Env})
@@ -130,45 +136,61 @@ func (c *testCluster) run() {
 		if steps > 5_000_000 {
 			c.t.Fatal("cluster did not quiesce within 5M steps")
 		}
-		if c.releaseWhen != nil && c.releaseWhen(c) {
-			c.queue = append(c.queue, c.deferred...)
-			c.deferred = nil
-			c.releaseWhen = nil
-			c.deferFn = nil
+		c.stepOnce()
+	}
+}
+
+// stepOnce processes one scheduled proposal or message delivery (shared
+// by run and runSteps so the two schedulers cannot drift).
+func (c *testCluster) stepOnce() {
+	if c.releaseWhen != nil && c.releaseWhen(c) {
+		c.queue = append(c.queue, c.deferred...)
+		c.deferred = nil
+		c.releaseWhen = nil
+		c.deferFn = nil
+	}
+	// Mix proposals and deliveries randomly.
+	if len(c.propose) > 0 && (len(c.queue) == 0 || c.rng.Intn(4) == 0) {
+		node := c.propose[0]
+		c.propose = c.propose[1:]
+		if c.crashed[node] {
+			return
 		}
-		// Mix proposals and deliveries randomly.
-		if len(c.propose) > 0 && (len(c.queue) == 0 || c.rng.Intn(4) == 0) {
-			node := c.propose[0]
-			c.propose = c.propose[1:]
-			if c.crashed[node] {
-				continue
-			}
-			if c.proposed[node] >= c.maxEpochs {
-				continue // node stops proposing; cluster winds down
-			}
-			c.proposed[node]++
-			acts, err := c.engines[node].Propose(c.txFor(node, c.proposed[node]))
-			if err != nil {
-				c.t.Fatalf("node %d propose: %v", node, err)
-			}
-			c.apply(node, acts)
-			continue
+		if c.proposed[node] >= c.maxEpochs {
+			return // node stops proposing; cluster winds down
 		}
-		i := c.rng.Intn(len(c.queue))
-		m := c.queue[i]
-		c.queue[i] = c.queue[len(c.queue)-1]
-		c.queue = c.queue[:len(c.queue)-1]
-		if c.crashed[m.to] || c.crashed[m.env.From] {
-			continue
+		c.proposed[node]++
+		acts, err := c.engines[node].Propose(c.txFor(node, c.proposed[node]))
+		if err != nil {
+			c.t.Fatalf("node %d propose: %v", node, err)
 		}
-		if c.dropFn != nil && c.dropFn(m.env.From, m.to) {
-			continue
-		}
-		if c.deferFn != nil && c.deferFn(m.env, m.to) {
-			c.deferred = append(c.deferred, m)
-			continue
-		}
-		c.apply(m.to, c.engines[m.to].Handle(m.env))
+		c.apply(node, acts)
+		return
+	}
+	i := c.rng.Intn(len(c.queue))
+	m := c.queue[i]
+	c.queue[i] = c.queue[len(c.queue)-1]
+	c.queue = c.queue[:len(c.queue)-1]
+	if c.crashed[m.to] || c.crashed[m.env.From] {
+		return
+	}
+	if c.dropFn != nil && c.dropFn(m.env.From, m.to) {
+		return
+	}
+	if c.deferFn != nil && c.deferFn(m.env, m.to) {
+		c.deferred = append(c.deferred, m)
+		return
+	}
+	c.apply(m.to, c.engines[m.to].Handle(m.env))
+}
+
+// runSteps processes at most k scheduled message deliveries (timers do
+// not fire), leaving the cluster genuinely mid-flight: in-progress BA
+// rounds, undrained queues. The crash-restart vote tests use it to crash
+// a node mid-round.
+func (c *testCluster) runSteps(k int) {
+	for steps := 0; steps < k && (len(c.queue) > 0 || len(c.propose) > 0); steps++ {
+		c.stepOnce()
 	}
 }
 

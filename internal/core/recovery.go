@@ -20,11 +20,16 @@ package core
 // Recovery model: outcomes (decisions, deliveries, completed dispersals)
 // are durable and never contradicted — replay is deterministic and the
 // post-restart delivery sequence is a consistent continuation. In-flight
-// votes are NOT persisted; until the node has caught up, its re-votes
-// can look inconsistent to peers that saw its pre-crash votes, which the
-// protocol absorbs the same way it absorbs a Byzantine node. A restart
-// therefore consumes fault budget while it lasts, the standard
-// crash-recovery caveat for signature-free BFT.
+// BA votes are persisted too (store.RecVote, written before each vote
+// reaches the wire and group-committed with its step): Restore rebuilds
+// the round state of every undecided instance from the journal, Start
+// re-broadcasts exactly the recorded votes, and the restored guards make
+// a contradictory vote impossible — so a restart no longer consumes
+// fault budget, and a whole-cluster simultaneous restart of in-flight
+// epochs is correct by construction (the union of all journals is a
+// faithful copy of everything any node had said). Only datadirs written
+// before vote persistence retain the old Byzantine-absorption caveat for
+// their first restart.
 
 import (
 	"bytes"
@@ -34,6 +39,7 @@ import (
 	"sort"
 
 	"dledger/internal/avid"
+	"dledger/internal/ba"
 	"dledger/internal/store"
 	"dledger/internal/wire"
 )
@@ -60,6 +66,15 @@ type Snapshot struct {
 	// its own undelivered blocks locally even after the WAL records that
 	// carried them were compacted away.
 	MyBlocks []SnapMyBlock
+	// Votes carries the vote journals of in-flight (undecided-epoch) BA
+	// instances. The WAL's RecVote records cover votes since the
+	// checkpoint; this section covers the ones the checkpoint's
+	// compaction dropped — without it, a checkpoint taken while an epoch
+	// is still in flight would forget votes already on the wire and
+	// reopen the equivocation window. Instances of decided epochs are
+	// deliberately absent: their outcome is installed by Decided, and
+	// the engine refuses to grow fresh votable instances for them.
+	Votes []SnapVotes
 }
 
 // SnapEpoch is one decided epoch in a Snapshot.
@@ -80,6 +95,17 @@ type SnapBlock struct {
 type SnapMyBlock struct {
 	Epoch uint64
 	Block []byte
+}
+
+// SnapVotes is one in-flight BA instance's vote journal in a Snapshot.
+// Halted instances carry no votes (a halted instance never sends again)
+// but are still recorded, so a restore does not grow a fresh votable
+// instance where the previous incarnation had already voted and halted.
+type SnapVotes struct {
+	Epoch    uint64
+	Proposer int
+	Halted   bool
+	Votes    []ba.Vote
 }
 
 // Snapshot captures the engine's durable state. Call it between steps
@@ -110,6 +136,27 @@ func (e *Engine) Snapshot() *Snapshot {
 	for epoch, blk := range e.myBlocks {
 		s.MyBlocks = append(s.MyBlocks, SnapMyBlock{Epoch: epoch, Block: blk.Encode()})
 	}
+	for epoch, es := range e.epochs {
+		if es.decided {
+			continue
+		}
+		for j, b := range es.bas {
+			if b == nil {
+				continue
+			}
+			votes := b.Votes()
+			if len(votes) == 0 && !b.Halted() {
+				continue
+			}
+			s.Votes = append(s.Votes, SnapVotes{Epoch: epoch, Proposer: j, Halted: b.Halted(), Votes: votes})
+		}
+	}
+	sort.Slice(s.Votes, func(a, b int) bool {
+		if s.Votes[a].Epoch != s.Votes[b].Epoch {
+			return s.Votes[a].Epoch < s.Votes[b].Epoch
+		}
+		return s.Votes[a].Proposer < s.Votes[b].Proposer
+	})
 	sort.Slice(s.Decided, func(a, b int) bool { return s.Decided[a].Epoch < s.Decided[b].Epoch })
 	sort.Slice(s.Blocks, func(a, b int) bool {
 		if s.Blocks[a].Epoch != s.Blocks[b].Epoch {
@@ -169,6 +216,28 @@ func (s *Snapshot) Encode() []byte {
 		buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Block)))
 		buf = append(buf, m.Block...)
+	}
+	// Vote section (appended last: snapshots from before vote persistence
+	// simply end here and decode with no votes).
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Votes)))
+	for _, v := range s.Votes {
+		buf = binary.BigEndian.AppendUint64(buf, v.Epoch)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(v.Proposer))
+		flags := byte(0)
+		if v.Halted {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Votes)))
+		for _, vt := range v.Votes {
+			buf = append(buf, byte(vt.Kind))
+			buf = binary.BigEndian.AppendUint32(buf, vt.Round)
+			if vt.Value {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
 	}
 	return buf
 }
@@ -271,6 +340,39 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		data = data[bl:]
 		s.MyBlocks = append(s.MyBlocks, m)
 	}
+	if len(data) == 0 {
+		// Pre-vote-persistence snapshot: no vote section.
+		return s, nil
+	}
+	if len(data) < 4 {
+		return nil, errBadSnapshot
+	}
+	nv := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	for i := 0; i < nv; i++ {
+		if len(data) < 15 {
+			return nil, errBadSnapshot
+		}
+		v := SnapVotes{
+			Epoch:    binary.BigEndian.Uint64(data[0:8]),
+			Proposer: int(binary.BigEndian.Uint16(data[8:10])),
+			Halted:   data[10]&1 != 0,
+		}
+		cnt := int(binary.BigEndian.Uint32(data[11:15]))
+		data = data[15:]
+		if len(data) < 6*cnt {
+			return nil, errBadSnapshot
+		}
+		for k := 0; k < cnt; k++ {
+			v.Votes = append(v.Votes, ba.Vote{
+				Kind:  ba.VoteKind(data[6*k]),
+				Round: binary.BigEndian.Uint32(data[6*k+1:]),
+				Value: data[6*k+5] != 0,
+			})
+		}
+		data = data[6*cnt:]
+		s.Votes = append(s.Votes, v)
+	}
 	if len(data) != 0 {
 		return nil, errBadSnapshot
 	}
@@ -306,9 +408,34 @@ func (e *Engine) Restore(snap *Snapshot, recs []store.Record, chunks []store.Chu
 			e.restoreMyBlock(m.Epoch, m.Block)
 		}
 	}
+	// Vote journals concatenate snapshot state with the WAL records after
+	// it (the WAL suffix is strictly newer, so order is preserved); the
+	// instances are rebuilt only after every record has been applied, so
+	// journals of epochs that decided before the crash are discarded —
+	// matching the live policy that decided epochs' outcomes, not their
+	// round state, are what survives.
+	votes := map[blockKey][]ba.Vote{}
+	halted := map[blockKey]bool{}
+	if snap != nil {
+		for _, sv := range snap.Votes {
+			key := blockKey{sv.Epoch, sv.Proposer}
+			votes[key] = append(votes[key], sv.Votes...)
+			if sv.Halted {
+				halted[key] = true
+			}
+		}
+	}
 	for _, rec := range recs {
+		if rec.Type == store.RecVote {
+			key := blockKey{rec.Epoch, rec.Proposer}
+			votes[key] = append(votes[key], ba.Vote{
+				Kind: ba.VoteKind(rec.VoteKind), Round: rec.Round, Value: rec.Value,
+			})
+			continue
+		}
 		e.applyRecord(rec)
 	}
+	e.restoreBAs(votes, halted)
 	e.restoreChunks(chunks)
 	// Own blocks that already delivered (or whose slot was dropped by a
 	// decided epoch) are dead weight; shed them like the live path does.
@@ -411,6 +538,62 @@ func (e *Engine) applyRecord(rec store.Record) {
 	}
 }
 
+// restoreBAs rebuilds in-flight BA instances from recovered vote
+// journals (see ba.Restore): sent-state guards and the round position
+// come back, so the restored node re-sends exactly its pre-crash votes
+// (resumeRecovered broadcasts them) and can never contradict them.
+// Journals of decided or pruned epochs are dropped — their outcome is
+// already installed, and toBA/inputBA refuse to grow fresh votable
+// instances for decided epochs, so nothing can equivocate there either.
+// Halted-only instances are present in votes too (the snapshot loop in
+// Restore registers every instance's key, journal or not).
+func (e *Engine) restoreBAs(votes map[blockKey][]ba.Vote, halted map[blockKey]bool) {
+	for key, vs := range votes {
+		e.restoreBA(key, halted[key], vs)
+	}
+}
+
+// runRestoredDecisions runs the decision tail for restored (or
+// sync-carried) instances that re-enter with Decided() already true:
+// the toBA/inputBA decision-edge (nowDecided && !wasDecided) can never
+// fire for them again, so without this pass their slot's baOut would
+// stay pending forever and the epoch could only decide through catch-up
+// adoption — which misses epochs the cluster finishes right after the
+// catch-up passes them, wedging delivery (found by driving a real TCP
+// cluster: high epoch rates make the window routine; it shows up as a
+// bootstrap re-sync loop). Callers pass epochs in sorted order so
+// seeded replays stay byte-identical; onBADecided is idempotent.
+func (e *Engine) runRestoredDecisions(epochs []uint64) {
+	for _, epoch := range epochs {
+		es := e.epochs[epoch]
+		if es == nil || es.decided {
+			continue
+		}
+		for j, b := range es.bas {
+			if b == nil {
+				continue
+			}
+			if d, v := b.Decided(); d {
+				e.onBADecided(epoch, j, v)
+			}
+		}
+	}
+}
+
+func (e *Engine) restoreBA(key blockKey, halted bool, vs []ba.Vote) {
+	if key.epoch == 0 || key.epoch <= e.prunedThrough ||
+		key.proposer < 0 || key.proposer >= e.cfg.N || e.isDecided(key.epoch) {
+		return
+	}
+	es := e.epochState(key.epoch)
+	if es.bas[key.proposer] != nil {
+		return
+	}
+	b := ba.Restore(e.cfg.N, e.cfg.F, e.coins.ForInstance(key.epoch, key.proposer), halted, vs)
+	b.SetJournal(e.voteJournal(key.epoch, key.proposer))
+	es.bas[key.proposer] = b
+}
+
 // restoreChunks rebuilds the VID servers whose dispersals had completed
 // and recomputes the completion watermark that feeds our V arrays. Only
 // durably-recorded completions count, so the restored watermark never
@@ -487,6 +670,34 @@ func (e *Engine) resumeRecovered() {
 			e.startRetrieval(blockKey{epoch, j})
 		}
 	}
+	// Re-send the recorded votes of every in-flight agreement instance.
+	// The journal is exactly what the previous incarnation put on the
+	// wire (plus any votes synced but never transmitted); receivers
+	// dedup, so re-sending is idempotent. After a whole-cluster
+	// simultaneous restart these re-sends are the only surviving copy of
+	// the in-flight rounds — every node's received-state died with it —
+	// so agreement resumes from the union of the journals by
+	// construction instead of relying on benign scheduling.
+	for _, epoch := range epochOrder {
+		es := e.epochs[epoch]
+		if es.decided {
+			continue
+		}
+		for j, b := range es.bas {
+			if b == nil {
+				continue
+			}
+			for _, s := range b.ResendVotes() {
+				out := wire.Envelope{From: e.self, Epoch: epoch, Proposer: j, Payload: s.Msg}
+				e.emit(s.To, out, wire.PrioDispersal, 0)
+			}
+		}
+	}
+	// Restored instances that had decided before the crash (their Term is
+	// in the journal) need their decision tail run explicitly (see
+	// runRestoredDecisions). This runs after the re-send loop so the
+	// fresh votes the N−f rule may cast here are sent once, not re-sent.
+	e.runRestoredDecisions(epochOrder)
 	// Re-enter agreement for restored dispersals whose epoch is still
 	// undecided: DL votes on completion, HB votes after re-downloading.
 	// The vote was likely cast in the previous life; receivers dedup.

@@ -274,6 +274,7 @@ func (e *Engine) installManifest(m *store.Manifest) bool {
 	if m.N != e.cfg.N || len(m.LinkedFloor) != e.cfg.N || m.Epoch <= e.deliveredEpoch {
 		return false
 	}
+	oldEpochs := e.epochs
 	e.epochs = map[uint64]*epochState{}
 	e.retr = map[blockKey]*retrState{}
 	e.delivered = map[blockKey]bool{}
@@ -309,6 +310,34 @@ func (e *Engine) installManifest(m *store.Manifest) bool {
 	for _, b := range m.Blocks {
 		e.restoreBlock(b.Epoch, b.Proposer, b.Bad, b.V)
 	}
+	// BA vote state: everything at or below the installed epoch is stale
+	// round state for outcomes the checkpoint already carries — discarded
+	// with the epochs map (messages for those epochs are dropped by the
+	// prunedThrough guard, so the discarded votes can never be
+	// contradicted). Instances ABOVE the install point may hold votes
+	// this node already put on the wire; carry exactly the BA automata
+	// across (their journals and sent-guards intact) so post-sync
+	// participation in those epochs cannot equivocate. The rest of the
+	// per-epoch state (VIDs, retrievals) is rebuilt by catch-up and live
+	// traffic as before.
+	carried := make([]uint64, 0, len(oldEpochs))
+	for epoch := range oldEpochs {
+		if epoch > m.Epoch {
+			carried = append(carried, epoch)
+		}
+	}
+	sort.Slice(carried, func(a, b int) bool { return carried[a] < carried[b] })
+	for _, epoch := range carried {
+		for j, b := range oldEpochs[epoch].bas {
+			if b != nil {
+				e.epochState(epoch).bas[j] = b
+			}
+		}
+	}
+	// Carried instances that decided DURING the bootstrap need their
+	// decision tail run explicitly, or their slot wedges the epoch (see
+	// runRestoredDecisions).
+	e.runRestoredDecisions(carried)
 	return true
 }
 

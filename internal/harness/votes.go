@@ -1,0 +1,113 @@
+package harness
+
+// Vote-consistency observation: the whole-cluster invariant behind BA
+// vote persistence. MMR binary agreement is safe only while no correct
+// node sends two different Aux votes for one round (or two different
+// Terms for one instance) — that is precisely what a crash-restart
+// without durable votes could produce, with the node's two incarnations
+// disagreeing. The VoteRecorder taps honest engines at the Action
+// boundary (the same seam chaos's Byzantine wrappers use, here purely
+// observing) and records every Aux/Term that reaches the wire, ACROSS
+// restarts; Check reports any honest node that ever contradicted
+// itself. With WAL-backed vote restore this can never fire; on the
+// pre-vote-persistence code a crash-mid-round schedule fires it as soon
+// as the adversarial window is hit.
+
+import (
+	"fmt"
+	"sort"
+
+	"dledger/internal/core"
+	"dledger/internal/wire"
+)
+
+// VoteRecorder accumulates the distinct Aux/Term values each honest
+// node put on the wire per BA instance (and round). All engines run on
+// the emulator's single goroutine, so no locking is needed.
+type VoteRecorder struct {
+	aux  map[voteKey]map[bool]bool
+	term map[voteKey]map[bool]bool
+}
+
+type voteKey struct {
+	node     int
+	epoch    uint64
+	proposer int
+	round    uint32 // 0 for Term
+}
+
+// NewVoteRecorder builds an empty recorder.
+func NewVoteRecorder() *VoteRecorder {
+	return &VoteRecorder{
+		aux:  map[voteKey]map[bool]bool{},
+		term: map[voteKey]map[bool]bool{},
+	}
+}
+
+// Attach installs the observing tap on one node's engine. Call it for
+// every honest node at cluster build, and again for each new engine
+// incarnation (restart, join) — the cross-incarnation record is the
+// point. Do not attach to Byzantine nodes: their wrapper owns the tap,
+// and they are allowed to lie.
+func (v *VoteRecorder) Attach(eng *core.Engine, node int) {
+	eng.SetActionTap(func(actions []core.Action) []core.Action {
+		for _, a := range actions {
+			s, ok := a.(core.SendAction)
+			if !ok {
+				continue
+			}
+			switch m := s.Env.Payload.(type) {
+			case wire.Aux:
+				v.record(v.aux, voteKey{node, s.Env.Epoch, s.Env.Proposer, m.Round}, m.Value)
+			case wire.Term:
+				v.record(v.term, voteKey{node, s.Env.Epoch, s.Env.Proposer, 0}, m.Value)
+			}
+		}
+		return actions
+	})
+}
+
+func (v *VoteRecorder) record(m map[voteKey]map[bool]bool, k voteKey, val bool) {
+	set := m[k]
+	if set == nil {
+		set = map[bool]bool{}
+		m[k] = set
+	}
+	set[val] = true
+}
+
+// Check returns one violation per (node, instance, round) whose wire
+// history contains contradictory votes. BVal is deliberately not
+// checked: echoing both values in a round is legal MMR behaviour (the
+// f+1 echo rule), only Aux and Term are one-shot.
+func (v *VoteRecorder) Check() []string {
+	var out []string
+	collect := func(m map[voteKey]map[bool]bool, what string) {
+		var keys []voteKey
+		for k, set := range m {
+			if len(set) > 1 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].node != keys[b].node {
+				return keys[a].node < keys[b].node
+			}
+			if keys[a].epoch != keys[b].epoch {
+				return keys[a].epoch < keys[b].epoch
+			}
+			if keys[a].proposer != keys[b].proposer {
+				return keys[a].proposer < keys[b].proposer
+			}
+			return keys[a].round < keys[b].round
+		})
+		for _, k := range keys {
+			out = append(out, fmt.Sprintf(
+				"vote equivocation: node %d sent both %s values for BA[%d][%d] round %d",
+				k.node, what, k.epoch, k.proposer, k.round))
+		}
+	}
+	collect(v.aux, "Aux")
+	collect(v.term, "Term")
+	return out
+}

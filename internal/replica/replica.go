@@ -513,6 +513,15 @@ func (r *Replica) persistStep(actions []core.Action, hashes map[int][]mempool.Ha
 			wrote = r.persist(store.Record{Type: store.RecDecided, Epoch: act.Epoch, S: act.S}) || wrote
 		case core.EpochDeliveredAction:
 			wrote = r.persist(store.Record{Type: store.RecEpochDone, Epoch: act.Epoch, Floor: act.Floor}) || wrote
+		case core.VoteCastAction:
+			// Votes ride the step's existing group commit: the same Sync
+			// that covers the step's other records makes them durable
+			// before any of the step's sends (including the vote itself)
+			// reaches the wire — one record, not one fsync, per vote.
+			wrote = r.persist(store.Record{
+				Type: store.RecVote, Epoch: act.Epoch, Proposer: act.Proposer,
+				VoteKind: uint8(act.Vote.Kind), Round: act.Vote.Round, Value: act.Vote.Value,
+			}) || wrote
 		case core.ChunkStoredAction:
 			// Chunk records sync with the step too: the same step's Ready
 			// broadcast tells peers this node stores the chunk, and the
@@ -563,8 +572,11 @@ func (r *Replica) syncStore() {
 
 // storeFail records a durable-write failure and stops persisting: the
 // node stays available, but its datadir is no longer a valid restart
-// point (it would recover to a stale position and then catch up as if
-// freshly behind — safe, but the operator should know).
+// point. A restart from it would recover to a stale position and catch
+// up as if freshly behind — and, because votes cast after the failure
+// were never logged, such a restart reopens the pre-vote-persistence
+// fault-budget caveat (DESIGN.md "Remaining caveats"). The operator
+// warning dlnode prints on StoreErrors is load-bearing.
 func (r *Replica) storeFail() {
 	r.storeBroken = true
 	r.Stats.StoreErrors++

@@ -20,15 +20,16 @@
 // and revives emulated nodes), and FileStore persists to a directory of
 // CRC-checked, fsync-batched log segments.
 //
-// Recovery model (also see DESIGN.md): the WAL records only *outcomes*
-// (decisions, deliveries), not in-flight votes. A restarted node
-// therefore re-enters unfinished agreement instances with fresh state,
-// which the surrounding protocol tolerates the same way it tolerates a
-// Byzantine participant — the restart consumes fault budget until the
-// node has caught up via the status protocol in internal/core. Delivered
-// state, by contrast, is never forgotten or contradicted: replay is
-// deterministic and the post-restart delivery sequence is a consistent
-// continuation of the pre-crash one.
+// Recovery model (also see DESIGN.md): the WAL records protocol
+// *outcomes* (decisions, deliveries) and, since vote persistence, every
+// outbound binary-agreement vote (RecVote) — group-committed with its
+// step before it reaches the wire. A restarted node therefore re-sends
+// exactly its pre-crash votes and never contradicts them: restarts no
+// longer consume fault budget. Delivered state is never forgotten or
+// contradicted: replay is deterministic and the post-restart delivery
+// sequence is a consistent continuation of the pre-crash one. Logs
+// without vote records (pre-vote-persistence datadirs) replay unchanged,
+// with the old fault-budget caveat applying to their first restart.
 package store
 
 import (
@@ -68,6 +69,15 @@ const (
 	// RecEpochDone marks that Epoch is fully delivered; Floor is the
 	// linked-delivery floor after the epoch, per node.
 	RecEpochDone
+	// RecVote records one binary-agreement vote-journal entry for the
+	// instance (Epoch, Proposer): VoteKind (a ba.VoteKind), Round and
+	// Value. Written — and group-committed with the rest of the step —
+	// before the vote reaches the wire, so a restarted node re-sends
+	// exactly its pre-crash votes and can never equivocate. The type is
+	// new relative to the seed format; logs without vote records replay
+	// unchanged (the restart then consumes fault budget, the documented
+	// pre-vote-persistence behaviour).
+	RecVote
 )
 
 // Record is one WAL entry. Only the fields of the variant named by Type
@@ -75,7 +85,7 @@ const (
 type Record struct {
 	Type     RecordType
 	Epoch    uint64
-	Proposer int        // RecBlock
+	Proposer int        // RecBlock, RecVote
 	Linked   bool       // RecBlock
 	TxCount  uint32     // RecBlock
 	Payload  uint32     // RecBlock
@@ -84,6 +94,9 @@ type Record struct {
 	S        []int      // RecDecided
 	Floor    []uint64   // RecEpochDone
 	Block    []byte     // RecProposed: the encoded proposed block
+	VoteKind uint8      // RecVote: the ba.VoteKind
+	Round    uint32     // RecVote
+	Value    bool       // RecVote
 }
 
 // ChunkRecord persists one VID instance's completion at this node: the
@@ -213,6 +226,11 @@ func EncodeRecord(r Record) []byte {
 		}
 	case RecEpochDone:
 		buf = appendU64s(buf, r.Floor)
+	case RecVote:
+		buf = binary.BigEndian.AppendUint16(buf, uint16(r.Proposer))
+		buf = append(buf, r.VoteKind)
+		buf = binary.BigEndian.AppendUint32(buf, r.Round)
+		buf = append(buf, boolByte(r.Value))
 	}
 	return buf
 }
@@ -285,6 +303,15 @@ func DecodeRecord(data []byte) (Record, error) {
 		if err != nil {
 			return Record{}, err
 		}
+	case RecVote:
+		if len(data) < 8 {
+			return Record{}, errShortRecord
+		}
+		r.Proposer = int(binary.BigEndian.Uint16(data[0:2]))
+		r.VoteKind = data[2]
+		r.Round = binary.BigEndian.Uint32(data[3:7])
+		r.Value = data[7] != 0
+		data = data[8:]
 	default:
 		return Record{}, fmt.Errorf("store: unknown record type %d", r.Type)
 	}

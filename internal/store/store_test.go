@@ -13,6 +13,8 @@ import (
 func testRecords() []Record {
 	return []Record{
 		{Type: RecProposed, Epoch: 1},
+		{Type: RecVote, Epoch: 1, Proposer: 0, VoteKind: 4, Round: 0, Value: true},
+		{Type: RecVote, Epoch: 1, Proposer: 0, VoteKind: 1, Round: 0, Value: true},
 		{Type: RecDecided, Epoch: 1, S: []int{0, 2, 3}},
 		{Type: RecBlock, Epoch: 1, Proposer: 2, Linked: false, TxCount: 7, Payload: 1792,
 			V: []uint64{0, 1, 0, 2}},
@@ -20,6 +22,7 @@ func testRecords() []Record {
 			V: []uint64{1, 1, 1, 1}},
 		{Type: RecEpochDone, Epoch: 1, Floor: []uint64{1, 0, 1, 1}},
 		{Type: RecProposed, Epoch: 2},
+		{Type: RecVote, Epoch: 2, Proposer: 3, VoteKind: 2, Round: 5, Value: false},
 	}
 }
 
@@ -85,6 +88,97 @@ func TestRecordTxHashesOptional(t *testing.T) {
 	if _, err := DecodeRecord(enc2[:len(enc2)-5]); err == nil {
 		t.Fatal("truncated hash section decoded")
 	}
+}
+
+// TestVoteRecordRoundTrip pins the vote record's exact wire shape (the
+// format DESIGN.md documents) and its decode failure modes.
+func TestVoteRecordRoundTrip(t *testing.T) {
+	for _, r := range []Record{
+		{Type: RecVote, Epoch: 1, Proposer: 0, VoteKind: 1, Round: 0, Value: false},
+		{Type: RecVote, Epoch: 1 << 40, Proposer: 65535, VoteKind: 4, Round: 1 << 30, Value: true},
+		{Type: RecVote, Epoch: 9, Proposer: 3, VoteKind: 3, Round: 0, Value: true},
+	} {
+		enc := EncodeRecord(r)
+		// type(1) epoch(8) proposer(2) kind(1) round(4) value(1): compact
+		// enough that per-vote logging is byte-noise next to block records.
+		if len(enc) != 17 {
+			t.Fatalf("vote record encodes to %d bytes, want 17", len(enc))
+		}
+		got, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalize(r), normalize(got)) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", r, got)
+		}
+		for cut := 1; cut < len(enc); cut++ {
+			if _, err := DecodeRecord(enc[:cut]); err == nil {
+				t.Fatalf("truncated vote record (%d bytes) decoded", cut)
+			}
+		}
+		if _, err := DecodeRecord(append(enc, 0)); err == nil {
+			t.Fatal("trailing bytes accepted")
+		}
+	}
+}
+
+// TestFileTornVoteRecord crashes (truncates) the WAL mid-vote-record and
+// checks recovery drops exactly the torn vote, keeps every record before
+// it, and continues the LSN sequence — the group-commit contract: a vote
+// whose record did not fully reach disk was never sent, so forgetting it
+// is correct.
+func TestFileTornVoteRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(FileOptions{Dir: dir, SegmentBytes: 1 << 20}) // one segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Type: RecProposed, Epoch: 1},
+		{Type: RecVote, Epoch: 1, Proposer: 1, VoteKind: 4, Round: 0, Value: true},
+		{Type: RecVote, Epoch: 1, Proposer: 1, VoteKind: 1, Round: 0, Value: true},
+		{Type: RecVote, Epoch: 1, Proposer: 2, VoteKind: 2, Round: 1, Value: false},
+	}
+	for _, r := range want {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v (%v)", segs, err)
+	}
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-record: the final vote record's frame loses its last 5
+	// bytes (round tail + value), a torn write no CRC can save.
+	if err := os.Truncate(segs[0], fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openFile(t, dir)
+	_, lsns, recs := replayAll(t, s)
+	if len(lsns) != len(want)-1 {
+		t.Fatalf("replayed %d records after torn vote, want %d", len(lsns), len(want)-1)
+	}
+	for i, r := range recs {
+		if !reflect.DeepEqual(normalize(r), normalize(want[i])) {
+			t.Fatalf("record %d mismatch after torn vote: %+v vs %+v", i, r, want[i])
+		}
+	}
+	lsn, err := s.Append(Record{Type: RecVote, Epoch: 1, Proposer: 2, VoteKind: 2, Round: 1, Value: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != uint64(len(want)) {
+		t.Fatalf("post-recovery lsn = %d, want %d", lsn, len(want))
+	}
+	s.Close()
 }
 
 // normalize maps empty and nil slices together for comparison.

@@ -1,0 +1,191 @@
+// Command doccheck is the repository's missing-doc linter: it fails
+// (exit 1) when an exported identifier in the named packages lacks a doc
+// comment. It walks the AST with the standard library only, so CI needs
+// no external linter.
+//
+// Usage:
+//
+//	go run ./internal/tools/doccheck [-skip dir,dir] <dir|dir/...> ...
+//	go run ./internal/tools/doccheck -skip internal/wire ./internal/... ./dlclient
+//
+// A trailing /... walks every subdirectory containing Go files. -skip
+// names comma-separated directories to exempt (the wire codec's
+// Type/BodySize/AppendTo boilerplate is the standing exemption).
+//
+// Checked declarations: exported types, functions, methods (on exported
+// receivers), and exported const/var specs. A grouped const/var block
+// counts as documented when the block has a doc comment, matching the
+// convention go doc renders. Test files are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	skip := flag.String("skip", "", "comma-separated directories to exempt")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-skip dir,dir] <dir|dir/...> ...")
+		os.Exit(2)
+	}
+	skipped := map[string]bool{}
+	for _, s := range strings.Split(*skip, ",") {
+		if s != "" {
+			skipped[filepath.Clean(s)] = true
+		}
+	}
+	var dirs []string
+	for _, arg := range flag.Args() {
+		arg = filepath.Clean(strings.TrimPrefix(arg, "./"))
+		if base, ok := strings.CutSuffix(arg, "/..."); ok {
+			err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+				if err != nil || !d.IsDir() {
+					return err
+				}
+				if hasGoFiles(path) {
+					dirs = append(dirs, path)
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doccheck:", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		dirs = append(dirs, arg)
+	}
+	missing := 0
+	for _, dir := range dirs {
+		if skipped[dir] {
+			continue
+		}
+		m, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		missing += m
+	}
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers lack doc comments\n", missing)
+		os.Exit(1)
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	missing := 0
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s %s has no doc comment\n", filepath.ToSlash(p.Filename), p.Line, what, name)
+		missing++
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if d.Recv != nil && !exportedRecv(d.Recv) {
+						continue
+					}
+					report(d.Pos(), "function", funcName(d))
+				case *ast.GenDecl:
+					checkGen(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// checkGen handles type/const/var declarations. A doc comment on the
+// grouped declaration covers every spec inside it; otherwise each
+// exported spec needs its own.
+func checkGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return
+	}
+	blockDocumented := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !blockDocumented && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if blockDocumented || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(s.Pos(), d.Tok.String(), name.Name)
+				}
+			}
+		}
+	}
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + d.Name.Name
+	}
+	return d.Name.Name
+}
