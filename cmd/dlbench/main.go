@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	dlbench            # quick pass (scaled durations, minutes of CPU)
-//	dlbench -full      # longer runs, larger cluster sweep
-//	dlbench -exp fig8  # one experiment only
-//	dlbench -json      # also write machine-readable BENCH_<stamp>.json
+//	dlbench                 # quick pass (scaled durations, minutes of CPU)
+//	dlbench -full           # longer runs, larger cluster sweep
+//	dlbench -exp fig8,fig10 # a subset of experiments
+//	dlbench -telemetry      # instrument nodes; fig10 adds the stage panel
+//	dlbench -json           # also write machine-readable BENCH_<stamp>.json
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dledger/internal/core"
@@ -55,7 +57,8 @@ func durationMeanMs(ds []time.Duration) float64 {
 
 func main() {
 	full := flag.Bool("full", false, "run the full-size sweeps (slower)")
-	exp := flag.String("exp", "", "run a single experiment id (fig2, fig8, fig9, fig10, fig11a, fig11b, fig12, fig13, fig14, fig15, fig16)")
+	exp := flag.String("exp", "", "comma-separated experiment ids to run (fig2, fig8, fig9, fig10, fig11a, fig11b, fig12, fig13, fig14, fig15, fig16); empty = all")
+	telem := flag.Bool("telemetry", false, "instrument every emulated node (metrics registry + lifecycle tracing); fig10 then also records the per-stage latency panel")
 	seed := flag.Int64("seed", 1, "base random seed")
 	jsonOut := flag.Bool("json", false, "write a machine-readable BENCH_<stamp>.json next to the printed tables")
 	jsonPath := flag.String("jsonpath", "", "override the -json output path")
@@ -83,8 +86,14 @@ func main() {
 		fig2N = []int{4, 16, 40, 64, 100, 128}
 	}
 
+	expSet := map[string]bool{}
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			expSet[strings.TrimSpace(id)] = true
+		}
+	}
 	run := func(id string, fn func() error) {
-		if *exp != "" && *exp != id {
+		if len(expSet) > 0 && !expSet[id] {
 			return
 		}
 		fmt.Printf("=== %s ===\n", id)
@@ -120,7 +129,7 @@ func main() {
 		var results []*harness.GeoResult
 		for i, m := range modes {
 			r, err := harness.RunGeo(harness.GeoParams{
-				Mode: m, Duration: d, Seed: *seed,
+				Mode: m, Duration: d, Seed: *seed, Telemetry: *telem,
 			})
 			if err != nil {
 				return err
@@ -166,23 +175,46 @@ func main() {
 			var results []*harness.LatencyResult
 			for _, l := range loads {
 				r, err := harness.RunLatency(harness.LatencyParams{
-					Mode: m, Duration: d, Seed: *seed,
+					Mode: m, Duration: d, Seed: *seed, Telemetry: *telem,
 					LoadPerNode: l / 16 * trace.MB, // paper loads are system-wide over 16 nodes
 				})
 				if err != nil {
 					return err
 				}
 				results = append(results, r)
+				metrics := map[string]float64{
+					"local_p50_ms": durationMeanMs(r.P50),
+					"local_p95_ms": durationMeanMs(r.P95),
+					"local_p99_ms": durationMeanMs(r.P99),
+					"all_p50_ms":   durationMeanMs(r.AllP50),
+					"all_p95_ms":   durationMeanMs(r.AllP95),
+				}
+				// With -telemetry, the lifecycle panel rides along: per-
+				// stage p50/p95 from dl_epoch_stage_seconds. The _ms
+				// suffix makes -diff gate them as lower-is-better.
+				for seg, sl := range r.Stages {
+					metrics["stage_"+seg+"_p50_ms"] = sl.P50Ms
+					metrics["stage_"+seg+"_p95_ms"] = sl.P95Ms
+				}
 				record(benchRecord{
 					Experiment: "fig10", Mode: m.String(),
-					Params: map[string]float64{"system_load_mbps": l},
-					Metrics: map[string]float64{
-						"local_p50_ms": durationMeanMs(r.P50),
-						"local_p95_ms": durationMeanMs(r.P95),
-					},
+					Params:  map[string]float64{"system_load_mbps": l},
+					Metrics: metrics,
 				})
 			}
 			fmt.Print(harness.FormatLatency(results))
+			if *telem {
+				fmt.Printf("stage panel (%s) — lifecycle segment latency, p50/p95 ms\n", m)
+				for _, r := range results {
+					fmt.Printf("  load %4.1f MB/s:", r.LoadPerNode*16/trace.MB)
+					for _, seg := range []string{"disperse", "ba", "retrieve", "e2e"} {
+						if sl, ok := r.Stages[seg]; ok {
+							fmt.Printf("  %s %.0f/%.0f", seg, sl.P50Ms, sl.P95Ms)
+						}
+					}
+					fmt.Println()
+				}
+			}
 		}
 		return nil
 	})

@@ -95,6 +95,7 @@ func main() {
 	retain := flag.Uint64("retain", 0, "garbage-collect epochs this far behind delivery (0 = keep all); with -datadir this also bounds the on-disk chunk store")
 	datadir := flag.String("datadir", "", "directory for the write-ahead log, chunk store and checkpoints; restarting with the same directory recovers the node (empty = memory only)")
 	clientAddr := flag.String("client", "", "serve the client gateway on this address (empty = no client port)")
+	adminAddr := flag.String("admin", "", "serve the operator admin endpoint on this address: /metrics (Prometheus), /statusz (JSON), /healthz, /debug/pprof (empty = no admin port; implies telemetry)")
 	mempoolMB := flag.Float64("mempool", 0, "mempool byte budget in MB; submissions beyond it are rejected with a retry-after hint (0 = unbounded)")
 	clientRate := flag.Float64("clientrate", 0, "per-client admission rate limit in KB/s; a flooder is rejected with a retry-after hint before it can consume the shared mempool budget (0 = unlimited)")
 	stateSync := flag.Bool("statesync", true, "enable the state-sync subsystem: serve checkpoints to joining peers and bootstrap from one if an outage outlasts every peer's -retain horizon")
@@ -163,6 +164,7 @@ func main() {
 		Addrs:      addrs,
 		Keys:       keys,
 		ClientAddr: *clientAddr,
+		AdminAddr:  *adminAddr,
 		Join:       *join,
 	})
 	if err != nil {

@@ -30,6 +30,7 @@ import (
 	"dledger/internal/gateway"
 	"dledger/internal/replica"
 	"dledger/internal/store"
+	"dledger/internal/telemetry"
 	"dledger/internal/transport"
 )
 
@@ -109,6 +110,14 @@ type Config struct {
 	// admission fairness matches the mempool's round-robin dequeue
 	// fairness. Zero disables the limit.
 	ClientRateLimit float64
+	// Telemetry enables the node's instrument panel: a metrics registry
+	// (counters, gauges, log-scale histograms with Prometheus text and
+	// JSON exposition), per-stage epoch-lifecycle tracing with a ring of
+	// recent epoch timelines, and — on TCP nodes — the admin HTTP
+	// endpoint (NodeOptions.AdminAddr). Off by default; when off the
+	// instrumentation throughout the stack no-ops at the cost of a nil
+	// check. Setting NodeOptions.AdminAddr implies it.
+	Telemetry bool
 	// StateSync enables the checkpoint-transfer subsystem: the node
 	// records attestable sync points as it delivers, serves checkpoint
 	// manifests and chunk inventories to joining peers, and — if its
@@ -140,6 +149,14 @@ func (c Config) replicaParams() replica.Params {
 		MempoolBytes: c.MempoolBytes,
 		ClientDedup:  c.ClientGateway,
 	}
+}
+
+// newTelemetry builds one node's telemetry bundle (nil when disabled).
+func (c Config) newTelemetry() *telemetry.Metrics {
+	if !c.Telemetry {
+		return nil
+	}
+	return telemetry.New(telemetry.Options{})
 }
 
 // Delivery is one committed block, as observed by one node. Deliveries
@@ -240,7 +257,8 @@ func gatewayStats(c gateway.Counters) GatewayStats {
 type Cluster struct {
 	mem    *transport.MemoryCluster
 	stores []store.Store
-	hubs   []*gateway.Hub // per node, nil without Config.ClientGateway
+	hubs   []*gateway.Hub       // per node, nil without Config.ClientGateway
+	tels   []*telemetry.Metrics // per node, nil without Config.Telemetry
 
 	mu      sync.Mutex
 	subs    []chan Delivery
@@ -280,18 +298,30 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			stores = append(stores, st)
 		}
 	}
+	if cfg.Telemetry {
+		c.tels = make([]*telemetry.Metrics, cc.N)
+		for i := range c.tels {
+			c.tels[i] = cfg.newTelemetry()
+		}
+	}
 	if cfg.ClientGateway {
 		c.hubs = make([]*gateway.Hub, cc.N)
 		for i := range c.hubs {
+			var tel *telemetry.Metrics
+			if c.tels != nil {
+				tel = c.tels[i]
+			}
 			c.hubs[i] = gateway.NewHub(clusterExec{c, i}, gateway.Options{
 				N: cc.N, F: cc.F, RatePerClient: cfg.ClientRateLimit,
+				Telemetry: tel,
 			})
 		}
 	}
 	mem, err := transport.NewMemoryCluster(transport.MemoryOptions{
-		Core:    cc,
-		Replica: cfg.replicaParams(),
-		Stores:  stores,
+		Core:      cc,
+		Replica:   cfg.replicaParams(),
+		Telemetry: c.tels,
+		Stores:    stores,
 		OnDeliver: func(node int, d replica.Delivery) {
 			if c.hubs != nil {
 				c.hubs[node].OnDeliver(d)
@@ -406,6 +436,19 @@ func (c *Cluster) Stats(i int) (Stats, error) {
 	return out, nil
 }
 
+// Telemetry returns node i's telemetry bundle (nil without
+// Config.Telemetry): its Registry serves Prometheus/JSON snapshots and
+// its Trace answers slowest-epoch queries.
+func (c *Cluster) Telemetry(i int) (*telemetry.Metrics, error) {
+	if i < 0 || i >= c.mem.N() {
+		return nil, ErrBadNode
+	}
+	if c.tels == nil {
+		return nil, nil
+	}
+	return c.tels[i], nil
+}
+
 // N returns the cluster size.
 func (c *Cluster) N() int { return c.mem.N() }
 
@@ -427,8 +470,10 @@ func (c *Cluster) Close() {
 type Node struct {
 	tcp     *transport.TCPNode
 	st      store.Store
-	hub     *gateway.Hub    // nil without a client gateway
-	gw      *gateway.Server // nil without NodeOptions.ClientAddr
+	hub     *gateway.Hub           // nil without a client gateway
+	gw      *gateway.Server        // nil without NodeOptions.ClientAddr
+	tel     *telemetry.Metrics     // nil without Config.Telemetry
+	admin   *telemetry.AdminServer // nil without NodeOptions.AdminAddr
 	sub     chan Delivery
 	dropped int64 // updated atomically on the consensus loop
 }
@@ -466,6 +511,12 @@ type NodeOptions struct {
 	// connect with package dlclient to submit transactions and receive
 	// commit proofs. Implies Config.ClientGateway.
 	ClientAddr string
+	// AdminAddr, when set, serves the operator admin endpoint on this
+	// address (port 0 picks a free port; see AdminAddr()): /metrics
+	// (Prometheus text), /statusz (JSON position, mempool, sync state
+	// and stage breakdown), /healthz, and net/http/pprof under
+	// /debug/pprof/. Implies Config.Telemetry.
+	AdminAddr string
 	// Join marks this node as a brand-new member joining a running
 	// cluster with an empty DataDir: before participating it fetches a
 	// verified checkpoint from its peers (f+1 identical attestations)
@@ -486,6 +537,10 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 	if opts.ClientAddr != "" {
 		opts.Config.ClientGateway = true
 	}
+	if opts.AdminAddr != "" {
+		opts.Config.Telemetry = true
+	}
+	n.tel = opts.Config.newTelemetry()
 	cc := opts.Config.coreConfig()
 	if opts.Join {
 		cc.StateSync = true
@@ -494,6 +549,7 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 	if opts.Config.ClientGateway {
 		n.hub = gateway.NewHub(nodeExec{n}, gateway.Options{
 			N: cc.N, F: cc.F, RatePerClient: opts.Config.ClientRateLimit,
+			Telemetry: n.tel,
 		})
 	}
 	var st store.Store
@@ -504,9 +560,11 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 			return nil, err
 		}
 	}
+	params := opts.Config.replicaParams()
+	params.Telemetry = n.tel
 	tcp, err := transport.NewTCPNode(transport.TCPOptions{
 		Core:     cc,
-		Replica:  opts.Config.replicaParams(),
+		Replica:  params,
 		Self:     opts.Self,
 		Addrs:    opts.Addrs,
 		Listener: opts.Listener,
@@ -549,7 +607,62 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 		}
 		n.gw = gw
 	}
+	if opts.AdminAddr != "" {
+		ln, err := net.Listen("tcp", opts.AdminAddr)
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		n.admin = telemetry.ServeAdmin(ln, n.tel, n.adminStatus)
+	}
 	return n, nil
+}
+
+// adminStatus gathers the node-specific half of /statusz on the
+// consensus loop, so every number in one response is one consistent
+// snapshot.
+func (n *Node) adminStatus() map[string]any {
+	out := map[string]any{}
+	n.tcp.Inspect(func(r *replica.Replica) {
+		eng := r.Engine()
+		ss := eng.SyncStats()
+		out["position"] = map[string]any{
+			"delivered_epoch": eng.DeliveredEpoch(),
+			"decided_through": eng.DecidedThrough(),
+			"dispersal_epoch": eng.DispersalEpoch(),
+			"pruned_through":  eng.PrunedThrough(),
+		}
+		out["mempool"] = map[string]any{
+			"pending_bytes": r.PendingBytes(),
+			"submitted":     r.Stats.Submitted,
+			"rejected":      r.Stats.RejectedSubmissions,
+		}
+		out["sync"] = map[string]any{
+			"installs":        r.Stats.StateSyncs,
+			"fetched_bytes":   ss.BytesFetched,
+			"imported_chunks": ss.ChunksImported,
+			"served_pages":    ss.PagesServed,
+			"last_sync_epoch": ss.LastSyncEpoch,
+		}
+		out["store"] = map[string]any{"errors": r.Stats.StoreErrors}
+	})
+	if n.hub != nil {
+		out["gateway"] = gatewayStats(n.hub.Counters())
+	}
+	return out
+}
+
+// Telemetry returns the node's telemetry bundle (nil without
+// Config.Telemetry).
+func (n *Node) Telemetry() *telemetry.Metrics { return n.tel }
+
+// AdminAddr returns the admin endpoint's listen address ("" when no
+// admin endpoint is served).
+func (n *Node) AdminAddr() string {
+	if n.admin == nil {
+		return ""
+	}
+	return n.admin.Addr().String()
 }
 
 // Submit hands a transaction to this node.
@@ -600,6 +713,9 @@ func (n *Node) Stats() Stats {
 // Close stops the node (client gateway first) and flushes its durable
 // store.
 func (n *Node) Close() {
+	if n.admin != nil {
+		n.admin.Close()
+	}
 	if n.gw != nil {
 		n.gw.Close()
 	}

@@ -390,7 +390,11 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 		// Stop client submissions when the fault window closes so the
 		// quiet tail can drain every accepted transaction.
 		ClientStop: cfg.Horizon * 3 / 5,
-		Seed:       p.Seed,
+		// Telemetry rides along on every chaos run so the
+		// trace-completeness invariant below can hold span timelines and
+		// counters to the recorded delivery logs.
+		Telemetry: true,
+		Seed:      p.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -464,6 +468,27 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 	for _, i := range res.Honest {
 		res.Violations = append(res.Violations, harness.CheckNoDuplicates(i, res.Logs[i])...)
 		res.Violations = append(res.Violations, lr.CheckTxValidity(i, cfg.N, honestMask)...)
+	}
+	// Trace completeness: telemetry spans and counters must reconcile
+	// with the recorded delivery log. Only meaningful for nodes whose
+	// current telemetry bundle observed the whole run — telemetry is
+	// per-incarnation, so crashed, joined, or synced nodes are exempt
+	// (their logs span incarnations their tracer never saw).
+	wholeRun := map[int]bool{}
+	for _, i := range res.Honest {
+		wholeRun[i] = syncs[i] == 0
+	}
+	for _, cr := range p.Crashes {
+		wholeRun[cr.Node] = false
+	}
+	for _, j := range p.Joins {
+		wholeRun[j.Node] = false
+	}
+	for _, i := range res.Honest {
+		if wholeRun[i] {
+			res.Violations = append(res.Violations,
+				harness.CheckTraceCompleteness(i, c.Tels[i], res.Logs[i])...)
+		}
 	}
 	// Vote consistency: no honest node — across crash-restart
 	// incarnations — may ever put contradictory Aux/Term votes on the

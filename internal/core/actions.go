@@ -162,6 +162,38 @@ type SyncInstallAction struct {
 	Committed [][32]byte
 }
 
+// LifecycleStage names the epoch-lifecycle boundary a StageAction
+// marks. Values mirror telemetry.Stage; core defines its own enum so
+// the engine stays free of telemetry imports.
+type LifecycleStage uint8
+
+// Epoch-lifecycle boundaries reported via StageAction. Only boundaries
+// without an existing dedicated action get one: BA decide and delivery
+// are already observable via EpochDecidedAction/EpochDeliveredAction.
+const (
+	// StageDisperseStart: the node began dispersing its own block.
+	StageDisperseStart LifecycleStage = iota
+	// StageDisperseDone: the node's own dispersal completed.
+	StageDisperseDone
+	// StageBAInput: a first value entered one of the epoch's BAs.
+	StageBAInput
+	// StageRetrieveStart: the first network retrieval request went out
+	// for a block dispersed in this epoch.
+	StageRetrieveStart
+)
+
+// StageAction reports that an epoch crossed a lifecycle boundary. It is
+// pure telemetry: it carries no wire traffic, the replica stamps it
+// with its Context clock and forwards it to the epoch tracer (dropping
+// it when telemetry is off), and chaos replay fingerprints — computed
+// over plans and delivery logs — are unaffected. The engine may emit
+// the same boundary more than once per epoch (e.g. one StageBAInput
+// per BA instance); the tracer keeps the first observation.
+type StageAction struct {
+	Epoch uint64
+	Stage LifecycleStage
+}
+
 func (SendAction) isAction()           {}
 func (DeliverAction) isAction()        {}
 func (ProposalNeededAction) isAction() {}
@@ -176,3 +208,4 @@ func (CatchupDoneAction) isAction()    {}
 func (VoteCastAction) isAction()       {}
 func (SyncPointAction) isAction()      {}
 func (SyncInstallAction) isAction()    {}
+func (StageAction) isAction()          {}

@@ -425,6 +425,7 @@ func (e *Engine) Propose(txs [][]byte) ([]Action, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.actions = append(e.actions, StageAction{Epoch: epoch, Stage: StageDisperseStart})
 	e.actions = append(e.actions, ProposalMadeAction{Epoch: epoch, Block: enc})
 	for i, c := range chunks {
 		env := wire.Envelope{From: e.self, Epoch: epoch, Proposer: e.self, Payload: c}
@@ -686,6 +687,7 @@ func (e *Engine) inputBA(epoch uint64, proposer int, val bool) {
 	}
 	wasDecided, _ := b.Decided()
 	outs := b.Input(val)
+	e.actions = append(e.actions, StageAction{Epoch: epoch, Stage: StageBAInput})
 	for _, o := range outs {
 		out := wire.Envelope{From: e.self, Epoch: epoch, Proposer: proposer, Payload: o.Msg}
 		e.emit(o.To, out, wire.PrioDispersal, 0)
@@ -710,6 +712,10 @@ func (e *Engine) onVIDComplete(epoch uint64, proposer int) {
 
 	// Track the completion watermark that feeds our V arrays.
 	e.advanceWatermark(proposer, epoch)
+
+	if proposer == e.self {
+		e.actions = append(e.actions, StageAction{Epoch: epoch, Stage: StageDisperseDone})
+	}
 
 	if e.cfg.Mode.voteAfterRetrieve() {
 		// HoneyBadger: VID-as-reliable-broadcast. Download the block
@@ -855,6 +861,7 @@ func (e *Engine) startRetrieval(key blockKey) {
 			return
 		}
 	}
+	e.actions = append(e.actions, StageAction{Epoch: key.epoch, Stage: StageRetrieveStart})
 	rs.ret = avid.NewRetriever(e.params)
 	rs.asked = make([]bool, e.cfg.N)
 	// Stagger the request order by instance so retrieval load spreads

@@ -7,6 +7,7 @@ import (
 	"dledger/internal/mempool"
 	"dledger/internal/merkle"
 	"dledger/internal/replica"
+	"dledger/internal/telemetry"
 )
 
 // Status classifies a submission receipt.
@@ -132,6 +133,9 @@ type Options struct {
 	// RateBurst is the token bucket's capacity in bytes (default 4
 	// seconds of RatePerClient).
 	RateBurst int
+	// Telemetry, when set, mirrors the hub's admission counters and
+	// queue-depth gauges into the node's metrics registry.
+	Telemetry *telemetry.Metrics
 	// Now is the clock the rate limiter meters against; the emulated
 	// harness injects simulated time. Defaults to wall time.
 	Now func() time.Duration
@@ -195,6 +199,42 @@ type Hub struct {
 	subs     map[uint64][]*Sub
 	buckets  map[uint64]*bucket
 	counters Counters
+	tel      hubMetrics
+}
+
+// hubMetrics is the gateway's telemetry handle set (inert when
+// Options.Telemetry is nil).
+type hubMetrics struct {
+	accepted        *telemetry.Counter
+	rejDuplicate    *telemetry.Counter
+	rejOverCapacity *telemetry.Counter
+	rejOversize     *telemetry.Counter
+	rejInvalid      *telemetry.Counter
+	rejRateLimited  *telemetry.Counter
+	commits         *telemetry.Counter
+	commitsStreamed *telemetry.Counter
+	commitsDropped  *telemetry.Counter
+	subscriptions   *telemetry.Gauge
+	proofBlocks     *telemetry.Gauge
+}
+
+func newHubMetrics(m *telemetry.Metrics) hubMetrics {
+	reg := m.Registry()
+	const adm = "dl_gateway_admissions_total"
+	const admHelp = "Client submissions by admission outcome."
+	return hubMetrics{
+		accepted:        reg.Counter(adm, `outcome="accepted"`, admHelp),
+		rejDuplicate:    reg.Counter(adm, `outcome="duplicate"`, admHelp),
+		rejOverCapacity: reg.Counter(adm, `outcome="over-capacity"`, admHelp),
+		rejOversize:     reg.Counter(adm, `outcome="oversize"`, admHelp),
+		rejInvalid:      reg.Counter(adm, `outcome="invalid"`, admHelp),
+		rejRateLimited:  reg.Counter(adm, `outcome="rate-limited"`, admHelp),
+		commits:         reg.Counter("dl_gateway_commits_total", "", "Committed transactions indexed for proof service."),
+		commitsStreamed: reg.Counter("dl_gateway_commits_streamed_total", "", "Commits pushed to live subscriptions."),
+		commitsDropped:  reg.Counter("dl_gateway_commits_dropped_total", "", "Commits lost to full subscriber buffers."),
+		subscriptions:   reg.Gauge("dl_gateway_subscriptions", "", "Open commit subscriptions."),
+		proofBlocks:     reg.Gauge("dl_gateway_proof_blocks", "", "Blocks with resident commit-proof state."),
+	}
 }
 
 // bucket is one client's admission token bucket.
@@ -231,6 +271,7 @@ func NewHub(node Node, opts Options) *Hub {
 		node:     node,
 		opts:     opts,
 		now:      now,
+		tel:      newHubMetrics(opts.Telemetry),
 		blocks:   map[blockID]*proofBlock{},
 		index:    map[mempool.Hash]txRef{},
 		interest: map[mempool.Hash][]uint64{},
@@ -322,6 +363,7 @@ func (h *Hub) Subscribe(client uint64, buffer int) *Sub {
 	h.mu.Lock()
 	h.subs[client] = append(h.subs[client], s)
 	h.mu.Unlock()
+	h.tel.subscriptions.Add(1)
 	return s
 }
 
@@ -345,6 +387,7 @@ func (h *Hub) Unsubscribe(s *Sub) {
 	} else {
 		h.subs[s.Client] = kept
 	}
+	h.tel.subscriptions.Add(-1)
 	close(s.C)
 }
 
@@ -355,8 +398,10 @@ func (h *Hub) push(client uint64, c Commit) {
 		select {
 		case s.C <- c:
 			h.counters.CommitsStreamed++
+			h.tel.commitsStreamed.Inc()
 		default:
 			h.counters.CommitsDropped++
+			h.tel.commitsDropped.Inc()
 		}
 	}
 }
@@ -407,6 +452,7 @@ func (h *Hub) Submit(client uint64, reqID uint64, tx []byte) Receipt {
 	if ref, ok := h.index[hash]; ok {
 		rc.Status = StatusDuplicateCommitted
 		h.counters.RejectedDuplicate++
+		h.tel.rejDuplicate.Inc()
 		if c, ok := h.commitLocked(ref); ok {
 			h.push(client, c)
 		}
@@ -482,16 +528,22 @@ func (h *Hub) count(s Status) {
 	switch s {
 	case StatusAccepted:
 		h.counters.Accepted++
+		h.tel.accepted.Inc()
 	case StatusDuplicatePending, StatusDuplicateCommitted:
 		h.counters.RejectedDuplicate++
+		h.tel.rejDuplicate.Inc()
 	case StatusOverCapacity:
 		h.counters.RejectedOverCapacity++
+		h.tel.rejOverCapacity.Inc()
 	case StatusOversize:
 		h.counters.RejectedOversize++
+		h.tel.rejOversize.Inc()
 	case StatusInvalid:
 		h.counters.RejectedInvalid++
+		h.tel.rejInvalid.Inc()
 	case StatusRateLimited:
 		h.counters.RejectedRateLimited++
+		h.tel.rejRateLimited.Inc()
 	}
 }
 
@@ -563,6 +615,7 @@ func (h *Hub) ingest(epoch uint64, proposer int, hashes []mempool.Hash) {
 	for i, hash := range hashes {
 		h.index[hash] = txRef{id: id, index: i}
 		h.counters.Commits++
+		h.tel.commits.Inc()
 		if clients := h.interest[hash]; len(clients) != 0 {
 			c, ok := h.commitLocked(txRef{id: id, index: i})
 			if ok {
@@ -585,6 +638,7 @@ func (h *Hub) ingest(epoch uint64, proposer int, hashes []mempool.Hash) {
 		}
 		delete(h.blocks, old)
 	}
+	h.tel.proofBlocks.Set(int64(len(h.blocks)))
 }
 
 // commitLocked builds the Commit for an indexed transaction. Callers

@@ -13,6 +13,7 @@ import (
 	"dledger/internal/replica"
 	"dledger/internal/simnet"
 	"dledger/internal/store"
+	"dledger/internal/telemetry"
 	"dledger/internal/trace"
 	"dledger/internal/wire"
 	"dledger/internal/workload"
@@ -44,6 +45,14 @@ type ClusterOptions struct {
 	// work. Off by default: the paper-figure experiments measure the
 	// protocol, not the persistence layer.
 	Durable bool
+
+	// Telemetry gives every node its own telemetry bundle
+	// (Cluster.Tels), enabling epoch-lifecycle tracing and the metrics
+	// registry under the emulated clock. Counters and timelines are
+	// per-incarnation: Crash/Restart and AddNode install a fresh bundle,
+	// matching a real process restart. The tracer ring is sized so a
+	// chaos-length run retains every delivered epoch's timeline.
+	Telemetry bool
 
 	// Clients attaches this many emulated gateway clients to every node
 	// (via a gateway.Hub per node — the library form of the TCP front
@@ -77,7 +86,11 @@ type Cluster struct {
 	Stores   []*store.MemStore
 	// Hubs are the per-node client gateways (nil without opts.Clients;
 	// see ClusterOptions.Clients).
-	Hubs    []*gateway.Hub
+	Hubs []*gateway.Hub
+	// Tels are the per-node telemetry bundles (nil without
+	// opts.Telemetry). A restarted or joined node gets a fresh bundle,
+	// so each entry describes the node's current incarnation only.
+	Tels    []*telemetry.Metrics
 	clients []*SimClient
 	alive   []*bool
 	held    map[int]bool
@@ -121,6 +134,23 @@ func (c *simCtx) Unsend(to int, epoch uint64, proposer int) {
 	c.net.Unsend(c.self, to, epoch, proposer)
 }
 
+// harnessTraceRing sizes the per-node tracer ring: large enough that a
+// chaos-length run (minutes of simulated time at a 100 ms batch cadence)
+// keeps every delivered epoch's timeline for invariant checking.
+const harnessTraceRing = 8192
+
+// nodeParams returns the replica parameters for (re)building node i,
+// minting a fresh telemetry bundle for the new incarnation when
+// telemetry is on.
+func (c *Cluster) nodeParams(i int) replica.Params {
+	params := c.opts.Replica
+	if c.opts.Telemetry {
+		c.Tels[i] = telemetry.New(telemetry.Options{TraceRing: harnessTraceRing})
+		params.Telemetry = c.Tels[i]
+	}
+	return params
+}
+
 // NewCluster builds the emulated cluster (not yet started).
 func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	if opts.Core.CoinSecret == nil {
@@ -146,6 +176,9 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		PriorityWeight: opts.PriorityWeight,
 	})
 	c := &Cluster{Sim: sim, Net: net, opts: opts}
+	if opts.Telemetry {
+		c.Tels = make([]*telemetry.Metrics, opts.Core.N)
+	}
 	for i := 0; i < opts.Core.N; i++ {
 		var st store.Store = store.NewNoop()
 		var mem *store.MemStore
@@ -155,7 +188,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		}
 		alive := new(bool)
 		*alive = true
-		r, err := replica.NewWithStore(opts.Core, i, opts.Replica, st,
+		r, err := replica.NewWithStore(opts.Core, i, c.nodeParams(i), st,
 			&simCtx{sim: sim, net: net, self: i, alive: alive})
 		if err != nil {
 			return nil, err
@@ -236,7 +269,7 @@ func (c *Cluster) Restart(i int, onDeliver func(replica.Delivery)) error {
 	c.Stores[i] = c.Stores[i].Reopen()
 	alive := new(bool)
 	*alive = true
-	r, err := replica.NewWithStore(c.opts.Core, i, c.opts.Replica, c.Stores[i],
+	r, err := replica.NewWithStore(c.opts.Core, i, c.nodeParams(i), c.Stores[i],
 		&simCtx{sim: c.Sim, net: c.Net, self: i, alive: alive})
 	if err != nil {
 		return err
@@ -296,7 +329,7 @@ func (c *Cluster) AddNode(i int, onDeliver func(replica.Delivery)) error {
 	}
 	alive := new(bool)
 	*alive = true
-	r, err := replica.NewWithStore(cfg, i, c.opts.Replica, st,
+	r, err := replica.NewWithStore(cfg, i, c.nodeParams(i), st,
 		&simCtx{sim: c.Sim, net: c.Net, self: i, alive: alive})
 	if err != nil {
 		return err

@@ -28,6 +28,9 @@ type GeoParams struct {
 	// StagedRetrieval enables the staged chunk-request extension (see
 	// core.Config.StagedRetrieval and the abl-retrieval benchmark).
 	StagedRetrieval bool
+	// Telemetry instruments every node (ClusterOptions.Telemetry), used
+	// to demonstrate the enabled-path overhead stays within noise.
+	Telemetry bool
 }
 
 func (p *GeoParams) defaults() {
@@ -112,6 +115,7 @@ func RunGeo(p GeoParams) (*GeoResult, error) {
 		Delay:           geoDelay(n, p.Seed),
 		TxSize:          256,
 		InfiniteBacklog: true,
+		Telemetry:       p.Telemetry,
 		Seed:            p.Seed,
 	})
 	if err != nil {
@@ -185,6 +189,9 @@ type LatencyParams struct {
 	// bytes/second (it is multiplied by Scale internally).
 	LoadPerNode float64
 	Seed        int64
+	// Telemetry instruments every node; LatencyResult.Stages then
+	// carries the per-segment lifecycle latency panel.
+	Telemetry bool
 
 	batchDelay time.Duration // optional override (abl-batch)
 	batchBytes int           // optional override, paper-equivalent (abl-batch)
@@ -249,6 +256,14 @@ func RunLatencyWithBatch(p LatencyParams, batchDelay time.Duration, batchBytes i
 	return RunLatency(p)
 }
 
+// StageLatency summarizes one epoch-lifecycle segment's telemetry
+// histogram for a load point: quantiles in milliseconds (mean across
+// nodes) and the total observation count.
+type StageLatency struct {
+	P50Ms, P95Ms float64
+	Count        uint64
+}
+
 // LatencyResult reports per-node latency percentiles for one load point.
 type LatencyResult struct {
 	Mode        core.Mode
@@ -257,6 +272,9 @@ type LatencyResult struct {
 	P5, P50, P95, P99 []time.Duration // local-transaction latency per node
 	AllP50, AllP95    []time.Duration // all-transaction latency (Fig 14)
 	DeliveredPayload  []int64
+	// Stages is the lifecycle latency panel (disperse, ba, retrieve,
+	// e2e from dl_epoch_stage_seconds); nil without Params.Telemetry.
+	Stages map[string]StageLatency
 }
 
 // LatencyScale is the default scale for latency experiments. Latency runs
@@ -296,6 +314,7 @@ func RunLatency(p LatencyParams) (*LatencyResult, error) {
 		Delay:       geoDelay(n, p.Seed),
 		TxSize:      256,
 		LoadPerNode: p.LoadPerNode * p.Scale,
+		Telemetry:   p.Telemetry,
 		Seed:        p.Seed,
 	})
 	if err != nil {
@@ -305,17 +324,48 @@ func RunLatency(p LatencyParams) (*LatencyResult, error) {
 	c.Run(p.Duration)
 	res := &LatencyResult{Mode: p.Mode, LoadPerNode: p.LoadPerNode, Names: trace.Names(p.Cities)}
 	for i := range c.Replicas {
-		local := c.Replicas[i].Stats.LatLocal
-		all := c.Replicas[i].Stats.LatAll
-		res.P5 = append(res.P5, stats.DurationPercentile(local, 5))
-		res.P50 = append(res.P50, stats.DurationPercentile(local, 50))
-		res.P95 = append(res.P95, stats.DurationPercentile(local, 95))
-		res.P99 = append(res.P99, stats.DurationPercentile(local, 99))
-		res.AllP50 = append(res.AllP50, stats.DurationPercentile(all, 50))
-		res.AllP95 = append(res.AllP95, stats.DurationPercentile(all, 95))
+		local := &c.Replicas[i].Stats.LatLocal
+		all := &c.Replicas[i].Stats.LatAll
+		res.P5 = append(res.P5, local.Percentile(5))
+		res.P50 = append(res.P50, local.Percentile(50))
+		res.P95 = append(res.P95, local.Percentile(95))
+		res.P99 = append(res.P99, local.Percentile(99))
+		res.AllP50 = append(res.AllP50, all.Percentile(50))
+		res.AllP95 = append(res.AllP95, all.Percentile(95))
 		res.DeliveredPayload = append(res.DeliveredPayload, c.Replicas[i].Stats.DeliveredPayload)
 	}
+	if p.Telemetry {
+		res.Stages = stagePanel(c)
+	}
 	return res, nil
+}
+
+// stagePanel aggregates every node's dl_epoch_stage_seconds histograms
+// into the per-segment latency panel: quantiles averaged across the
+// nodes that observed the segment, counts summed.
+func stagePanel(c *Cluster) map[string]StageLatency {
+	out := map[string]StageLatency{}
+	for _, seg := range []string{"disperse", "ba", "retrieve", "e2e"} {
+		var sl StageLatency
+		var sum50, sum95 float64
+		nodes := 0
+		for i := range c.Replicas {
+			h := c.Tels[i].Registry().FindHistogram("dl_epoch_stage_seconds", `stage="`+seg+`"`)
+			if h.Count() == 0 {
+				continue
+			}
+			sl.Count += h.Count()
+			sum50 += float64(h.Quantile(0.50)) / float64(time.Millisecond)
+			sum95 += float64(h.Quantile(0.95)) / float64(time.Millisecond)
+			nodes++
+		}
+		if nodes > 0 {
+			sl.P50Ms = sum50 / float64(nodes)
+			sl.P95Ms = sum95 / float64(nodes)
+			out[seg] = sl
+		}
+	}
+	return out
 }
 
 // ControlledParams configures the controlled experiments of §6.3

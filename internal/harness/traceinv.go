@@ -1,0 +1,118 @@
+package harness
+
+// Trace-completeness invariant: with telemetry on, the epoch-lifecycle
+// tracer of an honest node that never crashed, joined, or state-synced
+// must hold a well-formed disperse → BA → retrieve → deliver timeline
+// for every epoch its delivery log covers, and the telemetry counters
+// must reconcile exactly with what the LogRecorder observed. Chaos
+// sweeps (internal/chaos) run this next to the agreement checks, so a
+// span dropped, double-stamped, or stamped out of order under faults is
+// a red seed, not a dashboard curiosity.
+
+import (
+	"fmt"
+
+	"dledger/internal/telemetry"
+)
+
+// traceStageOrder lists the pairwise orderings a delivered timeline must
+// respect when both endpoints were observed.
+var traceStageOrder = [][2]telemetry.Stage{
+	{telemetry.StageDisperseStart, telemetry.StageDisperseDone},
+	{telemetry.StageDisperseStart, telemetry.StageDeliver},
+	{telemetry.StageBAInput, telemetry.StageBADecide},
+	{telemetry.StageBADecide, telemetry.StageDeliver},
+	{telemetry.StageRetrieveStart, telemetry.StageDeliver},
+}
+
+// CheckTraceCompleteness verifies node `node`'s telemetry against its
+// recorded delivery log. It assumes the node's current incarnation
+// observed the whole run (never crashed, joined, or synced): every
+// distinct epoch in the log must have a delivered timeline whose stage
+// timestamps are present and ordered, and the delivered-epoch, block
+// and transaction counters must equal the log's totals.
+func CheckTraceCompleteness(node int, tel *telemetry.Metrics, log []LogEntry) []string {
+	var out []string
+	if tel == nil {
+		return []string{fmt.Sprintf("trace: node %d has no telemetry bundle", node)}
+	}
+
+	// The delivery log records one entry per block; collapse to the
+	// distinct epochs and per-epoch totals the tracer and counters see.
+	// Two shapes keep the sets from matching exactly: the horizon can
+	// cut the highest logged epoch mid-delivery (blocks in the log, no
+	// epoch-complete span yet), and an epoch whose every BA decided
+	// zero completes with no blocks at all (a span, no log entries).
+	epochs := map[uint64]bool{}
+	blocks, txs := 0, 0
+	maxEpoch := uint64(0)
+	for _, e := range log {
+		epochs[e.Epoch] = true
+		blocks++
+		txs += e.TxCount
+		if e.Epoch > maxEpoch {
+			maxEpoch = e.Epoch
+		}
+	}
+
+	delivered := tel.Trace().Delivered()
+	byEpoch := map[uint64]telemetry.Timeline{}
+	for _, tl := range delivered {
+		if _, dup := byEpoch[tl.Epoch]; dup {
+			out = append(out, fmt.Sprintf("trace: node %d delivered epoch %d twice", node, tl.Epoch))
+		}
+		byEpoch[tl.Epoch] = tl
+	}
+
+	// Completeness: every fully delivered epoch's timeline is retained.
+	for e := range epochs {
+		if _, ok := byEpoch[e]; !ok && e != maxEpoch {
+			out = append(out, fmt.Sprintf("trace: node %d delivered epoch %d with no timeline", node, e))
+		}
+	}
+	// Well-formedness of every completed timeline (logged or empty).
+	for _, tl := range byEpoch {
+		e := tl.Epoch
+		// An epoch cannot deliver without deciding, and a decided epoch
+		// had at least one BA instance fed: those two stages (plus the
+		// deliver stamp that completed the timeline) are unconditional.
+		for _, s := range []telemetry.Stage{telemetry.StageBAInput, telemetry.StageBADecide, telemetry.StageDeliver} {
+			if !tl.Has(s) {
+				out = append(out, fmt.Sprintf("trace: node %d epoch %d delivered without a %s span", node, e, s))
+			}
+		}
+		for _, ord := range traceStageOrder {
+			a, b := ord[0], ord[1]
+			if tl.Has(a) && tl.Has(b) && tl.At(a) > tl.At(b) {
+				out = append(out, fmt.Sprintf("trace: node %d epoch %d has %s at %s after %s at %s",
+					node, e, a, tl.At(a), b, tl.At(b)))
+			}
+		}
+		if tl.Has(telemetry.StageBAInput) && tl.E2E() <= 0 {
+			out = append(out, fmt.Sprintf("trace: node %d epoch %d delivered with non-positive e2e %s",
+				node, e, tl.E2E()))
+		}
+	}
+
+	// Counter reconciliation: re-registering a family returns the live
+	// handle, so these are the very counters the replica incremented.
+	// The epoch counter and the tracer observe the same epoch-complete
+	// event, so they must agree exactly; blocks and transactions are
+	// counted per delivery and must match the log to the unit.
+	reg := tel.Registry()
+	if got := reg.Counter("dl_epochs_delivered_total", "", "").Value(); got != uint64(len(byEpoch)) {
+		out = append(out, fmt.Sprintf("trace: node %d counted %d delivered epochs, tracer holds %d timelines",
+			node, got, len(byEpoch)))
+	}
+	linked := reg.Counter("dl_blocks_delivered_total", `kind="linked"`, "").Value()
+	ba := reg.Counter("dl_blocks_delivered_total", `kind="ba"`, "").Value()
+	if linked+ba != uint64(blocks) {
+		out = append(out, fmt.Sprintf("trace: node %d counted %d+%d delivered blocks, log has %d",
+			node, linked, ba, blocks))
+	}
+	if got := reg.Counter("dl_txs_delivered_total", "", "").Value(); got != uint64(txs) {
+		out = append(out, fmt.Sprintf("trace: node %d counted %d delivered txs, log has %d",
+			node, got, txs))
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dledger/internal/core"
+	"dledger/internal/replica"
+	"dledger/internal/trace"
+)
+
+// TestTraceCompletenessCleanRun drives a healthy emulated cluster with
+// telemetry on and asserts the trace invariant holds on every node —
+// and that the checker actually has material (spans, stage panel).
+func TestTraceCompletenessCleanRun(t *testing.T) {
+	const n = 4
+	traces := make([]trace.Trace, n)
+	for i := range traces {
+		traces[i] = trace.Constant(2 * trace.MB)
+	}
+	c, err := NewCluster(ClusterOptions{
+		Core:        core.Config{N: n, F: 1, Mode: core.ModeDL, CoinSecret: []byte("trace inv test")},
+		Replica:     replica.Params{BatchDelay: 100 * time.Millisecond},
+		Egress:      traces,
+		TxSize:      250,
+		LoadPerNode: 100 << 10,
+		Telemetry:   true,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := NewLogRecorder(c)
+	c.Start()
+	c.Run(20 * time.Second)
+
+	for i := 0; i < n; i++ {
+		if len(lr.Log(i)) == 0 {
+			t.Fatalf("node %d delivered nothing", i)
+		}
+		if got := len(c.Tels[i].Trace().Delivered()); got == 0 {
+			t.Fatalf("node %d has no delivered timelines", i)
+		}
+		if v := CheckTraceCompleteness(i, c.Tels[i], lr.Log(i)); len(v) != 0 {
+			t.Fatalf("node %d trace violations: %v", i, v)
+		}
+	}
+	panel := stagePanel(c)
+	for _, seg := range []string{"ba", "e2e"} {
+		if panel[seg].Count == 0 || panel[seg].P95Ms <= 0 {
+			t.Fatalf("stage panel missing %q: %+v", seg, panel)
+		}
+	}
+}
+
+// TestTraceCompletenessDetects feeds the checker a log the telemetry
+// never saw and expects violations, including the nil-bundle case.
+func TestTraceCompletenessDetects(t *testing.T) {
+	if v := CheckTraceCompleteness(0, nil, nil); len(v) != 1 || !strings.Contains(v[0], "no telemetry bundle") {
+		t.Fatalf("nil bundle not flagged: %v", v)
+	}
+	const n = 4
+	traces := make([]trace.Trace, n)
+	for i := range traces {
+		traces[i] = trace.Constant(2 * trace.MB)
+	}
+	c, err := NewCluster(ClusterOptions{
+		Core:      core.Config{N: n, F: 1, Mode: core.ModeDL, CoinSecret: []byte("trace inv test")},
+		Replica:   replica.Params{BatchDelay: 100 * time.Millisecond},
+		Egress:    traces,
+		TxSize:    250,
+		Telemetry: true,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fabricated log claiming epochs 1 and 2 delivered blocks: epoch 1
+	// must be flagged (no timeline); epoch 2, the max epoch, is the
+	// horizon-cut exemption; the counters must be flagged too.
+	log := []LogEntry{
+		{Epoch: 1, Proposer: 0, TxCount: 3},
+		{Epoch: 2, Proposer: 1, TxCount: 2},
+	}
+	v := CheckTraceCompleteness(0, c.Tels[0], log)
+	joined := strings.Join(v, "\n")
+	if !strings.Contains(joined, "epoch 1 with no timeline") {
+		t.Fatalf("missing-timeline violation not raised:\n%s", joined)
+	}
+	if strings.Contains(joined, "epoch 2 with no timeline") {
+		t.Fatalf("max-epoch exemption not applied:\n%s", joined)
+	}
+	if !strings.Contains(joined, "delivered blocks") || !strings.Contains(joined, "delivered txs") {
+		t.Fatalf("counter reconciliation not raised:\n%s", joined)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"dledger/internal/statesync"
 	"dledger/internal/stats"
 	"dledger/internal/store"
+	"dledger/internal/telemetry"
 	"dledger/internal/wire"
 	"dledger/internal/workload"
 )
@@ -62,6 +63,12 @@ type Params struct {
 	// returns mempool.ErrOverCapacity) instead of queued unboundedly.
 	// Zero keeps the unbounded seed behaviour.
 	MempoolBytes int
+	// Telemetry, when set, is the node's metrics/tracing bundle: the
+	// replica registers its counters, the WAL fsync histogram and the
+	// confirmation-latency histograms there, and forwards the engine's
+	// StageActions to the epoch tracer stamped with the Context clock.
+	// Nil disables telemetry at near-zero cost (nil-handle no-ops).
+	Telemetry *telemetry.Metrics
 	// ClientDedup enables the gateway's content-hash machinery: the
 	// mempool deduplicates submissions, every delivered block's
 	// transaction hashes ride its WAL record (and the committed-hash
@@ -135,9 +142,11 @@ type Stats struct {
 	// Progress is cumulative confirmed payload bytes over time (Fig 9).
 	Progress stats.TimeSeries
 	// LatAll / LatLocal are confirmation latencies of all transactions
-	// and of locally-submitted ones (§6.2's metric and Fig 14's).
-	LatAll   []time.Duration
-	LatLocal []time.Duration
+	// and of locally-submitted ones (§6.2's metric and Fig 14's),
+	// downsampled into bounded reservoirs so a long-running node's
+	// memory no longer grows per transaction.
+	LatAll   stats.Reservoir
+	LatLocal stats.Reservoir
 }
 
 // Replica is one node.
@@ -172,7 +181,68 @@ type Replica struct {
 	// rebuild its commit-proof index after a restart.
 	recoveredBlocks []RecoveredBlock
 
+	// tel holds the telemetry handles; all nil (and inert) when
+	// Params.Telemetry is unset.
+	tel repMetrics
+
 	Stats Stats
+}
+
+// repMetrics is the replica's set of telemetry handles. Handles are
+// nil-safe, so a zero repMetrics (telemetry disabled) no-ops.
+type repMetrics struct {
+	trace            *telemetry.Tracer
+	fsync            *telemetry.Histogram
+	latAll           *telemetry.Histogram
+	latLocal         *telemetry.Histogram
+	txsSubmitted     *telemetry.Counter
+	txsDelivered     *telemetry.Counter
+	payloadDelivered *telemetry.Counter
+	epochsDecided    *telemetry.Counter
+	epochsDelivered  *telemetry.Counter
+	linkedBlocks     *telemetry.Counter
+	baDeliveries     *telemetry.Counter
+	rejected         *telemetry.Counter
+	storeErrors      *telemetry.Counter
+	stateSyncs       *telemetry.Counter
+	mempoolBytes     *telemetry.Gauge
+	syncBytes        *telemetry.Gauge
+	syncChunks       *telemetry.Gauge
+	syncPages        *telemetry.Gauge
+	syncLastEpoch    *telemetry.Gauge
+}
+
+// fsyncBounds: 50µs .. ~1.6s, log-scale.
+var fsyncBounds = telemetry.ExpBuckets(int64(50*time.Microsecond), 2, 16)
+
+// confirmBounds: 1ms .. ~131s, log-scale (matches the stage histograms).
+var confirmBounds = telemetry.ExpBuckets(int64(time.Millisecond), 2, 18)
+
+func newRepMetrics(m *telemetry.Metrics) repMetrics {
+	reg := m.Registry()
+	const lat = "dl_tx_confirm_seconds"
+	const latHelp = "Transaction confirmation latency (submit to deliver)."
+	return repMetrics{
+		trace:            m.Trace(),
+		fsync:            reg.Histogram("dl_wal_fsync_seconds", "", "WAL group-commit fsync latency.", fsyncBounds, 1e-9),
+		latAll:           reg.Histogram(lat, `scope="all"`, latHelp, confirmBounds, 1e-9),
+		latLocal:         reg.Histogram(lat, `scope="local"`, latHelp, confirmBounds, 1e-9),
+		txsSubmitted:     reg.Counter("dl_txs_submitted_total", "", "Transactions accepted into the mempool."),
+		txsDelivered:     reg.Counter("dl_txs_delivered_total", "", "Transactions delivered in the total order (this incarnation)."),
+		payloadDelivered: reg.Counter("dl_delivered_payload_bytes_total", "", "Delivered transaction payload bytes (this incarnation)."),
+		epochsDecided:    reg.Counter("dl_epochs_decided_total", "", "Epochs whose BA vector decided (this incarnation)."),
+		epochsDelivered:  reg.Counter("dl_epochs_delivered_total", "", "Epochs delivered to the application (this incarnation)."),
+		linkedBlocks:     reg.Counter("dl_blocks_delivered_total", `kind="linked"`, "Blocks delivered, split by commit path."),
+		baDeliveries:     reg.Counter("dl_blocks_delivered_total", `kind="ba"`, "Blocks delivered, split by commit path."),
+		rejected:         reg.Counter("dl_submissions_rejected_total", "", "Submissions the mempool refused (duplicate or over budget)."),
+		storeErrors:      reg.Counter("dl_store_errors_total", "", "Failed durable writes (first one stops persistence)."),
+		stateSyncs:       reg.Counter("dl_state_syncs_total", "", "Completed bootstrap-from-checkpoint installs."),
+		mempoolBytes:     reg.Gauge("dl_mempool_bytes", "", "Transaction bytes queued in the mempool."),
+		syncBytes:        reg.Gauge("dl_statesync_fetched_bytes", "", "State-sync page payload bytes fetched from donors."),
+		syncChunks:       reg.Gauge("dl_statesync_imported_chunks", "", "Verified chunk records adopted from donors."),
+		syncPages:        reg.Gauge("dl_statesync_served_pages", "", "State-sync pages served to joiners."),
+		syncLastEpoch:    reg.Gauge("dl_statesync_last_epoch", "", "Checkpoint position of the most recent bootstrap install."),
+	}
 }
 
 // RecoveredBlock is one delivered block recovered from the WAL with its
@@ -213,6 +283,7 @@ func NewWithStore(cfg core.Config, self int, params Params, st store.Store, ctx 
 		params:  params,
 		st:      st,
 		durable: st.Durable(),
+		tel:     newRepMetrics(params.Telemetry),
 	}
 	var recs []store.Record
 	cp, err := st.Recover(func(lsn uint64, rec store.Record) error {
@@ -382,6 +453,9 @@ func (r *Replica) Self() int { return r.self }
 // Engine exposes the underlying engine (read-only use).
 func (r *Replica) Engine() *core.Engine { return r.engine }
 
+// Telemetry returns the node's telemetry bundle (nil when disabled).
+func (r *Replica) Telemetry() *telemetry.Metrics { return r.params.Telemetry }
+
 // Start boots the replica. Call exactly once.
 func (r *Replica) Start() {
 	if r.started {
@@ -407,10 +481,13 @@ func (r *Replica) Submit(tx []byte) {
 func (r *Replica) SubmitFrom(client uint64, tx []byte) error {
 	if err := r.pool.PushFrom(client, tx); err != nil {
 		r.Stats.RejectedSubmissions++
+		r.tel.rejected.Inc()
 		return err
 	}
 	r.Stats.Submitted++
 	r.Stats.SubmittedBytes += int64(len(tx))
+	r.tel.txsSubmitted.Inc()
+	r.tel.mempoolBytes.Set(int64(r.pool.PendingBytes()))
 	r.tryPropose()
 	return nil
 }
@@ -461,6 +538,7 @@ func (r *Replica) apply(actions []core.Action) {
 			r.tryPropose()
 		case core.ResubmitAction:
 			r.pool.PushFront(act.Txs)
+			r.tel.mempoolBytes.Set(int64(r.pool.PendingBytes()))
 		case core.TimerAction:
 			token := act.Token
 			r.ctx.After(act.After, func() {
@@ -472,9 +550,21 @@ func (r *Replica) apply(actions []core.Action) {
 			}
 		case core.EpochDecidedAction:
 			r.Stats.EpochsDecided++
+			r.tel.epochsDecided.Inc()
+			if r.tel.trace != nil {
+				r.tel.trace.Observe(act.Epoch, telemetry.StageBADecide, r.ctx.Now())
+			}
 		case core.EpochDeliveredAction:
 			r.Stats.EpochsDelivered++
 			r.sinceCkpt++
+			r.tel.epochsDelivered.Inc()
+			if r.tel.trace != nil {
+				r.tel.trace.Observe(act.Epoch, telemetry.StageDeliver, r.ctx.Now())
+			}
+		case core.StageAction:
+			if r.tel.trace != nil {
+				r.tel.trace.Observe(act.Epoch, lifecycleStage(act.Stage), r.ctx.Now())
+			}
 		case core.CatchupDoneAction:
 			r.tryPropose()
 		case core.SyncPointAction:
@@ -485,6 +575,15 @@ func (r *Replica) apply(actions []core.Action) {
 	}
 	if n := r.params.checkpointEvery(); r.durable && n > 0 && r.sinceCkpt >= n {
 		r.checkpoint()
+	}
+	// Mirror the engine-owned state-sync transfer counters (read only
+	// on this loop) into scrape-safe gauges.
+	if r.tel.syncBytes != nil && r.tracker != nil {
+		s := r.engine.SyncStats()
+		r.tel.syncBytes.Set(s.BytesFetched)
+		r.tel.syncChunks.Set(s.ChunksImported)
+		r.tel.syncPages.Set(s.PagesServed)
+		r.tel.syncLastEpoch.Set(int64(s.LastSyncEpoch))
 	}
 }
 
@@ -561,11 +660,34 @@ func (r *Replica) putChunk(act core.ChunkStoredAction) {
 	}
 }
 
+// lifecycleStage maps the engine's stage enum onto the tracer's.
+func lifecycleStage(s core.LifecycleStage) telemetry.Stage {
+	switch s {
+	case core.StageDisperseStart:
+		return telemetry.StageDisperseStart
+	case core.StageDisperseDone:
+		return telemetry.StageDisperseDone
+	case core.StageBAInput:
+		return telemetry.StageBAInput
+	case core.StageRetrieveStart:
+		return telemetry.StageRetrieveStart
+	}
+	return telemetry.NumStages // dropped by the tracer
+}
+
 func (r *Replica) syncStore() {
 	if r.storeBroken {
 		return
 	}
-	if err := r.st.Sync(); err != nil {
+	var t0 time.Duration
+	if r.tel.fsync != nil {
+		t0 = r.ctx.Now()
+	}
+	err := r.st.Sync()
+	if r.tel.fsync != nil {
+		r.tel.fsync.Observe(int64(r.ctx.Now() - t0))
+	}
+	if err != nil {
 		r.storeFail()
 	}
 }
@@ -580,6 +702,7 @@ func (r *Replica) syncStore() {
 func (r *Replica) storeFail() {
 	r.storeBroken = true
 	r.Stats.StoreErrors++
+	r.tel.storeErrors.Inc()
 }
 
 // recordSyncPoint builds the canonical state-sync manifest at a cadence
@@ -614,6 +737,7 @@ func (r *Replica) recordSyncPoint(act core.SyncPointAction) {
 // a crash after this point recovers from it instead of re-syncing.
 func (r *Replica) installSync(act core.SyncInstallAction) {
 	r.Stats.StateSyncs++
+	r.tel.stateSyncs.Inc()
 	for _, h := range act.Committed {
 		r.pool.Committed(mempool.Hash(h))
 	}
@@ -659,10 +783,14 @@ func (r *Replica) onDeliver(act core.DeliverAction, hashes []mempool.Hash) {
 	}
 	r.Stats.DeliveredTxs += int64(len(act.Txs))
 	r.Stats.DeliveredPayload += int64(act.Payload)
+	r.tel.txsDelivered.Add(uint64(len(act.Txs)))
+	r.tel.payloadDelivered.Add(uint64(act.Payload))
 	if act.Linked {
 		r.Stats.LinkedBlocks++
+		r.tel.linkedBlocks.Inc()
 	} else {
 		r.Stats.BADeliveries++
+		r.tel.baDeliveries.Inc()
 	}
 	r.Stats.Progress.Add(now, float64(r.Stats.DeliveredPayload))
 	for _, tx := range act.Txs {
@@ -674,9 +802,11 @@ func (r *Replica) onDeliver(act core.DeliverAction, hashes []mempool.Hash) {
 		if lat < 0 {
 			lat = 0
 		}
-		r.Stats.LatAll = append(r.Stats.LatAll, lat)
+		r.Stats.LatAll.Add(lat)
+		r.tel.latAll.Observe(int64(lat))
 		if meta.Origin == r.self {
-			r.Stats.LatLocal = append(r.Stats.LatLocal, lat)
+			r.Stats.LatLocal.Add(lat)
+			r.tel.latLocal.Observe(int64(lat))
 		}
 	}
 	if r.OnDeliver != nil {
@@ -735,6 +865,7 @@ func (r *Replica) propose(txs [][]byte) {
 	r.pendingProposal = false
 	r.proposalEmpty = false
 	r.lastProposal = r.ctx.Now()
+	r.tel.mempoolBytes.Set(int64(r.pool.PendingBytes()))
 	// apply persists (and syncs) the resulting ProposalMadeAction before
 	// any chunk reaches the wire: a node that crashes mid-dispersal
 	// re-disperses the identical block instead of equivocating.

@@ -105,11 +105,11 @@ func TestEndToEndDelivery(t *testing.T) {
 		if r.Stats.DeliveredTxs < 4 {
 			t.Fatalf("node %d delivered %d txs, want >= 4", i, r.Stats.DeliveredTxs)
 		}
-		if len(r.Stats.LatLocal) != 1 {
-			t.Fatalf("node %d has %d local latencies, want 1", i, len(r.Stats.LatLocal))
+		if r.Stats.LatLocal.Count() != 1 {
+			t.Fatalf("node %d has %d local latencies, want 1", i, r.Stats.LatLocal.Count())
 		}
-		if len(r.Stats.LatAll) < 4 {
-			t.Fatalf("node %d has %d latency samples", i, len(r.Stats.LatAll))
+		if r.Stats.LatAll.Count() < 4 {
+			t.Fatalf("node %d has %d latency samples", i, r.Stats.LatAll.Count())
 		}
 	}
 }

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StatusFunc supplies the node-specific portion of /statusz (position,
+// mempool, sync state, ...). It is called per request from an HTTP
+// goroutine and must gather its data safely (e.g. via the node's
+// Inspect).
+type StatusFunc func() map[string]any
+
+// slowestJSON is the /statusz rendering of one slow epoch.
+type slowestJSON struct {
+	Epoch    uint64             `json:"epoch"`
+	E2EMs    float64            `json:"e2e_ms"`
+	StagesMs map[string]float64 `json:"stages_ms"`
+}
+
+// NewAdminMux builds the operator endpoint mux:
+//
+//	/metrics      Prometheus text exposition
+//	/statusz      JSON node status + stage breakdown + slowest epochs
+//	/healthz      200 "ok"
+//	/debug/pprof  the standard runtime profiles
+//
+// status may be nil; m may be nil (endpoints then serve empty data,
+// keeping /healthz and pprof useful).
+func NewAdminMux(m *Metrics, status StatusFunc) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		out := map[string]any{}
+		if status != nil {
+			for k, v := range status() {
+				out[k] = v
+			}
+		}
+		if reg := m.Registry(); reg != nil {
+			out["metrics"] = reg.Snapshot()
+		}
+		if tr := m.Trace(); tr != nil {
+			slow := tr.SlowestEpochs(10)
+			js := make([]slowestJSON, 0, len(slow))
+			for i := range slow {
+				tl := &slow[i]
+				stages := map[string]float64{}
+				for k, d := range tl.StageBreakdown() {
+					stages[k] = float64(d) / float64(time.Millisecond)
+				}
+				js = append(js, slowestJSON{
+					Epoch:    tl.Epoch,
+					E2EMs:    float64(tl.E2E()) / float64(time.Millisecond),
+					StagesMs: stages,
+				})
+			}
+			out["slowest_epochs"] = js
+			out["inflight_epochs"] = tr.InflightEpochs()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a running admin HTTP endpoint.
+type AdminServer struct {
+	srv *http.Server
+	l   net.Listener
+}
+
+// ServeAdmin starts the admin endpoint on l (which the server takes
+// ownership of) and serves until Close.
+func ServeAdmin(l net.Listener, m *Metrics, status StatusFunc) *AdminServer {
+	srv := &http.Server{Handler: NewAdminMux(m, status)}
+	go srv.Serve(l)
+	return &AdminServer{srv: srv, l: l}
+}
+
+// Addr returns the listener address (e.g. to discover a :0 port).
+func (a *AdminServer) Addr() net.Addr { return a.l.Addr() }
+
+// Close stops the server and closes its listener.
+func (a *AdminServer) Close() error { return a.srv.Close() }

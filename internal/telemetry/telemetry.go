@@ -1,0 +1,44 @@
+package telemetry
+
+// Options configures a node's telemetry bundle.
+type Options struct {
+	// TraceRing is the number of delivered epoch timelines retained
+	// for the slowest-epochs query (0 = default 512).
+	TraceRing int
+}
+
+// Metrics bundles one node's registry and epoch tracer. Layers
+// (replica, transport, gateway) register their own handles against
+// Registry at construction time. A nil *Metrics disables telemetry:
+// its accessors return nil, and every handle obtained through nil
+// no-ops, so instrumented code needs no enabled/disabled branches.
+type Metrics struct {
+	registry *Registry
+	trace    *Tracer
+}
+
+// New builds an enabled telemetry bundle.
+func New(opts Options) *Metrics {
+	reg := NewRegistry()
+	return &Metrics{
+		registry: reg,
+		trace:    NewTracer(reg, opts.TraceRing),
+	}
+}
+
+// Registry returns the metrics registry (nil when telemetry is
+// disabled; a nil *Registry hands out nil no-op handles).
+func (m *Metrics) Registry() *Registry {
+	if m == nil {
+		return nil
+	}
+	return m.registry
+}
+
+// Trace returns the epoch tracer (nil when telemetry is disabled).
+func (m *Metrics) Trace() *Tracer {
+	if m == nil {
+		return nil
+	}
+	return m.trace
+}

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage identifies one boundary in an epoch's lifecycle, in pipeline
+// order. The engine emits a core.StageAction at each boundary; the
+// replica stamps it with its Context clock and feeds it to the Tracer.
+type Stage uint8
+
+// Epoch-lifecycle stage boundaries, in pipeline order.
+const (
+	// StageDisperseStart marks the node proposing its own block (VID
+	// dispersal begins).
+	StageDisperseStart Stage = iota
+	// StageDisperseDone marks the node's own dispersal completing
+	// (2f+1 votes on its VID instance).
+	StageDisperseDone
+	// StageBAInput marks the first binary-agreement input of the epoch.
+	StageBAInput
+	// StageBADecide marks all N BA instances decided (epoch ordered).
+	StageBADecide
+	// StageRetrieveStart marks the first retrieval request sent for a
+	// block committed in the epoch.
+	StageRetrieveStart
+	// StageDeliver marks the epoch's payload delivered to the
+	// application.
+	StageDeliver
+	// NumStages is the number of stage boundaries.
+	NumStages
+)
+
+// stageNames indexes Stage -> label for exposition.
+var stageNames = [NumStages]string{
+	"disperse_start", "disperse_done", "ba_input", "ba_decide", "retrieve_start", "deliver",
+}
+
+// String returns the stage's exposition label.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Timeline is one epoch's recorded stage timestamps (Context clock,
+// i.e. time since node start — simulated time under the emulator).
+type Timeline struct {
+	// Epoch is the epoch number.
+	Epoch uint64 `json:"epoch"`
+	// T holds the first-observed timestamp per stage; valid only where
+	// the Have bit is set.
+	T [NumStages]time.Duration `json:"t"`
+	// Have is a bitmask of observed stages (bit i = Stage(i)).
+	Have uint8 `json:"have"`
+}
+
+// Has reports whether stage s was observed.
+func (tl *Timeline) Has(s Stage) bool { return tl.Have&(1<<s) != 0 }
+
+// At returns the timestamp of stage s (0 if unobserved).
+func (tl *Timeline) At(s Stage) time.Duration {
+	if !tl.Has(s) {
+		return 0
+	}
+	return tl.T[s]
+}
+
+// E2E returns the disperse-start -> deliver duration, or the
+// ba-input -> deliver duration when the node never proposed, or 0.
+func (tl *Timeline) E2E() time.Duration {
+	if !tl.Has(StageDeliver) {
+		return 0
+	}
+	switch {
+	case tl.Has(StageDisperseStart):
+		return tl.T[StageDeliver] - tl.T[StageDisperseStart]
+	case tl.Has(StageBAInput):
+		return tl.T[StageDeliver] - tl.T[StageBAInput]
+	}
+	return 0
+}
+
+// StageBreakdown returns the per-segment durations of a delivered
+// timeline keyed by segment name (disperse, ba, retrieve, e2e);
+// segments with missing endpoints are omitted.
+func (tl *Timeline) StageBreakdown() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	if tl.Has(StageDisperseStart) && tl.Has(StageDisperseDone) {
+		out["disperse"] = tl.T[StageDisperseDone] - tl.T[StageDisperseStart]
+	}
+	if tl.Has(StageBAInput) && tl.Has(StageBADecide) {
+		out["ba"] = tl.T[StageBADecide] - tl.T[StageBAInput]
+	}
+	if tl.Has(StageRetrieveStart) && tl.Has(StageDeliver) {
+		out["retrieve"] = tl.T[StageDeliver] - tl.T[StageRetrieveStart]
+	}
+	if e := tl.E2E(); e > 0 {
+		out["e2e"] = e
+	}
+	return out
+}
+
+// maxInflight bounds the not-yet-delivered epoch map; epochs beyond it
+// evict the oldest (an epoch that never delivers on this node, e.g.
+// spanned by a state-sync install, must not leak).
+const maxInflight = 4096
+
+// Tracer collects epoch-lifecycle timelines: first-observation-wins
+// stage timestamps per epoch, a ring buffer of delivered timelines for
+// the "slowest recent epochs" query, and per-segment latency
+// histograms registered under dl_epoch_stage_seconds. A nil *Tracer
+// no-ops.
+type Tracer struct {
+	mu       sync.Mutex
+	inflight map[uint64]*Timeline
+	ring     []Timeline
+	next     int
+	full     bool
+
+	disperse *Histogram
+	ba       *Histogram
+	retrieve *Histogram
+	e2e      *Histogram
+}
+
+// stageSecondsBounds: 1ms .. ~131s, factor 2 (log-scale, 18 buckets).
+var stageSecondsBounds = ExpBuckets(int64(time.Millisecond), 2, 18)
+
+// NewTracer builds a tracer keeping the last ringSize delivered epoch
+// timelines (0 picks the default of 512) and registers its per-segment
+// histograms in reg (which may be nil).
+func NewTracer(reg *Registry, ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 512
+	}
+	t := &Tracer{
+		inflight: map[uint64]*Timeline{},
+		ring:     make([]Timeline, ringSize),
+	}
+	const name = "dl_epoch_stage_seconds"
+	const help = "Per-epoch stage segment durations."
+	t.disperse = reg.Histogram(name, `stage="disperse"`, help, stageSecondsBounds, 1e-9)
+	t.ba = reg.Histogram(name, `stage="ba"`, help, stageSecondsBounds, 1e-9)
+	t.retrieve = reg.Histogram(name, `stage="retrieve"`, help, stageSecondsBounds, 1e-9)
+	t.e2e = reg.Histogram(name, `stage="e2e"`, help, stageSecondsBounds, 1e-9)
+	return t
+}
+
+// Observe records stage s of epoch at Context-clock time now. The
+// first observation of a stage wins (the engine may emit a boundary
+// once per block, e.g. retrieval start). Observing StageDeliver
+// completes the timeline: segment histograms are updated and the
+// timeline moves to the delivered ring.
+func (t *Tracer) Observe(epoch uint64, s Stage, now time.Duration) {
+	if t == nil || s >= NumStages {
+		return
+	}
+	t.mu.Lock()
+	tl := t.inflight[epoch]
+	if tl == nil {
+		if len(t.inflight) >= maxInflight {
+			oldest := uint64(0)
+			first := true
+			for e := range t.inflight {
+				if first || e < oldest {
+					oldest, first = e, false
+				}
+			}
+			delete(t.inflight, oldest)
+		}
+		tl = &Timeline{Epoch: epoch}
+		t.inflight[epoch] = tl
+	}
+	if !tl.Has(s) {
+		tl.T[s] = now
+		tl.Have |= 1 << s
+	}
+	if s == StageDeliver {
+		delete(t.inflight, epoch)
+		t.ring[t.next] = *tl
+		t.next++
+		if t.next == len(t.ring) {
+			t.next, t.full = 0, true
+		}
+		t.mu.Unlock()
+		// Histograms are atomic; update outside the tracer lock.
+		if tl.Has(StageDisperseStart) && tl.Has(StageDisperseDone) {
+			t.disperse.Observe(int64(tl.T[StageDisperseDone] - tl.T[StageDisperseStart]))
+		}
+		if tl.Has(StageBAInput) && tl.Has(StageBADecide) {
+			t.ba.Observe(int64(tl.T[StageBADecide] - tl.T[StageBAInput]))
+		}
+		if tl.Has(StageRetrieveStart) {
+			t.retrieve.Observe(int64(tl.T[StageDeliver] - tl.T[StageRetrieveStart]))
+		}
+		if e := tl.E2E(); e > 0 {
+			t.e2e.Observe(int64(e))
+		}
+		return
+	}
+	t.mu.Unlock()
+}
+
+// Delivered returns the retained delivered timelines, oldest first.
+func (t *Tracer) Delivered() []Timeline {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Timeline
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring[:t.next]...)
+	}
+	return out
+}
+
+// SlowestEpochs returns up to n delivered timelines ordered by
+// end-to-end duration, slowest first — the operator's "show me the 10
+// slowest recent epochs" query.
+func (t *Tracer) SlowestEpochs(n int) []Timeline {
+	all := t.Delivered()
+	sort.Slice(all, func(i, j int) bool {
+		ei, ej := all[i].E2E(), all[j].E2E()
+		if ei != ej {
+			return ei > ej
+		}
+		return all[i].Epoch < all[j].Epoch
+	})
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// InflightEpochs returns the number of epochs with observed stages but
+// no delivery yet.
+func (t *Tracer) InflightEpochs() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.inflight)
+}

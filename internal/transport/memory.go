@@ -7,6 +7,7 @@ import (
 	"dledger/internal/core"
 	"dledger/internal/replica"
 	"dledger/internal/store"
+	"dledger/internal/telemetry"
 	"dledger/internal/wire"
 )
 
@@ -57,6 +58,10 @@ type MemoryOptions struct {
 	// OnDeliver, when set, is installed on every replica (called on the
 	// node's event loop).
 	OnDeliver func(node int, d replica.Delivery)
+	// Telemetry, when set, provides each node's telemetry bundle (len
+	// must be N; entries may be nil). It overrides Replica.Telemetry,
+	// which — being shared across nodes — must stay nil.
+	Telemetry []*telemetry.Metrics
 }
 
 // NewMemoryCluster builds and starts an in-process cluster.
@@ -66,6 +71,9 @@ func NewMemoryCluster(opts MemoryOptions) (*MemoryCluster, error) {
 	}
 	if opts.Stores != nil && len(opts.Stores) != opts.Core.N {
 		return nil, fmt.Errorf("transport: %d stores for N=%d", len(opts.Stores), opts.Core.N)
+	}
+	if opts.Telemetry != nil && len(opts.Telemetry) != opts.Core.N {
+		return nil, fmt.Errorf("transport: %d telemetry bundles for N=%d", len(opts.Telemetry), opts.Core.N)
 	}
 	c := &MemoryCluster{}
 	for i := 0; i < opts.Core.N; i++ {
@@ -77,7 +85,11 @@ func NewMemoryCluster(opts MemoryOptions) (*MemoryCluster, error) {
 		if st == nil {
 			st = store.NewNoop()
 		}
-		r, err := replica.NewWithStore(opts.Core, i, opts.Replica, st, n)
+		params := opts.Replica
+		if opts.Telemetry != nil {
+			params.Telemetry = opts.Telemetry[i]
+		}
+		r, err := replica.NewWithStore(opts.Core, i, params, st, n)
 		if err != nil {
 			c.Close()
 			return nil, err

@@ -15,6 +15,7 @@ import (
 	"dledger/internal/core"
 	"dledger/internal/replica"
 	"dledger/internal/store"
+	"dledger/internal/telemetry"
 	"dledger/internal/wire"
 )
 
@@ -87,6 +88,37 @@ type TCPNode struct {
 	// processed under the peer writer's current incarnation nonce.
 	recvMu sync.Mutex
 	recv   map[[2]int]*recvState
+
+	// tel holds the transport's telemetry handles (inert when the
+	// replica params carry no telemetry bundle).
+	tel tcpMetrics
+}
+
+// tcpMetrics is the TCP backend's telemetry handle set, indexed by
+// traffic class where split. The zero value (telemetry disabled)
+// no-ops.
+type tcpMetrics struct {
+	sentFrames [2]*telemetry.Counter
+	sentBytes  [2]*telemetry.Counter
+	recvFrames [2]*telemetry.Counter
+	recvBytes  [2]*telemetry.Counter
+	replayed   *telemetry.Counter
+	acks       *telemetry.Counter
+}
+
+func newTCPMetrics(m *telemetry.Metrics) tcpMetrics {
+	reg := m.Registry()
+	var t tcpMetrics
+	labels := [2]string{classHigh: `class="dispersal"`, classLow: `class="retrieval"`}
+	for c, lbl := range labels {
+		t.sentFrames[c] = reg.Counter("dl_transport_sent_frames_total", lbl, "Frames queued to peers, by traffic class.")
+		t.sentBytes[c] = reg.Counter("dl_transport_sent_bytes_total", lbl, "Frame bytes queued to peers, by traffic class.")
+		t.recvFrames[c] = reg.Counter("dl_transport_recv_frames_total", lbl, "Frames received from peers, by traffic class.")
+		t.recvBytes[c] = reg.Counter("dl_transport_recv_bytes_total", lbl, "Frame bytes received from peers, by traffic class.")
+	}
+	t.replayed = reg.Counter("dl_transport_replayed_frames_total", "", "Unacked frames re-sent on a fresh connection after a reconnect.")
+	t.acks = reg.Counter("dl_transport_acks_total", "", "Stream-position acks received from peers.")
+	return t
 }
 
 // recvState is the receiver half of the frame-ack replay protocol.
@@ -138,6 +170,7 @@ func NewTCPNode(opts TCPOptions) (*TCPNode, error) {
 	n := &TCPNode{
 		self: opts.Self, loop: newEventLoop(), keys: opts.Keys, wrap: opts.Wrap,
 		recv: map[[2]int]*recvState{},
+		tel:  newTCPMetrics(opts.Replica.Telemetry),
 	}
 	st := opts.Store
 	if st == nil {
@@ -364,6 +397,8 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		// older connection races this one: positions name the same
 		// frames under the same nonce.
 		got++
+		n.tel.recvFrames[class].Inc()
+		n.tel.recvBytes[class].Add(uint64(4 + size))
 		pos := connBase + got
 		n.recvMu.Lock()
 		if st.nonce == nonce && pos > st.maxSeq {
@@ -395,6 +430,13 @@ func (p *tcpPeer) enqueue(env wire.Envelope, prio wire.Priority, stream uint64) 
 	frame := make([]byte, 4+len(payload))
 	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
 	copy(frame[4:], payload)
+
+	class := classLow
+	if prio == wire.PrioDispersal {
+		class = classHigh
+	}
+	p.node.tel.sentFrames[class].Inc()
+	p.node.tel.sentBytes[class].Add(uint64(len(frame)))
 
 	p.mu.Lock()
 	if p.closed {
@@ -501,13 +543,15 @@ func incarnationNonce() uint64 {
 }
 
 // ackReader consumes stream-position reports from the receiving side of
-// a writer connection, publishing the latest into ctr.
-func ackReader(c net.Conn, ctr *atomic.Uint64) {
+// a writer connection, publishing the latest into ctr and counting each
+// report into acks (nil-safe).
+func ackReader(c net.Conn, ctr *atomic.Uint64, acks *telemetry.Counter) {
 	var buf [8]byte
 	for {
 		if _, err := io.ReadFull(c, buf[:]); err != nil {
 			return
 		}
+		acks.Inc()
 		v := binary.BigEndian.Uint64(buf[:])
 		for {
 			cur := ctr.Load()
@@ -636,10 +680,13 @@ func (p *tcpPeer) writer(class int) {
 			c.SetReadDeadline(time.Time{})
 			prune(binary.BigEndian.Uint64(rb[:]))
 			ctr := &atomic.Uint64{}
-			go ackReader(c, ctr)
+			go ackReader(c, ctr, p.node.tel.acks)
 			conn = c
 			bw = bufio.NewWriterSize(c, 256<<10)
 			acked = ctr
+			// Frames already written to the previous connection but not
+			// pruned by the receiver's ack are about to be re-sent.
+			p.node.tel.replayed.Add(uint64(written))
 			written = 0 // the whole unacked tail replays on this conn
 			unflushed = 0
 			return true
