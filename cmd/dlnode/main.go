@@ -100,6 +100,7 @@ func main() {
 	clientRate := flag.Float64("clientrate", 0, "per-client admission rate limit in KB/s; a flooder is rejected with a retry-after hint before it can consume the shared mempool budget (0 = unlimited)")
 	stateSync := flag.Bool("statesync", true, "enable the state-sync subsystem: serve checkpoints to joining peers and bootstrap from one if an outage outlasts every peer's -retain horizon")
 	join := flag.Bool("join", false, "join a running cluster as a brand-new member: bootstrap from a peer checkpoint instead of replaying history (requires an empty -datadir and peers running with state sync; implies -statesync)")
+	forceRestart := flag.Bool("force-restart", false, "open a -datadir flagged UNSAFE_RESTART (a durable write failed during the previous run) anyway, clearing the flag; the node recovers to a stale position and may spend the cluster's fault budget — see docs/OPERATIONS.md")
 	flag.Parse()
 
 	if *genkeys > 0 {
@@ -159,6 +160,7 @@ func main() {
 			MempoolBytes:    int(*mempoolMB * trace.MB),
 			ClientRateLimit: *clientRate * 1024,
 			StateSync:       *stateSync || *join,
+			ForceRestart:    *forceRestart,
 		},
 		Self:       *id,
 		Addrs:      addrs,
@@ -225,7 +227,7 @@ func main() {
 					s.StateSyncs, float64(s.StateSyncBytes)/trace.MB, s.StateSyncChunks, s.StateSyncServed)
 			}
 			if s.StoreErrors > 0 {
-				fmt.Fprintf(os.Stderr, "dlnode: WARNING: %d durable-write failures — persistence is OFF and %s is no longer a valid restart point\n",
+				fmt.Fprintf(os.Stderr, "dlnode: WARNING: %d durable-write failures — persistence is OFF; %s is flagged UNSAFE_RESTART and restarting from it requires -force-restart (see docs/OPERATIONS.md)\n",
 					s.StoreErrors, *datadir)
 			}
 		}

@@ -88,7 +88,18 @@ type Config struct {
 	// its fsync). Checkpoints compact the log every ~64 delivered
 	// epochs; chunk segments are reclaimed in step with the
 	// RetainEpochs garbage-collection horizon.
+	//
+	// If a durable write ever fails mid-run, the node keeps
+	// participating without persisting and durably flags the directory
+	// (UNSAFE_RESTART): reopening it is refused until ForceRestart, since
+	// the log stops short of the state the node externalized.
 	DataDir string
+	// ForceRestart opens a DataDir flagged UNSAFE_RESTART anyway,
+	// clearing the flag — the operator accepts that the restarted node
+	// recovers to a stale position and may re-send agreement votes its
+	// broken log forgot, spending the cluster's fault budget. See
+	// docs/OPERATIONS.md before using.
+	ForceRestart bool
 	// MempoolBytes caps the node's queued transaction bytes: a
 	// submission that would exceed the budget is rejected (gateway
 	// clients get an over-capacity receipt with a retry-after hint; the
@@ -289,7 +300,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.DataDir != "" {
 		for i := 0; i < cc.N; i++ {
 			st, err := store.OpenFile(store.FileOptions{
-				Dir: filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i)),
+				Dir:          filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", i)),
+				ForceRestart: cfg.ForceRestart,
 			})
 			if err != nil {
 				closeStores(stores)
@@ -555,7 +567,10 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 	var st store.Store
 	if opts.Config.DataDir != "" {
 		var err error
-		st, err = store.OpenFile(store.FileOptions{Dir: opts.Config.DataDir})
+		st, err = store.OpenFile(store.FileOptions{
+			Dir:          opts.Config.DataDir,
+			ForceRestart: opts.Config.ForceRestart,
+		})
 		if err != nil {
 			return nil, err
 		}

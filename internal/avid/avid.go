@@ -27,11 +27,19 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dledger/internal/erasure"
 	"dledger/internal/merkle"
 	"dledger/internal/wire"
 )
+
+// scratchPool recycles erasure-encode scratch across the transient
+// re-encode paths — retrieval verification and own-chunk back-fill —
+// where the shards are discarded (or copied out) before the next use.
+// Dispersal proper keeps Split: its shards travel in Chunk messages and
+// must own their memory.
+var scratchPool = sync.Pool{New: func() any { return new(erasure.Scratch) }}
 
 // BadUploader is the fixed error value returned by retrieval when the
 // dispersed chunks are not a consistent erasure encoding (§3.3). All
@@ -96,7 +104,9 @@ func Disperse(p Params, block []byte) ([]wire.Chunk, merkle.Root, error) {
 // crashed or not-yet-joined incarnation never received, restoring its
 // availability promise for the instance.
 func OwnChunk(p Params, self int, block []byte) (merkle.Root, []byte, merkle.Proof, error) {
-	shards, err := p.Coder.Split(block)
+	sc := scratchPool.Get().(*erasure.Scratch)
+	defer scratchPool.Put(sc)
+	shards, err := p.Coder.SplitInto(block, sc)
 	if err != nil {
 		return merkle.Root{}, nil, merkle.Proof{}, err
 	}
@@ -105,7 +115,9 @@ func OwnChunk(p Params, self int, block []byte) (merkle.Root, []byte, merkle.Pro
 	if err != nil {
 		return merkle.Root{}, nil, merkle.Proof{}, err
 	}
-	return tree.Root(), shards[self], proof, nil
+	// The scratch is reused after return: the one shard we keep is copied.
+	chunk := append([]byte(nil), shards[self]...)
+	return tree.Root(), chunk, proof, nil
 }
 
 // Server is the per-instance server automaton.
@@ -430,13 +442,18 @@ func (r *Retriever) decode(root merkle.Root, set map[int]wire.ReturnChunk) {
 	}
 	// Re-encoding check: the decoded block must re-encode to the same
 	// Merkle root, otherwise different chunk subsets could decode to
-	// different blocks.
-	reShards, err := r.p.Coder.Split(block)
+	// different blocks. The re-encoded shards are compared and dropped, so
+	// they live in pooled scratch.
+	sc := scratchPool.Get().(*erasure.Scratch)
+	reShards, err := r.p.Coder.SplitInto(block, sc)
 	if err != nil {
+		scratchPool.Put(sc)
 		r.finish(nil, true)
 		return
 	}
-	if merkle.RootOf(reShards) != root {
+	ok := merkle.RootOf(reShards) == root
+	scratchPool.Put(sc)
+	if !ok {
 		r.finish(nil, true)
 		return
 	}

@@ -57,6 +57,13 @@ const (
 	// message; needed so a restore resumes from the right round/estimate
 	// instead of re-running round 0 with a possibly-different input).
 	VoteRound
+	// VoteHalt records reaching the halt condition (2f+1 Terms for one
+	// value; Value is the decision). Journal-only, like VoteRound. It
+	// exists so a WAL-only replay — no snapshot taken since the halt —
+	// restores a halted instance as halted: without it, the restore saw
+	// only the Term and came back decided-but-live, re-sending Term once
+	// on restart (the former DESIGN.md caveat i).
+	VoteHalt
 )
 
 // Vote is one vote-journal entry: everything this instance has committed
@@ -159,6 +166,17 @@ func (b *BA) record(v Vote) {
 // restores as halted: it ignores all input and sends nothing.
 func Restore(n, f int, c coin.Func, halted bool, votes []Vote) *BA {
 	b := New(n, f, c)
+	// A journaled VoteHalt is the WAL's carrier of the halt condition:
+	// honor it even when the caller's snapshot (if any) predates the
+	// halt and says halted=false.
+	if !halted {
+		for _, v := range votes {
+			if v.Kind == VoteHalt {
+				halted = true
+				break
+			}
+		}
+	}
 	if halted {
 		// Only the decision matters for a halted instance (it ignores
 		// all input and sends nothing), but it matters a lot: the
@@ -349,6 +367,12 @@ func (b *BA) onTerm(from int, m wire.Term) []Send {
 	if b.termCnt[v] >= 2*b.f+1 {
 		b.halted = true
 		b.rounds = nil // release round state
+		// Journal the halt itself so the WAL carries it: Restore treats a
+		// replayed VoteHalt exactly like a snapshot's halted flag. It is
+		// recorded before the journal is filtered below — the observer
+		// (and through it the WAL) sees it; the in-memory journal does
+		// not need it (b.halted is already set).
+		b.record(Vote{Kind: VoteHalt, Value: m.Value})
 		// A halted instance never votes again, so the round journal is
 		// dead weight — but its Term must survive: a snapshot taken
 		// after the halt is the only carrier of the decision once the

@@ -401,8 +401,8 @@ func TestJournalMatchesWire(t *testing.T) {
 		for i := range h.nodes {
 			var jw []sent
 			for _, v := range journals[i] {
-				if v.Kind == VoteRound {
-					continue
+				if v.Kind == VoteRound || v.Kind == VoteHalt {
+					continue // journal-only entries, never on the wire
 				}
 				jw = append(jw, sent{v.Kind, v.Round, v.Value})
 			}
@@ -511,6 +511,58 @@ func TestRestoreHalted(t *testing.T) {
 	}
 	if outs := r.ResendVotes(); outs != nil {
 		t.Fatalf("halted instance re-sent votes: %v", outs)
+	}
+}
+
+// TestHaltSurvivesWALOnlyRestore drives a live instance to the halt
+// condition (2f+1 Terms) and restores it from its journal alone, the way
+// a WAL-only replay does — no snapshot, so the caller passes
+// halted=false. The journaled VoteHalt must bring the instance back
+// halted: silent, decided, and with nothing to re-send. Before the halt
+// was journaled this restore came back decided-but-live and re-sent its
+// Term on restart (DESIGN.md's former caveat i).
+func TestHaltSurvivesWALOnlyRestore(t *testing.T) {
+	scheme := coin.NewScheme([]byte("test secret"))
+	b := New(4, 1, scheme.ForInstance(1, 1))
+	var journal []Vote
+	b.SetJournal(func(v Vote) { journal = append(journal, v) })
+	b.Input(true)
+	for from := 1; from <= 3; from++ {
+		b.Handle(from, wire.Term{Value: true})
+	}
+	if !b.Halted() {
+		t.Fatal("instance did not halt after 2f+1 Terms")
+	}
+	var halts int
+	for _, v := range journal {
+		if v.Kind == VoteHalt {
+			halts++
+			if !v.Value {
+				t.Fatalf("VoteHalt carries value %v, want the decision true", v.Value)
+			}
+		}
+	}
+	if halts != 1 {
+		t.Fatalf("journal has %d VoteHalt entries, want 1", halts)
+	}
+	// The in-memory journal keeps only the Term (the snapshot carrier);
+	// VoteHalt lives in the observer stream — i.e. the WAL.
+	if votes := b.Votes(); len(votes) != 1 || votes[0].Kind != VoteTerm {
+		t.Fatalf("post-halt journal = %+v, want the Term only", votes)
+	}
+
+	r := Restore(4, 1, scheme.ForInstance(1, 1), false, journal)
+	if !r.Halted() {
+		t.Fatal("WAL-only restore lost the halt: instance came back decided-but-live")
+	}
+	if d, v := r.Decided(); !d || !v {
+		t.Fatalf("restored halted instance lost the decision: %v %v", d, v)
+	}
+	if outs := r.ResendVotes(); outs != nil {
+		t.Fatalf("restored halted instance re-sent votes: %v", outs)
+	}
+	if outs := r.Handle(1, wire.BVal{Round: 0, Value: false}); outs != nil {
+		t.Fatalf("restored halted instance replied: %v", outs)
 	}
 }
 

@@ -1,0 +1,111 @@
+// Package bufpool provides reference-counted, size-classed byte buffers
+// for the wire→transport→store hot path. Frame and chunk payloads churn
+// at every epoch; recycling them through sync.Pool size classes removes
+// the dominant per-epoch allocations without giving up memory safety:
+// a buffer only returns to its class when the last holder releases it.
+//
+// Ownership rules (also documented in DESIGN.md):
+//
+//   - Get returns a Buf with reference count 1, owned by the caller.
+//   - Passing a Buf across a goroutine or subsystem boundary transfers
+//     that single reference unless the sender calls Retain first.
+//   - Release decrements; the holder must not touch Bytes afterwards.
+//     When the count reaches zero the memory is recycled and will be
+//     handed out again, so a late read is a real data race — the pool
+//     poisons the first byte in that case to make misuse loud.
+//   - Code that needs to keep payload bytes past the buffer's lifetime
+//     must copy them out (wire.Decode already copies every field).
+package bufpool
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits..maxClassBits bound the pooled size classes
+	// (512 B .. 4 MiB). Requests outside the range get plain one-shot
+	// allocations that fall to the GC on release.
+	minClassBits = 9
+	maxClassBits = 22
+)
+
+var classes [maxClassBits - minClassBits + 1]sync.Pool
+
+// Buf is a reference-counted byte buffer drawn from a size-classed pool.
+type Buf struct {
+	b    []byte
+	refs atomic.Int32
+	cls  int // size-class index, -1 when not pooled
+}
+
+// classFor returns the class index whose capacity fits n, or -1 when n is
+// outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<maxClassBits {
+		return -1
+	}
+	bitsNeeded := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if bitsNeeded < minClassBits {
+		bitsNeeded = minClassBits
+	}
+	return bitsNeeded - minClassBits
+}
+
+// Get returns a buffer of length n with reference count 1. The contents
+// are not zeroed: callers overwrite the full length they asked for.
+func Get(n int) *Buf {
+	cls := classFor(n)
+	if cls < 0 {
+		b := &Buf{b: make([]byte, n), cls: -1}
+		b.refs.Store(1)
+		return b
+	}
+	if v := classes[cls].Get(); v != nil {
+		b := v.(*Buf)
+		b.b = b.b[:n]
+		b.refs.Store(1)
+		return b
+	}
+	b := &Buf{b: make([]byte, n, 1<<(cls+minClassBits)), cls: cls}
+	b.refs.Store(1)
+	return b
+}
+
+// Bytes returns the buffer's contents. The slice is valid until the
+// holder's reference is released.
+func (b *Buf) Bytes() []byte { return b.b }
+
+// Len returns the buffer's current length.
+func (b *Buf) Len() int { return len(b.b) }
+
+// Retain adds a reference, for handing the buffer to an additional
+// holder. It panics on a buffer that has already been fully released.
+func (b *Buf) Retain() {
+	if b.refs.Add(1) <= 1 {
+		panic("bufpool: Retain on released buffer")
+	}
+}
+
+// Release drops the caller's reference. When the last reference is
+// dropped the buffer returns to its size class (or to the GC when it was
+// too large to pool). Releasing more times than retained panics: a
+// double release is a use-after-free in waiting.
+func (b *Buf) Release() {
+	switch n := b.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic(fmt.Sprintf("bufpool: Release of dead buffer (refs=%d)", n))
+	}
+	if b.cls < 0 {
+		b.b = nil // large one-shot: let the GC have it
+		return
+	}
+	if len(b.b) > 0 {
+		b.b[0] ^= 0xa5 // poison so a use-after-release is loud, not silent
+	}
+	classes[b.cls].Put(b)
+}

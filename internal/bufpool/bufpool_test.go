@@ -1,0 +1,120 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0},
+		{512, 0},
+		{513, 1},
+		{1024, 1},
+		{1 << 22, maxClassBits - minClassBits},
+		{1<<22 + 1, -1},
+		{0, -1},
+		{-5, -1},
+	}
+	for _, tc := range cases {
+		if got := classFor(tc.n); got != tc.want {
+			t.Errorf("classFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestGetLenAndCapacity(t *testing.T) {
+	for _, n := range []int{1, 100, 512, 513, 4096, 100000} {
+		b := Get(n)
+		if b.Len() != n || len(b.Bytes()) != n {
+			t.Fatalf("Get(%d): len = %d", n, b.Len())
+		}
+		if c := cap(b.Bytes()); c < n {
+			t.Fatalf("Get(%d): cap = %d < n", n, c)
+		}
+		b.Release()
+	}
+}
+
+func TestOversizeFallsBackToGC(t *testing.T) {
+	b := Get(1<<maxClassBits + 1)
+	if b.cls != -1 {
+		t.Fatalf("oversize buffer got class %d, want -1", b.cls)
+	}
+	b.Release() // must not panic
+}
+
+func TestRetainRelease(t *testing.T) {
+	b := Get(64)
+	b.Retain()
+	b.Release()
+	b.Bytes()[0] = 42 // still alive: one reference remains
+	b.Release()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	b := Get(64)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	b := Get(64)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain after full Release did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+func TestReuseIsAllocationFree(t *testing.T) {
+	// Warm the class, then Get/Release of the same size must recycle.
+	Get(4096).Release()
+	n := testing.AllocsPerRun(100, func() {
+		b := Get(4096)
+		b.Bytes()[0] = 1
+		b.Release()
+	})
+	if n != 0 {
+		t.Fatalf("warm Get/Release allocates %v times per run, want 0", n)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	// Run under -race in CI: concurrent Get/Retain/Release on the shared
+	// classes must be safe.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := Get(1 << uint(9+(g+i)%6))
+				for j := 0; j < b.Len(); j += 512 {
+					b.Bytes()[j] = byte(i)
+				}
+				b.Retain()
+				b.Release()
+				b.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetRelease(b *testing.B) {
+	Get(16 << 10).Release()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(16 << 10)
+		buf.Bytes()[0] = byte(i)
+		buf.Release()
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"dledger/internal/avid"
+	"dledger/internal/ba"
 	"dledger/internal/store"
 	"dledger/internal/wire"
 )
@@ -128,12 +129,23 @@ func TestRestartReVotesByteIdentical(t *testing.T) {
 				resent[key] = append(resent[key], s.Env.Encode())
 			}
 		}
+		// Instances whose WAL carries a VoteHalt restored as halted: they
+		// saw 2f+1 Terms pre-crash, so the whole cluster already holds
+		// their outcome and the restart stays silent for them.
+		haltedKeys := map[blockKey]bool{}
+		for _, r := range wal.recs {
+			if r.Type == store.RecVote && r.VoteKind == uint8(ba.VoteHalt) {
+				haltedKeys[blockKey{r.Epoch, r.Proposer}] = true
+			}
+		}
 		for key, want := range preSends {
-			if eng.isDecided(key.epoch) {
-				// Decided epochs re-send nothing: their outcome is
-				// installed and the engine refuses fresh instances.
+			if eng.isDecided(key.epoch) || haltedKeys[key] {
+				// Decided epochs and halted instances re-send nothing:
+				// their outcome is installed (and for halted instances
+				// provably cluster-wide), and the engine refuses fresh
+				// instances.
 				if got := resent[key]; got != nil {
-					t.Fatalf("seed %d: decided instance (%d,%d) re-sent %d votes", seed, key.epoch, key.proposer, len(got))
+					t.Fatalf("seed %d: decided/halted instance (%d,%d) re-sent %d votes", seed, key.epoch, key.proposer, len(got))
 				}
 				continue
 			}
@@ -597,5 +609,99 @@ func TestHaltedInstanceDecisionSurvivesSnapshot(t *testing.T) {
 	}
 	if !decided {
 		t.Fatal("epoch never decided: the halted slot is poisoned")
+	}
+}
+
+// TestWALOnlyReplayRestoresHaltedInstance is the regression test for
+// DESIGN.md's former caveat (i): a WAL-only replay — no snapshot taken
+// since the halt — used to restore a halted instance as decided-but-live
+// and re-send its Term on restart. The halt is now journaled (RecVote
+// with ba.VoteHalt), so the same replay restores the instance halted and
+// silent, while its decision still reaches the epoch bookkeeping.
+func TestWALOnlyReplayRestoresHaltedInstance(t *testing.T) {
+	cfg := Config{N: 4, F: 1, Mode: ModeDL, CoinSecret: []byte("s")}
+	eng, err := NewEngine(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal := newWALCollector()
+	collect := func(actions []Action) {
+		for _, a := range actions {
+			wal.observe(a)
+		}
+	}
+	collect(eng.Start())
+	// Instance (1,1) decides (f+1 Terms) and then halts (2f+1); epoch 1
+	// stays undecided, so the restart's re-send loop visits the instance.
+	for _, from := range []int{1, 2, 3} {
+		collect(eng.Handle(wire.Envelope{From: from, Epoch: 1, Proposer: 1,
+			Payload: wire.Term{Value: true}}))
+	}
+	if !eng.epochs[1].bas[1].Halted() {
+		t.Fatal("instance did not halt on 2f+1 Terms")
+	}
+	var halts int
+	for _, r := range wal.recs {
+		if r.Type == store.RecVote && r.VoteKind == uint8(ba.VoteHalt) {
+			halts++
+		}
+	}
+	if halts != 1 {
+		t.Fatalf("WAL has %d VoteHalt records, want 1", halts)
+	}
+
+	restart := func(recs []store.Record) (*Engine, int) {
+		t.Helper()
+		e, err := NewEngine(cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Restore(nil, recs, nil); err != nil {
+			t.Fatal(err)
+		}
+		terms := 0
+		for _, a := range e.Start() {
+			if s, ok := a.(SendAction); ok && s.Env.Epoch == 1 && s.Env.Proposer == 1 {
+				if _, isTerm := s.Env.Payload.(wire.Term); isTerm {
+					terms++
+				}
+			}
+		}
+		return e, terms
+	}
+
+	// Sanity: strip the halt record and the caveat reproduces — the
+	// instance comes back live and re-broadcasts its Term. This pins the
+	// test's sensitivity; if it ever fails, the scenario no longer
+	// exercises the halt path.
+	var stripped []store.Record
+	for _, r := range wal.recs {
+		if r.Type == store.RecVote && r.VoteKind == uint8(ba.VoteHalt) {
+			continue
+		}
+		stripped = append(stripped, r)
+	}
+	if _, terms := restart(stripped); terms == 0 {
+		t.Fatal("sanity: halt-free WAL replay did not re-send the Term")
+	}
+
+	// The fix: the full WAL restores the instance halted — no Term
+	// re-send, silent under traffic, decision propagated.
+	eng2, terms := restart(wal.recs)
+	if terms != 0 {
+		t.Fatalf("WAL-only replay of a halted instance re-sent %d Term(s)", terms)
+	}
+	rb := eng2.epochs[1].bas[1]
+	if rb == nil || !rb.Halted() {
+		t.Fatal("instance not restored as halted from the WAL alone")
+	}
+	if eng2.epochs[1].baOut[1] != 1 {
+		t.Fatalf("halted instance's decision not propagated (baOut=%v)", eng2.epochs[1].baOut)
+	}
+	for _, a := range eng2.Handle(wire.Envelope{From: 2, Epoch: 1, Proposer: 1,
+		Payload: wire.BVal{Round: 0, Value: false}}) {
+		if s, ok := a.(SendAction); ok && isBAMsg(s.Env.Payload) {
+			t.Fatalf("restored halted instance answered traffic with %T", s.Env.Payload)
+		}
 	}
 }

@@ -67,34 +67,74 @@ func (c *Coder) ShardSize(dataLen int) int {
 	return (total + c.k - 1) / c.k
 }
 
+// Scratch holds reusable encode buffers for SplitInto. A zero Scratch is
+// ready to use; it grows to the largest encode it has served and is then
+// allocation-free. A Scratch is owned by one goroutine at a time, and the
+// shards returned by SplitInto alias its buffer — they are valid only
+// until the next call that uses the same Scratch.
+type Scratch struct {
+	buf    []byte
+	shards [][]byte
+}
+
 // Split encodes data into n shards of equal size. Any k of the returned
 // shards reconstruct data via Reconstruct. The input is copied; the caller
-// may reuse it.
+// may reuse it. The returned shards are freshly allocated and owned by the
+// caller; use SplitInto when the shards are transient.
 func (c *Coder) Split(data []byte) ([][]byte, error) {
+	return c.split(data, nil)
+}
+
+// SplitInto is Split encoding into s's reused buffers: the returned shards
+// alias s and are only valid until s's next use. It exists for transient
+// encodes — AVID-M's verification re-encode discards the shards as soon as
+// the Merkle root is compared, and going through a Scratch makes that path
+// allocation-free in steady state.
+func (c *Coder) SplitInto(data []byte, s *Scratch) ([][]byte, error) {
+	return c.split(data, s)
+}
+
+func (c *Coder) split(data []byte, s *Scratch) ([][]byte, error) {
 	if len(data) > 0xffffffff-4 {
 		return nil, fmt.Errorf("%w: block too large", ErrInvalidParams)
 	}
 	shardSize := c.ShardSize(len(data))
-	// Lay out: 4-byte big-endian length, then data, then zero padding.
-	buf := make([]byte, shardSize*c.k)
+	need := shardSize * c.n
+	var buf []byte
+	var shards [][]byte
+	if s != nil {
+		if cap(s.buf) < need {
+			s.buf = make([]byte, need)
+		}
+		if cap(s.shards) < c.n {
+			s.shards = make([][]byte, c.n)
+		}
+		buf, shards = s.buf[:need], s.shards[:c.n]
+	} else {
+		buf = make([]byte, need)
+		shards = make([][]byte, c.n)
+	}
+	// Lay out: 4-byte big-endian length, then data, then zero padding, then
+	// the parity rows. Only the tail needs clearing on reuse — the header
+	// and data region are overwritten below, and parity rows accumulate
+	// from zero.
 	buf[0] = byte(len(data) >> 24)
 	buf[1] = byte(len(data) >> 16)
 	buf[2] = byte(len(data) >> 8)
 	buf[3] = byte(len(data))
 	copy(buf[4:], data)
+	tail := buf[4+len(data):]
+	for i := range tail {
+		tail[i] = 0
+	}
 
-	shards := make([][]byte, c.n)
-	for i := 0; i < c.k; i++ {
+	for i := 0; i < c.n; i++ {
 		shards[i] = buf[i*shardSize : (i+1)*shardSize]
 	}
-	parity := make([]byte, shardSize*(c.n-c.k))
-	for i := c.k; i < c.n; i++ {
-		shards[i] = parity[(i-c.k)*shardSize : (i-c.k+1)*shardSize]
-		row := c.matrix.Row(i)
-		for j := 0; j < c.k; j++ {
-			gf256.MulAddSlice(row[j], shards[i], shards[j])
-		}
-	}
+	forEachRow(c.n-c.k, shardSize, func(r int) {
+		i := c.k + r
+		gf256.MulAddRow(shards[i], c.matrix.Row(i), shards[:c.k])
+	})
 	return shards, nil
 }
 
@@ -149,13 +189,13 @@ func (c *Coder) Reconstruct(shards [][]byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i := 0; i < c.k; i++ {
-			out := data[i*shardSize : (i+1)*shardSize]
-			row := dec.Row(i)
-			for j, src := range present {
-				gf256.MulAddSlice(row[j], out, shards[src])
-			}
+		srcs := make([][]byte, c.k)
+		for j, src := range present {
+			srcs[j] = shards[src]
 		}
+		forEachRow(c.k, shardSize, func(i int) {
+			gf256.MulAddRow(data[i*shardSize:(i+1)*shardSize], dec.Row(i), srcs)
+		})
 	}
 
 	if len(data) < 4 {
@@ -194,42 +234,50 @@ func (c *Coder) ReconstructShards(shards [][]byte) error {
 	}
 	present = present[:c.k]
 
-	// Recover the k data shards first.
+	// Recover the k data shards first. Each missing row is an independent
+	// matrix-vector product over the same k present shards, so the rows
+	// fan out across the worker pool writing disjoint buffers.
 	sub := c.matrix.SelectRows(present)
 	dec, err := sub.Invert()
 	if err != nil {
 		return err
 	}
+	srcs := make([][]byte, c.k)
+	for j, src := range present {
+		srcs[j] = shards[src]
+	}
 	dataShards := make([][]byte, c.k)
+	var missing []int
 	for i := 0; i < c.k; i++ {
 		if shards[i] != nil && containsInt(present, i) {
 			dataShards[i] = shards[i]
-			continue
+		} else {
+			dataShards[i] = make([]byte, shardSize)
+			missing = append(missing, i)
 		}
-		out := make([]byte, shardSize)
-		row := dec.Row(i)
-		for j, src := range present {
-			gf256.MulAddSlice(row[j], out, shards[src])
-		}
-		dataShards[i] = out
 	}
+	forEachRow(len(missing), shardSize, func(r int) {
+		i := missing[r]
+		gf256.MulAddRow(dataShards[i], dec.Row(i), srcs)
+	})
 	for i := 0; i < c.k; i++ {
 		if shards[i] == nil {
 			shards[i] = dataShards[i]
 		}
 	}
-	// Re-derive any missing parity shards.
+	// Re-derive any missing parity shards (they depend on the data shards
+	// recovered above, hence the second, separate parallel pass).
+	missing = missing[:0]
 	for i := c.k; i < c.n; i++ {
-		if shards[i] != nil {
-			continue
+		if shards[i] == nil {
+			shards[i] = make([]byte, shardSize)
+			missing = append(missing, i)
 		}
-		out := make([]byte, shardSize)
-		row := c.matrix.Row(i)
-		for j := 0; j < c.k; j++ {
-			gf256.MulAddSlice(row[j], out, dataShards[j])
-		}
-		shards[i] = out
 	}
+	forEachRow(len(missing), shardSize, func(r int) {
+		i := missing[r]
+		gf256.MulAddRow(shards[i], c.matrix.Row(i), dataShards)
+	})
 	return nil
 }
 

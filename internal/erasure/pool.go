@@ -1,0 +1,91 @@
+package erasure
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The coder parallelizes encode/decode by output row: every parity (or
+// recovery) row is an independent function of the k input shards, so rows
+// can be computed on any worker in any order and the result is
+// byte-identical to the serial loop — which is what lets the seeded
+// chaos/emulator runs stay deterministic while the coder uses every core.
+//
+// The pool is a fixed set of workers started on first use, bounded by
+// GOMAXPROCS (capped at maxWorkers): erasure coding is memory-bandwidth
+// bound well before 16 cores, and an unbounded per-call goroutine spray
+// would thrash the scheduler under the emulator's many concurrent nodes.
+
+const (
+	// maxWorkers caps the pool size.
+	maxWorkers = 16
+	// minParallelBytes is the total output size below which the serial
+	// loop wins: a span hand-off costs on the order of a microsecond,
+	// which only pays for itself once each worker gets tens of KB.
+	minParallelBytes = 64 << 10
+)
+
+var pool struct {
+	once sync.Once
+	ch   chan func()
+	n    int
+}
+
+func poolSize() int {
+	pool.once.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n > maxWorkers {
+			n = maxWorkers
+		}
+		pool.n = n
+		if n > 1 {
+			pool.ch = make(chan func())
+			for i := 0; i < n; i++ {
+				go func() {
+					for f := range pool.ch {
+						f()
+					}
+				}()
+			}
+		}
+	})
+	return pool.n
+}
+
+// forEachRow runs fn(r) for every r in [0, rows). When the total output
+// (rows * rowBytes) is large enough it shards contiguous row spans
+// across the worker pool and joins before returning; otherwise it runs
+// the plain serial loop. fn must touch only state owned by row r — rows
+// share no output memory, so scheduling cannot change the result.
+func forEachRow(rows, rowBytes int, fn func(r int)) {
+	w := poolSize()
+	if w > rows {
+		w = rows
+	}
+	if w <= 1 || rows*rowBytes < minParallelBytes {
+		for r := 0; r < rows; r++ {
+			fn(r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		lo, hi := rows*i/w, rows*(i+1)/w
+		span := func() {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				fn(r)
+			}
+		}
+		// Hand the span to an idle worker, or run it inline when all
+		// workers are busy (concurrent encodes from many emulated nodes):
+		// inline fallback keeps the pool bounded without queueing.
+		select {
+		case pool.ch <- span:
+		default:
+			span()
+		}
+	}
+	wg.Wait()
+}

@@ -8,6 +8,8 @@
 // multiplication and division with log/exp tables.
 package gf256
 
+import "encoding/binary"
+
 // Polynomial is the irreducible polynomial defining the field,
 // x^8 + x^4 + x^3 + x^2 + 1.
 const Polynomial = 0x11d
@@ -19,6 +21,14 @@ const Generator = 2
 var (
 	expTable [512]byte // expTable[i] = Generator^i; doubled to avoid mod 255 in Mul
 	logTable [256]byte // logTable[x] = i such that Generator^i = x, for x != 0
+
+	// mulTable[c][x] = c*x. 64 KiB — small enough to stay cache-resident
+	// through an encode, and it turns the slice kernels' inner loop into a
+	// single branch-free lookup per byte (the log/exp form needs two
+	// dependent loads plus a zero test). This is the table-driven analogue
+	// of the SSSE3/AVX2 shuffle kernels used by vectorized Reed-Solomon
+	// coders, which pure Go cannot express directly.
+	mulTable [256][256]byte
 )
 
 func init() {
@@ -33,6 +43,13 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
+	}
+	for c := 1; c < 256; c++ {
+		logC := int(logTable[c])
+		row := &mulTable[c]
+		for x := 1; x < 256; x++ {
+			row[x] = expTable[logC+int(logTable[x])]
+		}
 	}
 }
 
@@ -88,18 +105,28 @@ func MulSlice(c byte, dst, src []byte) {
 		copy(dst, src)
 		return
 	}
-	logC := int(logTable[c])
-	for i, s := range src {
-		if s == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = expTable[logC+int(logTable[s])]
-		}
+	mt := &mulTable[c]
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = mt[s[0]]
+		d[1] = mt[s[1]]
+		d[2] = mt[s[2]]
+		d[3] = mt[s[3]]
+		d[4] = mt[s[4]]
+		d[5] = mt[s[5]]
+		d[6] = mt[s[6]]
+		d[7] = mt[s[7]]
+	}
+	for ; i < len(src); i++ {
+		dst[i] = mt[src[i]]
 	}
 }
 
 // MulAddSlice sets dst[i] ^= c * src[i] for all i. It is the inner loop of
-// Reed-Solomon encoding.
+// Reed-Solomon encoding; the multiplication table keeps it branch-free
+// (no per-byte zero test) with one load per input byte.
 func MulAddSlice(c byte, dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulAddSlice length mismatch")
@@ -107,10 +134,53 @@ func MulAddSlice(c byte, dst, src []byte) {
 	if c == 0 {
 		return
 	}
-	logC := int(logTable[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= expTable[logC+int(logTable[s])]
-		}
+	if c == 1 {
+		XorSlice(dst, src)
+		return
+	}
+	mt := &mulTable[c]
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] ^= mt[s[0]]
+		d[1] ^= mt[s[1]]
+		d[2] ^= mt[s[2]]
+		d[3] ^= mt[s[3]]
+		d[4] ^= mt[s[4]]
+		d[5] ^= mt[s[5]]
+		d[6] ^= mt[s[6]]
+		d[7] ^= mt[s[7]]
+	}
+	for ; i < len(src); i++ {
+		dst[i] ^= mt[src[i]]
+	}
+}
+
+// XorSlice sets dst[i] ^= src[i] for all i (GF(2^8) addition of whole
+// slices, and the c == 1 case of MulAddSlice). The word-at-a-time loop
+// vectorizes the XOR eight bytes per operation without unsafe.
+func XorSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf256: XorSlice length mismatch")
+	}
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		v := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for ; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// MulAddRow accumulates a full matrix-vector row in one call:
+// out[i] ^= Σ_j coeffs[j] * srcs[j][i]. It is the unit of work the
+// erasure coder hands to its worker pool — one output row per task, so
+// parallel encodes write disjoint memory and the result is independent
+// of scheduling order. Every srcs[j] must have len(out).
+func MulAddRow(out []byte, coeffs []byte, srcs [][]byte) {
+	for j, src := range srcs {
+		MulAddSlice(coeffs[j], out, src)
 	}
 }

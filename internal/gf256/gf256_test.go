@@ -179,3 +179,117 @@ func TestMulSliceLengthMismatchPanics(t *testing.T) {
 	}()
 	MulSlice(3, make([]byte, 2), make([]byte, 3))
 }
+
+func TestMulTableMatchesMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 256; x++ {
+			if mulTable[c][x] != Mul(byte(c), byte(x)) {
+				t.Fatalf("mulTable[%d][%d] = %d, want Mul = %d", c, x, mulTable[c][x], Mul(byte(c), byte(x)))
+			}
+		}
+	}
+}
+
+// TestSliceKernelsAllLengths drives the unrolled kernels across lengths
+// that cover every remainder of the 8-byte unroll, comparing against the
+// scalar definition.
+func TestSliceKernelsAllLengths(t *testing.T) {
+	for n := 0; n <= 33; n++ {
+		src := make([]byte, n)
+		base := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i*37 + 11)
+			base[i] = byte(i*13 + 5)
+		}
+		for _, c := range []byte{0, 1, 2, 85, 255} {
+			dst := append([]byte(nil), base...)
+			MulAddSlice(c, dst, src)
+			for i := range dst {
+				if want := Add(base[i], Mul(c, src[i])); dst[i] != want {
+					t.Fatalf("n=%d c=%d MulAddSlice[%d] = %d, want %d", n, c, i, dst[i], want)
+				}
+			}
+			dst = append([]byte(nil), base...)
+			MulSlice(c, dst, src)
+			for i := range dst {
+				if want := Mul(c, src[i]); dst[i] != want {
+					t.Fatalf("n=%d c=%d MulSlice[%d] = %d, want %d", n, c, i, dst[i], want)
+				}
+			}
+		}
+		dst := append([]byte(nil), base...)
+		XorSlice(dst, src)
+		for i := range dst {
+			if want := base[i] ^ src[i]; dst[i] != want {
+				t.Fatalf("n=%d XorSlice[%d] = %d, want %d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestMulAddRow(t *testing.T) {
+	coeffs := []byte{3, 0, 1, 200}
+	srcs := make([][]byte, len(coeffs))
+	for j := range srcs {
+		srcs[j] = make([]byte, 16)
+		for i := range srcs[j] {
+			srcs[j][i] = byte(j*41 + i)
+		}
+	}
+	out := make([]byte, 16)
+	MulAddRow(out, coeffs, srcs)
+	for i := 0; i < 16; i++ {
+		var want byte
+		for j := range coeffs {
+			want = Add(want, Mul(coeffs[j], srcs[j][i]))
+		}
+		if out[i] != want {
+			t.Fatalf("MulAddRow[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+// The slice kernels are the hot path of every encode and decode; they
+// must never allocate.
+func TestSliceKernelsDoNotAllocate(t *testing.T) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if n := testing.AllocsPerRun(100, func() { MulAddSlice(7, dst, src) }); n != 0 {
+		t.Fatalf("MulAddSlice allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { MulSlice(7, dst, src) }); n != 0 {
+		t.Fatalf("MulSlice allocates %v times per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { XorSlice(dst, src) }); n != 0 {
+		t.Fatalf("XorSlice allocates %v times per run", n)
+	}
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	dst := make([]byte, 64<<10)
+	src := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(7, dst, src)
+	}
+}
+
+func BenchmarkXorSlice(b *testing.B) {
+	dst := make([]byte, 64<<10)
+	src := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		XorSlice(dst, src)
+	}
+}

@@ -31,6 +31,12 @@ type GeoParams struct {
 	// Telemetry instruments every node (ClusterOptions.Telemetry), used
 	// to demonstrate the enabled-path overhead stays within noise.
 	Telemetry bool
+	// MaxEpochLag bounds dispersal pipelining (the §4.5 lag guard,
+	// core.Config.MaxEpochLag). Zero leaves it unbounded — the Fig 8
+	// 16-city default. Large-N geo points need a bound for the same
+	// reason the Fig 12 sweep does: with infinite backlog, unbounded
+	// dispersal would starve retrieval entirely.
+	MaxEpochLag uint64
 }
 
 func (p *GeoParams) defaults() {
@@ -109,7 +115,7 @@ func RunGeo(p GeoParams) (*GeoResult, error) {
 	n := len(p.Cities)
 	samples := int(p.Duration/time.Second) + 2
 	c, err := NewCluster(ClusterOptions{
-		Core:            core.Config{N: n, F: (n - 1) / 3, Mode: p.Mode, StagedRetrieval: p.StagedRetrieval},
+		Core:            core.Config{N: n, F: (n - 1) / 3, Mode: p.Mode, StagedRetrieval: p.StagedRetrieval, MaxEpochLag: p.MaxEpochLag},
 		Replica:         scaledReplica(p.Scale),
 		Egress:          trace.CityTraces(p.Cities, p.Scale, samples, time.Second, p.Seed),
 		Delay:           geoDelay(n, p.Seed),

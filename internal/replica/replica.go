@@ -162,6 +162,9 @@ type Replica struct {
 	lastLSN     uint64
 	storeBroken bool
 	sinceCkpt   int
+	// recBatch is the reusable record buffer persistStep batches each
+	// step's WAL appends through.
+	recBatch []store.Record
 
 	// tracker records the attestable state-sync checkpoints this node
 	// can serve to joiners (nil without core.Config.StateSync).
@@ -588,13 +591,18 @@ func (r *Replica) apply(actions []core.Action) {
 }
 
 // persistStep writes the step's durable records and group-commits them
-// with one Sync, before any effect of the step is externalized.
+// with one Sync, before any effect of the step is externalized. The
+// step's WAL records are collected into one reused batch and handed to
+// the store in a single AppendBatch call — the WAL-level half of the
+// group commit (the frame bytes coalesce in the segment writer and one
+// fsync covers them all).
 func (r *Replica) persistStep(actions []core.Action, hashes map[int][]mempool.Hash) {
+	recs := r.recBatch[:0]
 	wrote := false
 	for idx, a := range actions {
 		switch act := a.(type) {
 		case core.ProposalMadeAction:
-			wrote = r.persist(store.Record{Type: store.RecProposed, Epoch: act.Epoch, Block: act.Block}) || wrote
+			recs = append(recs, store.Record{Type: store.RecProposed, Epoch: act.Epoch, Block: act.Block})
 		case core.DeliverAction:
 			var th [][32]byte
 			if hs := hashes[idx]; len(hs) > 0 {
@@ -603,24 +611,24 @@ func (r *Replica) persistStep(actions []core.Action, hashes map[int][]mempool.Ha
 					th[i] = h
 				}
 			}
-			wrote = r.persist(store.Record{
+			recs = append(recs, store.Record{
 				Type: store.RecBlock, Epoch: act.Epoch, Proposer: act.Proposer,
 				Linked: act.Linked, TxCount: uint32(len(act.Txs)),
 				Payload: uint32(act.Payload), V: act.V, TxHashes: th,
-			}) || wrote
+			})
 		case core.EpochDecidedAction:
-			wrote = r.persist(store.Record{Type: store.RecDecided, Epoch: act.Epoch, S: act.S}) || wrote
+			recs = append(recs, store.Record{Type: store.RecDecided, Epoch: act.Epoch, S: act.S})
 		case core.EpochDeliveredAction:
-			wrote = r.persist(store.Record{Type: store.RecEpochDone, Epoch: act.Epoch, Floor: act.Floor}) || wrote
+			recs = append(recs, store.Record{Type: store.RecEpochDone, Epoch: act.Epoch, Floor: act.Floor})
 		case core.VoteCastAction:
 			// Votes ride the step's existing group commit: the same Sync
 			// that covers the step's other records makes them durable
 			// before any of the step's sends (including the vote itself)
 			// reaches the wire — one record, not one fsync, per vote.
-			wrote = r.persist(store.Record{
+			recs = append(recs, store.Record{
 				Type: store.RecVote, Epoch: act.Epoch, Proposer: act.Proposer,
 				VoteKind: uint8(act.Vote.Kind), Round: act.Vote.Round, Value: act.Vote.Value,
-			}) || wrote
+			})
 		case core.ChunkStoredAction:
 			// Chunk records sync with the step too: the same step's Ready
 			// broadcast tells peers this node stores the chunk, and the
@@ -629,17 +637,27 @@ func (r *Replica) persistStep(actions []core.Action, hashes map[int][]mempool.Ha
 			wrote = true
 		}
 	}
+	if len(recs) > 0 {
+		wrote = r.persistBatch(recs) || wrote
+	}
+	// Drop the batch's references to block/hash payloads before reuse so
+	// the buffer doesn't pin a step's blocks until the next write burst.
+	for i := range recs {
+		recs[i] = store.Record{}
+	}
+	r.recBatch = recs[:0]
 	if wrote {
 		r.syncStore()
 	}
 }
 
-// persist appends one WAL record; reports whether a sync is owed.
-func (r *Replica) persist(rec store.Record) bool {
+// persistBatch appends the step's WAL records as one batch; reports
+// whether a sync is owed.
+func (r *Replica) persistBatch(recs []store.Record) bool {
 	if r.storeBroken {
 		return false
 	}
-	lsn, err := r.st.Append(rec)
+	lsn, err := r.st.AppendBatch(recs)
 	if err != nil {
 		r.storeFail()
 		return false
@@ -696,13 +714,23 @@ func (r *Replica) syncStore() {
 // node stays available, but its datadir is no longer a valid restart
 // point. A restart from it would recover to a stale position and catch
 // up as if freshly behind — and, because votes cast after the failure
-// were never logged, such a restart reopens the pre-vote-persistence
-// fault-budget caveat (DESIGN.md "Remaining caveats"). The operator
-// warning dlnode prints on StoreErrors is load-bearing.
+// were never logged, such a restart could re-send forgotten votes and
+// consume the cluster's fault budget. So the invalidation is made
+// durable too: the store's UNSAFE_RESTART marker makes OpenFile refuse
+// the directory until the operator forces it (dlnode -force-restart).
+// Writing the marker is best-effort — it runs right after a storage
+// failure — so the warning dlnode prints on StoreErrors stays
+// load-bearing as the fallback signal.
 func (r *Replica) storeFail() {
+	first := !r.storeBroken
 	r.storeBroken = true
 	r.Stats.StoreErrors++
 	r.tel.storeErrors.Inc()
+	if first {
+		if m, ok := r.st.(store.UnsafeRestartMarker); ok {
+			_ = m.MarkUnsafeRestart()
+		}
+	}
 }
 
 // recordSyncPoint builds the canonical state-sync manifest at a cadence

@@ -16,6 +16,7 @@ type failingStore struct {
 	*store.MemStore
 	appends   int
 	failAfter int
+	marked    int // MarkUnsafeRestart calls (store.UnsafeRestartMarker)
 }
 
 var errDiskFull = errors.New("storefail_test: injected write failure")
@@ -26,6 +27,23 @@ func (f *failingStore) Append(rec store.Record) (uint64, error) {
 		return 0, errDiskFull
 	}
 	return f.MemStore.Append(rec)
+}
+
+func (f *failingStore) AppendBatch(recs []store.Record) (uint64, error) {
+	var last uint64
+	for _, rec := range recs {
+		lsn, err := f.Append(rec)
+		if err != nil {
+			return 0, err
+		}
+		last = lsn
+	}
+	return last, nil
+}
+
+func (f *failingStore) MarkUnsafeRestart() error {
+	f.marked++
+	return nil
 }
 
 func (f *failingStore) PutChunk(c store.ChunkRecord) error {
@@ -80,6 +98,11 @@ func TestStoreErrorsCountedAndNodeStaysAvailable(t *testing.T) {
 		// The replica stops persisting at the first failure; the counter
 		// records the event, not every skipped write.
 		t.Fatalf("StoreErrors = %d, want 1 (first failure only)", broken.Stats.StoreErrors)
+	}
+	// The first failure must also durably invalidate the restart point,
+	// exactly once (caveat iii: OpenFile refuses the datadir afterwards).
+	if fs := broken.st.(*failingStore); fs.marked != 1 {
+		t.Fatalf("MarkUnsafeRestart called %d times, want 1", fs.marked)
 	}
 	if broken.Stats.DeliveredTxs < 4*40 {
 		t.Fatalf("broken-store node delivered %d of %d txs; persistence failure must not cost availability",

@@ -28,6 +28,12 @@ type FileOptions struct {
 	// NoSync disables fsync entirely (benchmarks; a host crash may then
 	// lose or tear the log tail, which recovery truncates away).
 	NoSync bool
+	// ForceRestart opens a directory flagged UNSAFE_RESTART anyway,
+	// clearing the marker. The operator is accepting the documented risk:
+	// the log stops short of what the node externalized, so the restart
+	// behaves like a fresh-behind node and may re-send forgotten votes
+	// (see ErrUnsafeRestart and docs/OPERATIONS.md).
+	ForceRestart bool
 }
 
 func (o FileOptions) segmentBytes() int {
@@ -55,6 +61,10 @@ type FileStore struct {
 
 	lock   *os.File
 	closed bool
+
+	// enc is the reusable WAL frame scratch: Append/AppendBatch encode
+	// every record through it, so steady-state appends allocate nothing.
+	enc []byte
 }
 
 type walSeg struct {
@@ -115,6 +125,17 @@ func OpenFile(opts FileOptions) (*FileStore, error) {
 		return nil, fmt.Errorf("store: %s is locked by a live process: %w", opts.Dir, err)
 	}
 	s.lock = lock
+	marker := filepath.Join(opts.Dir, unsafeMarkerName)
+	if _, err := os.Stat(marker); err == nil {
+		if !opts.ForceRestart {
+			s.unlock()
+			return nil, fmt.Errorf("%w: %s exists — a durable write failed mid-run, so this log stops short of the state the node externalized; recover from scratch or a peer checkpoint, or force the restart to accept the risk", ErrUnsafeRestart, marker)
+		}
+		if err := os.Remove(marker); err != nil {
+			s.unlock()
+			return nil, err
+		}
+	}
 	if err := s.scanWAL(); err != nil {
 		s.unlock()
 		return nil, err
@@ -128,6 +149,39 @@ func OpenFile(opts FileOptions) (*FileStore, error) {
 
 // Durable implements Store.
 func (s *FileStore) Durable() bool { return true }
+
+// unsafeMarkerName flags a data directory whose log stopped short of the
+// node's live state: a durable write failed mid-run and the node kept
+// going without persisting. OpenFile refuses a flagged directory.
+const unsafeMarkerName = "UNSAFE_RESTART"
+
+// MarkUnsafeRestart implements UnsafeRestartMarker: it durably creates
+// the UNSAFE_RESTART marker so future opens refuse this directory.
+func (s *FileStore) MarkUnsafeRestart() error {
+	path := filepath.Join(s.opts.Dir, unsafeMarkerName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.WriteString("a durable write failed while this node was live; the log stops short of the state the node externalized.\nThis directory is not a valid restart point — see docs/OPERATIONS.md (dlnode -force-restart overrides).\n")
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	// The marker's durability needs its directory entry synced too.
+	d, err := os.Open(s.opts.Dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	d.Close()
+	return serr
+}
 
 func (s *FileStore) unlock() {
 	if s.lock != nil {
@@ -329,6 +383,28 @@ func (s *FileStore) Append(rec Record) (uint64, error) {
 	if s.closed {
 		return 0, ErrFenced
 	}
+	return s.appendOne(rec)
+}
+
+// AppendBatch implements Store: the whole batch is encoded through the
+// shared scratch buffer and lands in the segment writer's buffer as one
+// contiguous run of frames, made durable together by the step's Sync.
+func (s *FileStore) AppendBatch(recs []Record) (uint64, error) {
+	if s.closed {
+		return 0, ErrFenced
+	}
+	var last uint64
+	for _, rec := range recs {
+		lsn, err := s.appendOne(rec)
+		if err != nil {
+			return 0, err
+		}
+		last = lsn
+	}
+	return last, nil
+}
+
+func (s *FileStore) appendOne(rec Record) (uint64, error) {
 	lsn := s.nextLSN + 1
 	if s.wal != nil && s.wal.size >= s.opts.segmentBytes() {
 		if err := s.wal.close(s.opts.NoSync); err != nil {
@@ -347,9 +423,20 @@ func (s *FileStore) Append(rec Record) (uint64, error) {
 			path: filepath.Join(s.walDir, fmt.Sprintf("%020d.seg", lsn)), first: lsn,
 		})
 	}
-	payload := binary.BigEndian.AppendUint64(make([]byte, 0, 8+16), lsn)
-	payload = append(payload, EncodeRecord(rec)...)
-	if err := s.wal.write(appendFrame(nil, payload)); err != nil {
+	// Build the frame in place in the reused scratch: reserve the
+	// len+crc header, append the payload (lsn + record) behind it, then
+	// back-fill the header over the reserved bytes.
+	if cap(s.enc) < frameHeader {
+		s.enc = make([]byte, 0, 256)
+	}
+	buf := s.enc[:frameHeader]
+	buf = binary.BigEndian.AppendUint64(buf, lsn)
+	buf = AppendRecord(buf, rec)
+	payload := buf[frameHeader:]
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	s.enc = buf[:0]
+	if err := s.wal.write(buf); err != nil {
 		return 0, err
 	}
 	s.nextLSN = lsn

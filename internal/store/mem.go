@@ -69,6 +69,22 @@ func (s *MemStore) Append(rec Record) (uint64, error) {
 	return s.data.nextLSN, nil
 }
 
+// AppendBatch implements Store.
+func (s *MemStore) AppendBatch(recs []Record) (uint64, error) {
+	s.data.mu.Lock()
+	defer s.data.mu.Unlock()
+	if s.fenced() {
+		return 0, ErrFenced
+	}
+	var last uint64
+	for _, rec := range recs {
+		s.data.nextLSN++
+		last = s.data.nextLSN
+		s.data.records = append(s.data.records, memRecord{lsn: last, rec: rec})
+	}
+	return last, nil
+}
+
 // PutChunk implements Store.
 func (s *MemStore) PutChunk(c ChunkRecord) error {
 	s.data.mu.Lock()

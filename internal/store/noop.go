@@ -22,6 +22,15 @@ func (s *Noop) Append(Record) (uint64, error) {
 	return s.lsn, nil
 }
 
+// AppendBatch implements Store.
+func (s *Noop) AppendBatch(recs []Record) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	s.lsn += uint64(len(recs))
+	return s.lsn, nil
+}
+
 // PutChunk implements Store.
 func (*Noop) PutChunk(ChunkRecord) error { return nil }
 

@@ -132,6 +132,13 @@ type Store interface {
 	// Append adds one WAL record and returns its LSN (1-based,
 	// monotonically increasing). Durability is deferred until Sync.
 	Append(rec Record) (uint64, error)
+	// AppendBatch appends several WAL records as one group, returning the
+	// LSN of the last (0 when recs is empty). Semantically identical to
+	// calling Append in order; the batch form lets a step's group commit
+	// hand the whole record set to the store in one call so file-backed
+	// implementations encode into one reused buffer instead of
+	// allocating per record.
+	AppendBatch(recs []Record) (uint64, error)
 	// PutChunk persists one chunk record (at most one per instance).
 	PutChunk(c ChunkRecord) error
 	// Sync makes all prior Appends and PutChunks durable (group commit).
@@ -163,6 +170,29 @@ var ErrFenced = errors.New("store: handle fenced by a newer open")
 // ErrCorrupt reports a WAL or chunk segment damaged somewhere other than
 // its tail (tail damage is expected after a crash and silently dropped).
 var ErrCorrupt = errors.New("store: corrupt segment")
+
+// ErrUnsafeRestart is returned by OpenFile when the data directory
+// carries an UNSAFE_RESTART marker: a durable write failed mid-run, the
+// node kept participating without persisting (availability over
+// durability), and the log therefore stops short of what the node
+// externalized. Restarting from it would recover to a stale position —
+// and, because votes cast after the failure were never logged, could
+// re-send forgotten agreement votes, consuming the cluster's fault
+// budget. Recover from scratch or a peer checkpoint instead, or pass
+// FileOptions.ForceRestart to accept the risk (dlnode -force-restart).
+var ErrUnsafeRestart = errors.New("store: data directory is not a valid restart point")
+
+// UnsafeRestartMarker is the store half of the invalid-restart-point
+// contract: the replica durably flags the data directory when a durable
+// write fails, and OpenFile refuses the directory afterwards. Optional —
+// memory-backed stores have no restart point to invalidate.
+type UnsafeRestartMarker interface {
+	// MarkUnsafeRestart durably writes the marker. Best-effort by
+	// nature: it runs right after a storage failure, so it may fail too
+	// — the advisory LOCK still guards the live process, and the marker
+	// only closes the operator-restarts-later window.
+	MarkUnsafeRestart() error
+}
 
 // ----- Record encoding -----
 //
@@ -198,7 +228,13 @@ var errShortRecord = errors.New("store: truncated record")
 
 // EncodeRecord serializes a WAL record.
 func EncodeRecord(r Record) []byte {
-	buf := make([]byte, 0, 16)
+	return AppendRecord(make([]byte, 0, 16), r)
+}
+
+// AppendRecord serializes a WAL record onto buf and returns the extended
+// slice — the allocation-free form of EncodeRecord for callers with a
+// reusable buffer.
+func AppendRecord(buf []byte, r Record) []byte {
 	buf = append(buf, byte(r.Type))
 	buf = binary.BigEndian.AppendUint64(buf, r.Epoch)
 	switch r.Type {

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -516,6 +517,50 @@ func TestFileLockExcludesSecondOpener(t *testing.T) {
 	s2.Close()
 }
 
+// TestUnsafeRestartMarkerRefusesReopen walks the invalid-restart-point
+// contract end to end: MarkUnsafeRestart durably flags the datadir,
+// OpenFile then refuses it with ErrUnsafeRestart, ForceRestart opens it
+// anyway and clears the flag, and a subsequent plain open succeeds.
+func TestUnsafeRestartMarkerRefusesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir)
+	if _, err := s.Append(Record{Type: RecProposed, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var m UnsafeRestartMarker = s // FileStore must implement the interface
+	if err := m.MarkUnsafeRestart(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if _, err := OpenFile(FileOptions{Dir: dir}); !errors.Is(err, ErrUnsafeRestart) {
+		t.Fatalf("reopen of a flagged datadir: err = %v, want ErrUnsafeRestart", err)
+	}
+
+	s2, err := OpenFile(FileOptions{Dir: dir, ForceRestart: true})
+	if err != nil {
+		t.Fatalf("forced reopen: %v", err)
+	}
+	// The forced open cleared the marker and the log is intact.
+	var n int
+	if _, err := s2.Recover(func(uint64, Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d records after forced reopen, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, unsafeMarkerName)); !os.IsNotExist(err) {
+		t.Fatalf("marker survived the forced open: %v", err)
+	}
+	s2.Close()
+
+	s3, err := OpenFile(FileOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("plain reopen after forced open: %v", err)
+	}
+	s3.Close()
+}
+
 // TestChunkSeqResumesPastCompactionHoles checks segment numbering resumes
 // after the highest surviving chunk segment, so rotations after a
 // post-compaction restart never collide with surviving files.
@@ -552,4 +597,125 @@ func TestChunkSeqResumesPastCompactionHoles(t *testing.T) {
 		t.Fatalf("lost chunks across compaction holes: %d", count)
 	}
 	s.Close()
+}
+
+func TestAppendBatchEquivalentToAppends(t *testing.T) {
+	recs := []Record{
+		{Type: RecProposed, Epoch: 1, Block: []byte("block-1")},
+		{Type: RecVote, Epoch: 1, Proposer: 2, VoteKind: 1, Round: 0, Value: true},
+		{Type: RecVote, Epoch: 1, Proposer: 2, VoteKind: 2, Round: 0, Value: false},
+		{Type: RecDecided, Epoch: 1, S: []int{0, 2, 3}},
+	}
+	open := func(dir string) *FileStore {
+		s, err := OpenFile(FileOptions{Dir: dir, SegmentBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	recover := func(s Store) []Record {
+		var got []Record
+		var lsns []uint64
+		if _, err := s.Recover(func(lsn uint64, rec Record) error {
+			got = append(got, rec)
+			lsns = append(lsns, lsn)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, l := range lsns {
+			if l != uint64(i+1) {
+				t.Fatalf("lsn[%d] = %d, want %d", i, l, i+1)
+			}
+		}
+		return got
+	}
+
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, b := open(dirA), open(dirB)
+	for _, r := range recs {
+		if _, err := a.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last, err := b.AppendBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != uint64(len(recs)) {
+		t.Fatalf("AppendBatch returned lsn %d, want %d", last, len(recs))
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ra, rb := recover(open(dirA)), recover(open(dirB))
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("batch and sequential appends recover differently:\n%v\nvs\n%v", ra, rb)
+	}
+	if len(ra) != len(recs) {
+		t.Fatalf("recovered %d records, want %d", len(ra), len(recs))
+	}
+
+	// Empty batch: no-op, lsn 0.
+	if lsn, err := NewMem().AppendBatch(nil); err != nil || lsn != 0 {
+		t.Fatalf("empty AppendBatch = (%d, %v), want (0, nil)", lsn, err)
+	}
+}
+
+func TestMemAppendBatchMatchesAppend(t *testing.T) {
+	recs := []Record{
+		{Type: RecVote, Epoch: 3, Proposer: 1, VoteKind: 1, Value: true},
+		{Type: RecEpochDone, Epoch: 3, Floor: []uint64{4, 4, 5}},
+	}
+	a, b := NewMem(), NewMem()
+	for _, r := range recs {
+		if _, err := a.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	var ra, rb []Record
+	a.Recover(func(_ uint64, r Record) error { ra = append(ra, r); return nil })
+	b.Recover(func(_ uint64, r Record) error { rb = append(rb, r); return nil })
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("mem batch/sequential mismatch:\n%v\nvs\n%v", ra, rb)
+	}
+}
+
+// The WAL append path runs once per durable record per step; with the
+// store's reused encode scratch it must not allocate in steady state
+// (NoSync keeps fsyncs out of the measurement; bufio absorbs writes).
+func TestFileAppendDoesNotAllocate(t *testing.T) {
+	s, err := OpenFile(FileOptions{Dir: t.TempDir(), SegmentBytes: 64 << 20, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := Record{Type: RecVote, Epoch: 9, Proposer: 3, VoteKind: 2, Round: 1, Value: true}
+	if _, err := s.Append(rec); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(200, func() {
+		if _, err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("warm Append allocates %v times per run, want 0", n)
+	}
+	batch := []Record{rec, rec, rec}
+	n = testing.AllocsPerRun(200, func() {
+		if _, err := s.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("warm AppendBatch allocates %v times per run, want 0", n)
+	}
 }

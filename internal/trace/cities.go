@@ -1,6 +1,9 @@
 package trace
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // City describes one node site of a geo-distributed testbed profile.
 // Bandwidth is the site's access capacity in bytes/second; Jitter scales
@@ -56,6 +59,23 @@ var VultrCities = []City{
 	{Name: "Tokyo", Bandwidth: 6 * MB, Jitter: 0.4},
 	{Name: "Singapore", Bandwidth: 5 * MB, Jitter: 0.4},
 	{Name: "Sydney", Bandwidth: 4.5 * MB, Jitter: 0.45},
+}
+
+// ExtendCities tiles a base profile out to n sites, modelling the
+// paper's larger deployments (multiple nodes per region): site k reuses
+// the base city k%len(base) with a numbered name. Deterministic, so the
+// extended profile is as reproducible as the base one; the per-node
+// traces still fluctuate independently (CityTraces seeds per index).
+func ExtendCities(base []City, n int) []City {
+	out := make([]City, n)
+	for i := range out {
+		c := base[i%len(base)]
+		if i >= len(base) {
+			c.Name = fmt.Sprintf("%s-%d", c.Name, i/len(base)+1)
+		}
+		out[i] = c
+	}
+	return out
 }
 
 // CityTraces builds per-node ingress/egress traces for a city profile,

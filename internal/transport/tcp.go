@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dledger/internal/bufpool"
 	"dledger/internal/core"
 	"dledger/internal/replica"
 	"dledger/internal/store"
@@ -139,7 +140,7 @@ type tcpPeer struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	high   [][]byte
+	high   []*bufpool.Buf
 	low    map[uint64][]lowFrame
 	lowN   int
 	closed bool
@@ -148,7 +149,7 @@ type tcpPeer struct {
 // lowFrame carries retrieval-class frames with enough metadata to purge
 // them on stream cancellation.
 type lowFrame struct {
-	data     []byte
+	data     *bufpool.Buf
 	epoch    uint64
 	proposer int
 	isReturn bool
@@ -387,8 +388,13 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		if size == 0 || size > maxFrame {
 			return
 		}
-		buf := make([]byte, size)
+		// The frame buffer is pooled: wire.Decode copies every
+		// variable-length field out of it (see decodeBytes), so it can be
+		// released as soon as decoding finishes.
+		fb := bufpool.Get(int(size))
+		buf := fb.Bytes()
 		if _, err := io.ReadFull(br, buf); err != nil {
+			fb.Release()
 			return
 		}
 		// Every frame counts toward the ack — decodable or not — because
@@ -408,10 +414,12 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		n.recvMu.Unlock()
 		if got%ackEvery == 0 {
 			if writeAck(conn, ack) != nil {
+				fb.Release()
 				return
 			}
 		}
 		env, err := wire.Decode(buf)
+		fb.Release()
 		if err != nil {
 			continue // skip undecodable frames from this peer
 		}
@@ -424,23 +432,28 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 	}
 }
 
-// enqueue adds one framed message to the peer's queues.
+// enqueue adds one framed message to the peer's queues. The frame lives
+// in a pooled buffer whose single reference travels with it: queue →
+// writer pending list → released when the receiver's ack covers it (or
+// on purge/shutdown).
 func (p *tcpPeer) enqueue(env wire.Envelope, prio wire.Priority, stream uint64) {
-	payload := env.Encode()
-	frame := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[4:], payload)
+	ws := env.WireSize()
+	frame := bufpool.Get(4 + ws)
+	fb := frame.Bytes()
+	binary.BigEndian.PutUint32(fb, uint32(ws))
+	env.AppendTo(fb[4:4]) // fills fb[4:] in place: pooled cap >= 4+ws
 
 	class := classLow
 	if prio == wire.PrioDispersal {
 		class = classHigh
 	}
 	p.node.tel.sentFrames[class].Inc()
-	p.node.tel.sentBytes[class].Add(uint64(len(frame)))
+	p.node.tel.sentBytes[class].Add(uint64(frame.Len()))
 
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		frame.Release()
 		return
 	}
 	if prio == wire.PrioDispersal {
@@ -465,6 +478,7 @@ func (p *tcpPeer) purge(epoch uint64, proposer int) {
 		kept := q[:0]
 		for _, f := range q {
 			if f.isReturn && f.epoch == epoch && f.proposer == proposer {
+				f.data.Release()
 				p.lowN--
 			} else {
 				kept = append(kept, f)
@@ -478,38 +492,63 @@ func (p *tcpPeer) purge(epoch uint64, proposer int) {
 	}
 }
 
-// nextFrame pops the next frame of the given class, blocking until one is
-// available or the peer closes.
-func (p *tcpPeer) nextFrame(class int) ([]byte, bool) {
+// nextFrames drains up to max queued frames of the given class into
+// `into` under one lock acquisition, blocking until at least one frame
+// is available or the peer closes. Batching here is what turns the
+// per-step burst of n-1 small sends into one buffered write + flush on
+// the socket: the writer picks up the whole burst in a single pop
+// instead of paying a lock round-trip and a write call per frame.
+// Frame order is identical to repeated single pops — FIFO for the high
+// class, lowest-stream-first for the low class.
+func (p *tcpPeer) nextFrames(class int, into []*bufpool.Buf, max int) ([]*bufpool.Buf, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
 		if p.closed {
-			return nil, false
+			return into, false
 		}
 		if class == classHigh {
 			if len(p.high) > 0 {
-				f := p.high[0]
-				p.high = p.high[1:]
-				return f, true
+				n := len(p.high)
+				if n > max {
+					n = max
+				}
+				into = append(into, p.high[:n]...)
+				rest := copy(p.high, p.high[n:])
+				for i := rest; i < len(p.high); i++ {
+					p.high[i] = nil
+				}
+				p.high = p.high[:rest]
+				return into, true
 			}
 		} else if p.lowN > 0 {
-			var best uint64
-			found := false
-			for s, q := range p.low {
-				if len(q) > 0 && (!found || s < best) {
-					best, found = s, true
+			for len(into) < max && p.lowN > 0 {
+				var best uint64
+				found := false
+				for s, q := range p.low {
+					if len(q) > 0 && (!found || s < best) {
+						best, found = s, true
+					}
 				}
+				// Popping from the best stream cannot change which stream
+				// is best until it empties, so its whole queue drains
+				// before the map is rescanned.
+				q := p.low[best]
+				take := len(q)
+				if take > max-len(into) {
+					take = max - len(into)
+				}
+				for i := 0; i < take; i++ {
+					into = append(into, q[i].data)
+				}
+				if take == len(q) {
+					delete(p.low, best)
+				} else {
+					p.low[best] = q[take:]
+				}
+				p.lowN -= take
 			}
-			q := p.low[best]
-			f := q[0]
-			if len(q) == 1 {
-				delete(p.low, best)
-			} else {
-				p.low[best] = q[1:]
-			}
-			p.lowN--
-			return f.data, true
+			return into, true
 		}
 		p.cond.Wait()
 	}
@@ -594,7 +633,7 @@ func (p *tcpPeer) writer(class int) {
 	// of the last pruned frame (pending[i] sits at baseSeq+1+i);
 	// written counts the pending frames handed to the CURRENT
 	// connection; unflushed those written since the last flush.
-	var pending [][]byte
+	var pending []*bufpool.Buf
 	var baseSeq uint64
 	written := 0
 	unflushed := 0
@@ -608,12 +647,27 @@ func (p *tcpPeer) writer(class int) {
 		if k > len(pending) {
 			k = len(pending)
 		}
-		pending = pending[:copy(pending, pending[k:])]
+		// Acked frames will never be re-sent: their pooled buffers go
+		// back to the pool here.
+		for i := 0; i < k; i++ {
+			pending[i].Release()
+		}
+		n := copy(pending, pending[k:])
+		for i := n; i < len(pending); i++ {
+			pending[i] = nil
+		}
+		pending = pending[:n]
 		baseSeq += uint64(k)
 		written -= k
 		if written < 0 {
 			written = 0
 		}
+	}
+	releasePending := func() {
+		for _, f := range pending {
+			f.Release()
+		}
+		pending = nil
 	}
 
 	connect := func() bool {
@@ -693,8 +747,14 @@ func (p *tcpPeer) writer(class int) {
 		}
 	}
 
+	// maxBatch bounds one queue drain; with the 256 KiB bufio writer the
+	// whole batch typically reaches the socket as a single writev-style
+	// flush.
+	const maxBatch = 256
+	var batch []*bufpool.Buf
 	for {
-		frame, ok := p.nextFrame(class)
+		var ok bool
+		batch, ok = p.nextFrames(class, batch[:0], maxBatch)
 		if !ok {
 			if conn != nil {
 				if bw != nil {
@@ -702,19 +762,21 @@ func (p *tcpPeer) writer(class int) {
 				}
 				conn.Close()
 			}
+			releasePending()
 			return
 		}
-		pending = append(pending, frame)
+		pending = append(pending, batch...)
 		for {
 			if conn == nil {
 				if !connect() {
+					releasePending()
 					return
 				}
 			}
 			prune(acked.Load())
 			ok := true
 			for written < len(pending) {
-				if _, err := bw.Write(pending[written]); err != nil {
+				if _, err := bw.Write(pending[written].Bytes()); err != nil {
 					ok = false
 					break
 				}

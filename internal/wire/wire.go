@@ -87,9 +87,16 @@ func (e Envelope) WireSize() int {
 	return envelopeHeader + e.Payload.BodySize()
 }
 
-// Encode serializes the envelope.
+// Encode serializes the envelope into a fresh buffer.
 func (e Envelope) Encode() []byte {
-	buf := make([]byte, 0, e.WireSize())
+	return e.AppendTo(make([]byte, 0, e.WireSize()))
+}
+
+// AppendTo serializes the envelope onto buf and returns the extended
+// slice. Callers that frame messages into pooled or presized buffers use
+// this to avoid Encode's per-message allocation: appending WireSize
+// bytes to a slice with that much spare capacity never reallocates.
+func (e Envelope) AppendTo(buf []byte) []byte {
 	buf = append(buf, e.Payload.Type())
 	buf = binary.BigEndian.AppendUint16(buf, uint16(e.From))
 	buf = binary.BigEndian.AppendUint64(buf, e.Epoch)

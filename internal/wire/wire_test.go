@@ -206,3 +206,36 @@ func TestGotChunkOverheadMatchesPaper(t *testing.T) {
 		t.Fatalf("GotChunk envelope is %d bytes, want 45", got)
 	}
 }
+
+func TestEnvelopeAppendToMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, msg := range allMessages(rng) {
+		env := Envelope{From: 5, Epoch: 42, Proposer: 7, Payload: msg}
+		want := env.Encode()
+		buf := make([]byte, 0, env.WireSize()+8)
+		got := env.AppendTo(buf)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%T: AppendTo differs from Encode", msg)
+		}
+		if cap(buf) > 0 && &got[0] != &buf[:1][0] {
+			t.Fatalf("%T: AppendTo reallocated despite sufficient capacity", msg)
+		}
+	}
+}
+
+// The transport frames every outbound message through AppendTo into a
+// pooled buffer; with capacity for WireSize bytes the serialization
+// itself must not allocate.
+func TestEnvelopeAppendToDoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for _, msg := range allMessages(rng) {
+		env := Envelope{From: 1, Epoch: 9, Proposer: 3, Payload: msg}
+		buf := make([]byte, 0, env.WireSize())
+		n := testing.AllocsPerRun(100, func() {
+			env.AppendTo(buf[:0])
+		})
+		if n != 0 {
+			t.Fatalf("%T: AppendTo allocates %v times per run into a presized buffer, want 0", msg, n)
+		}
+	}
+}
