@@ -42,6 +42,11 @@ type benchFile struct {
 	Full        bool          `json:"full"`
 	DurationSec float64       `json:"duration_sec"`
 	Records     []benchRecord `json:"records"`
+	// Runtime is the Go runtime panel sampled at the end of the run (GC
+	// pause quantiles, heap occupancy). Top-level on purpose: -diff
+	// compares Records[].Metrics only, so these host-dependent numbers
+	// inform without ever tripping a regression gate.
+	Runtime map[string]float64 `json:"runtime,omitempty"`
 }
 
 func durationMeanMs(ds []time.Duration) float64 {
@@ -392,6 +397,9 @@ func main() {
 		return nil
 	})
 
+	panel := runtimePanel()
+	printRuntimePanel(os.Stdout, panel)
+
 	if *jsonOut || *jsonPath != "" {
 		now := time.Now().UTC()
 		path := *jsonPath
@@ -404,6 +412,7 @@ func main() {
 			Full:        *full,
 			DurationSec: d.Seconds(),
 			Records:     records,
+			Runtime:     panel,
 		}, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

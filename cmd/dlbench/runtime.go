@@ -1,0 +1,88 @@
+package main
+
+// The Go runtime panel: one snapshot of the benchmark process's own
+// allocator/GC behaviour, printed after the experiment tables and stored
+// top-level in the JSON snapshot. dlbench runs the whole cluster
+// in-process, so these numbers bound how much of the measured latency
+// could be the harness's garbage collector rather than the protocol —
+// a GC pause p95 in the milliseconds on a run reporting millisecond
+// stage latencies is a flag to re-run with a bigger heap. The panel
+// lives outside Records deliberately: -diff compares protocol metrics
+// only, and host-dependent runtime numbers must never fail a perf gate.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+)
+
+// runtimePanel samples the Go runtime: GC pause quantiles from the
+// runtime/metrics pause histogram plus heap occupancy and GC cycle
+// counts.
+func runtimePanel() map[string]float64 {
+	out := map[string]float64{}
+
+	samples := []runtimemetrics.Sample{
+		{Name: "/gc/pauses:seconds"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+	}
+	runtimemetrics.Read(samples)
+	if h := samples[0].Value; h.Kind() == runtimemetrics.KindFloat64Histogram {
+		hist := h.Float64Histogram()
+		out["gc_pause_p50_ms"] = histQuantile(hist, 0.50) * 1e3
+		out["gc_pause_p95_ms"] = histQuantile(hist, 0.95) * 1e3
+		out["gc_pause_p99_ms"] = histQuantile(hist, 0.99) * 1e3
+	}
+	if c := samples[1].Value; c.Kind() == runtimemetrics.KindUint64 {
+		out["gc_cycles"] = float64(c.Uint64())
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out["heap_inuse_mb"] = float64(ms.HeapInuse) / (1 << 20)
+	out["heap_alloc_cum_gb"] = float64(ms.TotalAlloc) / (1 << 30)
+	out["goroutines"] = float64(runtime.NumGoroutine())
+	return out
+}
+
+// histQuantile returns the q-quantile of a runtime/metrics histogram.
+// Buckets may open with -Inf and close with +Inf; an infinite boundary
+// falls back to its finite neighbour, matching the registry histogram's
+// convention of reporting the last finite bound.
+func histQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			hi := h.Buckets[i+1]
+			lo := h.Buckets[i]
+			switch {
+			case hi > lo && lo >= 0 && hi < 1e300: // finite bucket: take the upper bound
+				return hi
+			case lo >= 0 && lo < 1e300:
+				return lo
+			default:
+				return 0
+			}
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// printRuntimePanel renders the panel in the tables' style.
+func printRuntimePanel(w io.Writer, panel map[string]float64) {
+	fmt.Fprintln(w, "=== go runtime (this dlbench process) ===")
+	fmt.Fprintf(w, "  GC pauses: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms over %.0f cycles\n",
+		panel["gc_pause_p50_ms"], panel["gc_pause_p95_ms"], panel["gc_pause_p99_ms"], panel["gc_cycles"])
+	fmt.Fprintf(w, "  heap in use %.1f MB, %.2f GB allocated cumulatively, %.0f goroutines\n",
+		panel["heap_inuse_mb"], panel["heap_alloc_cum_gb"], panel["goroutines"])
+}

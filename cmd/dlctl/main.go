@@ -1,0 +1,47 @@
+// Command dlctl is the cluster-observability CLI: point it at every
+// node's admin address and it scrapes /statusz, joins the nodes' epoch
+// timelines into cross-node delivery critical paths, and prints one
+// cluster report — positions and laggards vs the RetainEpochs horizon,
+// per-peer link health, and the top-K slowest epochs each annotated with
+// the bottleneck stage and peer.
+//
+// Usage:
+//
+//	dlctl -nodes 127.0.0.1:7001,127.0.0.1:7002,... [-top 5] [-timeout 5s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"dledger/internal/dlctl"
+)
+
+func main() {
+	nodes := flag.String("nodes", "", "comma-separated admin addresses (host:port), one per node")
+	top := flag.Int("top", 5, "how many slowest epochs to show with critical paths")
+	timeout := flag.Duration("timeout", 5e9, "per-node scrape timeout")
+	flag.Parse()
+
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "dlctl: -nodes is required (comma-separated admin addresses)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*nodes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	sts, errs := dlctl.ScrapeAll(client, addrs)
+	dlctl.Report(os.Stdout, sts, errs, *top)
+	if len(sts) == 0 {
+		os.Exit(1)
+	}
+}

@@ -480,6 +480,8 @@ func (c *Cluster) Close() {
 
 // Node is one member of a distributed TCP deployment.
 type Node struct {
+	self    int
+	cc      core.Config // resolved core config, for /statusz reporting
 	tcp     *transport.TCPNode
 	st      store.Store
 	hub     *gateway.Hub           // nil without a client gateway
@@ -558,6 +560,8 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 		cc.StateSync = true
 		cc.JoinSync = true
 	}
+	n.self = opts.Self
+	n.cc = cc
 	if opts.Config.ClientGateway {
 		n.hub = gateway.NewHub(nodeExec{n}, gateway.Options{
 			N: cc.N, F: cc.F, RatePerClient: opts.Config.ClientRateLimit,
@@ -637,7 +641,16 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 // consensus loop, so every number in one response is one consistent
 // snapshot.
 func (n *Node) adminStatus() map[string]any {
-	out := map[string]any{}
+	out := map[string]any{
+		"node": n.self,
+		"config": map[string]any{
+			"n":             n.cc.N,
+			"f":             n.cc.F,
+			"mode":          n.cc.Mode.String(),
+			"retain_epochs": n.cc.RetainEpochs,
+			"state_sync":    n.cc.StateSync,
+		},
+	}
 	n.tcp.Inspect(func(r *replica.Replica) {
 		eng := r.Engine()
 		ss := eng.SyncStats()
@@ -652,13 +665,17 @@ func (n *Node) adminStatus() map[string]any {
 			"submitted":     r.Stats.Submitted,
 			"rejected":      r.Stats.RejectedSubmissions,
 		}
-		out["sync"] = map[string]any{
+		sync := map[string]any{
 			"installs":        r.Stats.StateSyncs,
 			"fetched_bytes":   ss.BytesFetched,
 			"imported_chunks": ss.ChunksImported,
 			"served_pages":    ss.PagesServed,
 			"last_sync_epoch": ss.LastSyncEpoch,
 		}
+		if tr := r.SyncTracker(); tr != nil {
+			sync["points"] = tr.Summary()
+		}
+		out["sync"] = sync
 		out["store"] = map[string]any{"errors": r.Stats.StoreErrors}
 	})
 	if n.hub != nil {

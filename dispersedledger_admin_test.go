@@ -10,6 +10,9 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"dledger/internal/dlctl"
+	"dledger/internal/telemetry"
 )
 
 // adminGet fetches one admin endpoint and returns the body.
@@ -30,10 +33,12 @@ func adminGet(t *testing.T, url string) (string, *http.Response) {
 	return string(body), resp
 }
 
-// TestAdminEndpoints boots a real 4-node TCP cluster with one node
+// TestAdminEndpoints boots a real 4-node TCP cluster with every node
 // serving the operator admin endpoint, pushes traffic through it, and
-// scrapes /metrics, /statusz, /healthz and /debug/pprof over HTTP —
-// the end-to-end check for `dlnode -admin`.
+// scrapes /metrics, /statusz, /healthz, /debug/flightrecorder and
+// /debug/pprof over HTTP — the end-to-end check for `dlnode -admin` —
+// then runs the dlctl aggregator against all four endpoints and checks
+// the admin lifecycle on node close.
 func TestAdminEndpoints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end TCP admin test needs wall clock")
@@ -59,13 +64,11 @@ func TestAdminEndpoints(t *testing.T) {
 	delivered := 0
 	for i := range nodes {
 		opts := NodeOptions{
-			Config:   cfg,
-			Self:     i,
-			Addrs:    addrs,
-			Listener: listeners[i],
-		}
-		if i == 0 {
-			opts.AdminAddr = "127.0.0.1:0" // the node under scrape
+			Config:    cfg,
+			Self:      i,
+			Addrs:     addrs,
+			Listener:  listeners[i],
+			AdminAddr: "127.0.0.1:0", // every node scrapeable, for dlctl
 		}
 		node, err := NewTCPNode(opts)
 		if err != nil {
@@ -85,14 +88,13 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	defer func() {
 		for _, nd := range nodes {
-			nd.Close()
+			if nd != nil {
+				nd.Close()
+			}
 		}
 	}()
 	if nodes[0].AdminAddr() == "" {
 		t.Fatal("node 0 has no admin address")
-	}
-	if nodes[1].AdminAddr() != "" {
-		t.Fatal("node 1 serves an admin endpoint it was never given")
 	}
 
 	// Drive enough traffic that every lifecycle stage fires on node 0.
@@ -156,10 +158,14 @@ func TestAdminEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(statusz), &status); err != nil {
 		t.Fatalf("/statusz is not JSON: %v", err)
 	}
-	for _, key := range []string{"position", "mempool", "sync", "store", "metrics", "slowest_epochs", "inflight_epochs"} {
+	for _, key := range []string{"schema_version", "node", "config", "position", "mempool", "sync", "store", "metrics", "slowest_epochs", "inflight_epochs", "timelines"} {
 		if _, ok := status[key]; !ok {
 			t.Errorf("/statusz missing %q", key)
 		}
+	}
+	var schema int
+	if err := json.Unmarshal(status["schema_version"], &schema); err != nil || schema != telemetry.StatusSchemaVersion {
+		t.Errorf("/statusz schema_version = %s (err %v), want %d", status["schema_version"], err, telemetry.StatusSchemaVersion)
 	}
 	var pos struct {
 		DeliveredEpoch uint64 `json:"delivered_epoch"`
@@ -187,5 +193,64 @@ func TestAdminEndpoints(t *testing.T) {
 	// pprof is mounted on the admin mux (not the global default mux).
 	if body, _ := adminGet(t, base+"/debug/pprof/cmdline"); body == "" {
 		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+
+	// The flight recorder journaled the run's protocol events.
+	flight, _ := adminGet(t, base+"/debug/flightrecorder")
+	if !strings.Contains(flight, "flight recorder:") {
+		t.Errorf("/debug/flightrecorder missing header:\n%.400s", flight)
+	}
+	for _, want := range []string{"vote_cast", "decide", "deliver"} {
+		if !strings.Contains(flight, want) {
+			t.Errorf("/debug/flightrecorder missing %q events", want)
+		}
+	}
+
+	// dlctl smoke: aggregate all four nodes and render the cluster
+	// report with joined critical paths.
+	adminAddrs := make([]string, n)
+	for i, nd := range nodes {
+		adminAddrs[i] = nd.AdminAddr()
+	}
+	sts, errs := dlctl.ScrapeAll(nil, adminAddrs)
+	if len(errs) > 0 {
+		t.Fatalf("dlctl scrape errors: %v", errs)
+	}
+	if len(sts) != n {
+		t.Fatalf("dlctl scraped %d/%d nodes", len(sts), n)
+	}
+	var report strings.Builder
+	dlctl.Report(&report, sts, errs, 3)
+	out := report.String()
+	for _, want := range []string{
+		"cluster: mode=", "n=4", "positions:", "node 0", "node 3",
+		"link health", "acks=",
+		"slowest epochs (top 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dlctl report missing %q:\n%s", want, out)
+		}
+	}
+	// The acceptance bar: at least one per-epoch critical path line that
+	// names the bottleneck stage and the gating peer.
+	if !strings.Contains(out, "<- slowest") {
+		t.Errorf("dlctl report names no slowest edge:\n%s", out)
+	}
+	if !strings.Contains(out, "peer ") {
+		t.Errorf("dlctl report attributes no edge to a peer:\n%s", out)
+	}
+
+	// Lifecycle: closing a node must tear down its admin endpoint — the
+	// port refuses connections and is immediately rebindable.
+	closedAdmin := nodes[3].AdminAddr()
+	nodes[3].Close()
+	nodes[3] = nil
+	if _, err := net.DialTimeout("tcp", closedAdmin, 500*time.Millisecond); err == nil {
+		t.Error("closed node's admin port still accepts connections")
+	}
+	if l, err := net.Listen("tcp", closedAdmin); err != nil {
+		t.Errorf("closed node's admin port not rebindable: %v", err)
+	} else {
+		l.Close()
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -456,5 +457,58 @@ func TestVoteCrashSweep(t *testing.T) {
 	}
 	if r1.Fingerprint != r2.Fingerprint {
 		t.Errorf("vote-crash fingerprints differ: %016x vs %016x", r1.Fingerprint, r2.Fingerprint)
+	}
+}
+
+// TestFailureEmitsFlightDump forces a deterministic invariant failure —
+// two of four nodes crash forever, stalling a cluster that tolerates
+// one fault — and verifies the failure report carries the cross-node
+// flight-recorder post-mortem, while the fingerprint (plan + logs only)
+// stays independent of the dump.
+func TestFailureEmitsFlightDump(t *testing.T) {
+	p := &Plan{
+		Seed: 1,
+		Crashes: []Crash{
+			{Node: 0, At: time.Second},
+			{Node: 1, At: time.Second},
+			{Node: 2, At: time.Second},
+			{Node: 3, At: time.Second},
+		},
+	}
+	cfg := Config{N: 4, Horizon: 6 * time.Second}
+	r, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Failed() {
+		t.Fatalf("a whole-cluster permanent crash must violate liveness:\n%s", r.Report())
+	}
+	if r.FlightDump == "" {
+		t.Fatal("failing run produced no flight-recorder dump")
+	}
+	for node := 0; node < cfg.N; node++ {
+		if want := fmt.Sprintf("node %d:", node); !strings.Contains(r.FlightDump, want) {
+			t.Errorf("dump missing %q section:\n%.600s", want, r.FlightDump)
+		}
+	}
+	// The healthy prefix recorded real protocol events.
+	for _, want := range []string{"chunk_sent", "vote_cast"} {
+		if !strings.Contains(r.FlightDump, want) {
+			t.Errorf("dump has no %q events:\n%.600s", want, r.FlightDump)
+		}
+	}
+	report := r.Report()
+	if !strings.Contains(report, "flight recorder (protocol events around the violation):") {
+		t.Errorf("Report() does not render the dump:\n%.600s", report)
+	}
+
+	// Same plan, same fingerprint, dump or no dump: the dump must never
+	// leak into the replay identity.
+	r2, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Fingerprint != r.Fingerprint {
+		t.Errorf("fingerprints differ across replays: %016x vs %016x", r.Fingerprint, r2.Fingerprint)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strings"
 	"time"
 
 	"dledger/internal/core"
@@ -134,6 +135,12 @@ type Result struct {
 	Clients []harness.ClientReport
 	// Violations is empty iff every checked invariant held.
 	Violations []string
+	// FlightDump is the cross-node flight-recorder post-mortem, rendered
+	// only when a violation fired: every node's protocol-event journal
+	// filtered to the epochs the violations name (everything when no
+	// violation names one). It rides outside the fingerprint — the
+	// fingerprint digests the fault schedule and delivery logs only.
+	FlightDump string
 	// Fingerprint digests the fault schedule and every honest log —
 	// two runs of the same seed must produce identical fingerprints.
 	Fingerprint uint64
@@ -171,6 +178,12 @@ func (r *Result) Report() string {
 	}
 	for _, v := range r.Violations {
 		s += "  VIOLATION: " + v + "\n"
+	}
+	if r.FlightDump != "" {
+		s += "  flight recorder (protocol events around the violation):\n"
+		for _, line := range strings.Split(strings.TrimRight(r.FlightDump, "\n"), "\n") {
+			s += "    " + line + "\n"
+		}
 	}
 	if r.generated {
 		s += "  replay: " + r.replayCommand() + "\n"
@@ -573,6 +586,14 @@ func Run(p *Plan, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Any invariant failure auto-dumps the cross-node flight recorders,
+	// filtered to the epochs the violations name. Computed before the
+	// fingerprint is even read — but the dump deliberately does not feed
+	// the fingerprint, which digests the plan and delivery logs only, so
+	// seeded replays keep byte-identical fingerprints with or without it.
+	if res.Failed() {
+		res.FlightDump = harness.FlightDump(c.Tels, harness.ViolationEpochs(res.Violations))
+	}
 	res.Fingerprint = fingerprint(p, res)
 	return res, nil
 }

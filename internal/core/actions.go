@@ -180,6 +180,24 @@ const (
 	// StageRetrieveStart: the first network retrieval request went out
 	// for a block dispersed in this epoch.
 	StageRetrieveStart
+
+	// Per-peer boundaries: sub-spans attributing an epoch's latency to a
+	// specific peer. StageAction.Peer is meaningful only for these.
+
+	// StagePeerChunkSent: this node (as proposer) queued Peer's dispersal
+	// chunk for sending.
+	StagePeerChunkSent
+	// StagePeerEcho: Peer's got-chunk vote on this node's own dispersal
+	// arrived.
+	StagePeerEcho
+	// StagePeerVote: the first BA vote from Peer arrived in the epoch.
+	StagePeerVote
+	// StagePeerRetrieveReq: a retrieval chunk request went out to Peer
+	// (emitted per send, so re-asks are visible to the flight recorder;
+	// the tracer keeps the first).
+	StagePeerRetrieveReq
+	// StagePeerRetrieveResp: Peer returned a retrieval chunk.
+	StagePeerRetrieveResp
 )
 
 // StageAction reports that an epoch crossed a lifecycle boundary. It is
@@ -188,10 +206,13 @@ const (
 // it when telemetry is off), and chaos replay fingerprints — computed
 // over plans and delivery logs — are unaffected. The engine may emit
 // the same boundary more than once per epoch (e.g. one StageBAInput
-// per BA instance); the tracer keeps the first observation.
+// per BA instance); the tracer keeps the first observation. Peer is the
+// involved peer's id for the StagePeer* boundaries and unused (zero)
+// otherwise.
 type StageAction struct {
 	Epoch uint64
 	Stage LifecycleStage
+	Peer  wire.NodeID
 }
 
 func (SendAction) isAction()           {}

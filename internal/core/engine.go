@@ -199,6 +199,13 @@ type epochState struct {
 	// decided is set when every BA produced output; S is the committed set.
 	decided bool
 	S       []int
+	// echoSeen/voteSeen gate the per-peer telemetry sub-spans — one
+	// StagePeerEcho (got-chunk vote on our own dispersal) and one
+	// StagePeerVote (first BA vote) per peer per epoch — keeping the
+	// pure-telemetry action volume bounded by N regardless of how chatty
+	// a peer is. Allocated lazily on first use.
+	echoSeen []bool
+	voteSeen []bool
 }
 
 type retrState struct {
@@ -432,6 +439,7 @@ func (e *Engine) Propose(txs [][]byte) ([]Action, error) {
 		if i == e.self {
 			e.queue = append(e.queue, env)
 		} else {
+			e.actions = append(e.actions, StageAction{Epoch: epoch, Stage: StagePeerChunkSent, Peer: i})
 			e.actions = append(e.actions, SendAction{To: i, Env: env, Prio: wire.PrioDispersal})
 		}
 	}
@@ -620,7 +628,29 @@ func (e *Engine) voteJournal(epoch uint64, proposer int) func(ba.Vote) {
 	}
 }
 
+// notePeerEcho emits the per-peer echo sub-span: peer's got-chunk vote
+// on this node's own dispersal arrived (first arrival per peer per
+// epoch). Pure telemetry; see StageAction.
+func (e *Engine) notePeerEcho(epoch uint64, from int) {
+	if from == e.self || from < 0 || from >= e.cfg.N {
+		return
+	}
+	es := e.epochState(epoch)
+	if es.echoSeen == nil {
+		es.echoSeen = make([]bool, e.cfg.N)
+	}
+	if !es.echoSeen[from] {
+		es.echoSeen[from] = true
+		e.actions = append(e.actions, StageAction{Epoch: epoch, Stage: StagePeerEcho, Peer: from})
+	}
+}
+
 func (e *Engine) toVID(env wire.Envelope, msg wire.Msg) {
+	if env.Proposer == e.self {
+		if _, isEcho := msg.(wire.GotChunk); isEcho {
+			e.notePeerEcho(env.Epoch, env.From)
+		}
+	}
 	v := e.vid(env.Epoch, env.Proposer)
 	hadChunk := v.HasChunk()
 	outs, completed := v.Handle(env.From, msg)
@@ -655,6 +685,19 @@ func (e *Engine) toBA(env wire.Envelope, msg wire.Msg) {
 	// serving rounds normally until the Bracha gadget halts them.
 	if es := e.epochs[env.Epoch]; es != nil && es.decided && es.bas[env.Proposer] == nil {
 		return
+	}
+	// Per-peer vote sub-span: first BA vote from this peer in the epoch
+	// (pure telemetry; the instance gating above already rejected traffic
+	// that would grow state for settled epochs).
+	if env.From != e.self && env.From >= 0 && env.From < e.cfg.N {
+		es := e.epochState(env.Epoch)
+		if es.voteSeen == nil {
+			es.voteSeen = make([]bool, e.cfg.N)
+		}
+		if !es.voteSeen[env.From] {
+			es.voteSeen[env.From] = true
+			e.actions = append(e.actions, StageAction{Epoch: env.Epoch, Stage: StagePeerVote, Peer: env.From})
+		}
 	}
 	b := e.ba(env.Epoch, env.Proposer)
 	wasDecided, _ := b.Decided()
@@ -919,6 +962,12 @@ func (e *Engine) requestChunks(key blockKey, rs *retrState, count int) {
 		if rs.resend {
 			msg = wire.RequestChunkAgain{}
 		}
+		if to != e.self {
+			// Per-peer retrieval-request sub-span, emitted per send (not
+			// first-wins) so the flight recorder sees re-ask rounds; the
+			// tracer keeps the first per (epoch, peer).
+			e.actions = append(e.actions, StageAction{Epoch: key.epoch, Stage: StagePeerRetrieveReq, Peer: to})
+		}
 		env := wire.Envelope{From: e.self, Epoch: key.epoch, Proposer: key.proposer, Payload: msg}
 		e.emit(to, env, e.priorityFor(msg), key.epoch)
 	}
@@ -1015,6 +1064,10 @@ func (e *Engine) toRetriever(env wire.Envelope, msg wire.ReturnChunk) {
 	rs, ok := e.retr[key]
 	if !ok || rs.done || rs.ret == nil {
 		return
+	}
+	// Per-peer retrieval round-trip completion (pure telemetry).
+	if env.From != e.self && env.From >= 0 && env.From < e.cfg.N {
+		e.actions = append(e.actions, StageAction{Epoch: env.Epoch, Stage: StagePeerRetrieveResp, Peer: env.From})
 	}
 	e.ingestReturnChunk(key, rs, env.From, msg)
 }

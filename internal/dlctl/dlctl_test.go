@@ -1,0 +1,118 @@
+package dlctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dledger/internal/telemetry"
+)
+
+// fakeNode serves a minimal /statusz for one synthetic node.
+func fakeNode(t *testing.T, payload map[string]any) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/statusz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(payload)
+	}))
+}
+
+func TestScrapeRejectsSchemaDrift(t *testing.T) {
+	srv := fakeNode(t, map[string]any{
+		"schema_version": telemetry.StatusSchemaVersion + 1,
+		"node":           0,
+	})
+	defer srv.Close()
+	_, err := Scrape(nil, srv.URL)
+	if err == nil {
+		t.Fatal("Scrape accepted a drifted schema_version")
+	}
+	if !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("error %q does not name the schema mismatch", err)
+	}
+
+	// A missing schema_version (version-0 payload) is drift too.
+	old := fakeNode(t, map[string]any{"node": 0})
+	defer old.Close()
+	if _, err := Scrape(nil, old.URL); err == nil {
+		t.Fatal("Scrape accepted a payload without schema_version")
+	}
+}
+
+func TestScrapeRejectsNonJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintln(w, "<html>login page</html>")
+	}))
+	defer srv.Close()
+	if _, err := Scrape(nil, srv.URL); err == nil {
+		t.Fatal("Scrape accepted a non-JSON response")
+	}
+}
+
+func TestReportLaggardsLinksAndPaths(t *testing.T) {
+	ms := time.Millisecond
+	mkTimeline := func(epoch uint64, e2e time.Duration) telemetry.Timeline {
+		tl := telemetry.Timeline{Epoch: epoch}
+		tl.T[telemetry.StageDisperseStart] = 0
+		tl.Have |= 1 << telemetry.StageDisperseStart
+		tl.T[telemetry.StageDisperseDone] = e2e / 2
+		tl.Have |= 1 << telemetry.StageDisperseDone
+		tl.T[telemetry.StageDeliver] = e2e
+		tl.Have |= 1 << telemetry.StageDeliver
+		tl.Peers = []telemetry.PeerSpan{{Peer: 1, Event: telemetry.PeerEcho, At: e2e / 2}}
+		return tl
+	}
+	status := func(node int, delivered uint64, tls []telemetry.Timeline) *Status {
+		st := &Status{Addr: fmt.Sprintf("n%d:1", node), SchemaVersion: telemetry.StatusSchemaVersion, Node: node}
+		st.Config.N, st.Config.F, st.Config.Mode, st.Config.RetainEpochs = 4, 1, "dl", 8
+		st.Position.DeliveredEpoch = delivered
+		st.Timelines = tls
+		raw := func(v any) json.RawMessage {
+			b, _ := json.Marshal(v)
+			return b
+		}
+		st.Metrics = map[string]json.RawMessage{
+			`dl_transport_peer_acks_total{peer="1"}`:            raw(42),
+			`dl_transport_peer_replayed_frames_total{peer="1"}`: raw(3),
+			`dl_transport_peer_rtt_us{peer="1"}`:                raw(1500),
+			"dl_epochs_delivered_total":                         raw(delivered),
+		}
+		return st
+	}
+	sts := []*Status{
+		status(0, 20, []telemetry.Timeline{mkTimeline(19, 40*ms), mkTimeline(20, 90*ms)}),
+		status(2, 10, nil), // 10 behind with retain 8: past the horizon
+	}
+	var b strings.Builder
+	Report(&b, sts, []error{fmt.Errorf("dlctl: n3:1: HTTP 500")}, 1)
+	out := b.String()
+	for _, want := range []string{
+		"UNREACHABLE",
+		"cluster: mode=dl n=4 f=1",
+		"node 0 (n0:1): delivered=20",
+		"PAST the retain horizon (8)",
+		"node 0 -> peer 1: acks=42 replayed=3 rtt=1.5ms",
+		"[reconnected: frames were replayed]",
+		"slowest epochs (top 1",
+		"epoch 20",
+		"disperse 45ms @node0 (echo peer 1)",
+		"<- slowest",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Top-1 truncation: the faster epoch 19 must be absent.
+	if strings.Contains(out, "epoch 19") {
+		t.Errorf("report shows more than top-K epochs:\n%s", out)
+	}
+}

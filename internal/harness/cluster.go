@@ -139,13 +139,19 @@ func (c *simCtx) Unsend(to int, epoch uint64, proposer int) {
 // keeps every delivered epoch's timeline for invariant checking.
 const harnessTraceRing = 8192
 
+// harnessFlightRing sizes the per-node flight recorder. Chaos runs lean
+// on the tail of the journal — the events surrounding the violation —
+// so the ring only needs to cover the last few seconds of protocol
+// activity, not the whole run.
+const harnessFlightRing = 16384
+
 // nodeParams returns the replica parameters for (re)building node i,
 // minting a fresh telemetry bundle for the new incarnation when
 // telemetry is on.
 func (c *Cluster) nodeParams(i int) replica.Params {
 	params := c.opts.Replica
 	if c.opts.Telemetry {
-		c.Tels[i] = telemetry.New(telemetry.Options{TraceRing: harnessTraceRing})
+		c.Tels[i] = telemetry.New(telemetry.Options{TraceRing: harnessTraceRing, FlightRing: harnessFlightRing})
 		params.Telemetry = c.Tels[i]
 	}
 	return params

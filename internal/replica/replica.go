@@ -169,6 +169,9 @@ type Replica struct {
 	// tracker records the attestable state-sync checkpoints this node
 	// can serve to joiners (nil without core.Config.StateSync).
 	tracker *statesync.Tracker
+	// lastSyncPages is the served-pages watermark already journaled to
+	// the flight recorder (the engine counter is cumulative).
+	lastSyncPages int64
 
 	pendingProposal bool
 	proposalEmpty   bool
@@ -195,6 +198,7 @@ type Replica struct {
 // nil-safe, so a zero repMetrics (telemetry disabled) no-ops.
 type repMetrics struct {
 	trace            *telemetry.Tracer
+	flight           *telemetry.FlightRecorder
 	fsync            *telemetry.Histogram
 	latAll           *telemetry.Histogram
 	latLocal         *telemetry.Histogram
@@ -227,6 +231,7 @@ func newRepMetrics(m *telemetry.Metrics) repMetrics {
 	const latHelp = "Transaction confirmation latency (submit to deliver)."
 	return repMetrics{
 		trace:            m.Trace(),
+		flight:           m.Flight(),
 		fsync:            reg.Histogram("dl_wal_fsync_seconds", "", "WAL group-commit fsync latency.", fsyncBounds, 1e-9),
 		latAll:           reg.Histogram(lat, `scope="all"`, latHelp, confirmBounds, 1e-9),
 		latLocal:         reg.Histogram(lat, `scope="local"`, latHelp, confirmBounds, 1e-9),
@@ -459,6 +464,10 @@ func (r *Replica) Engine() *core.Engine { return r.engine }
 // Telemetry returns the node's telemetry bundle (nil when disabled).
 func (r *Replica) Telemetry() *telemetry.Metrics { return r.params.Telemetry }
 
+// SyncTracker exposes the node's state-sync checkpoint tracker (nil
+// without core.Config.StateSync). Access it only on the replica's loop.
+func (r *Replica) SyncTracker() *statesync.Tracker { return r.tracker }
+
 // Start boots the replica. Call exactly once.
 func (r *Replica) Start() {
 	if r.started {
@@ -557,6 +566,7 @@ func (r *Replica) apply(actions []core.Action) {
 			if r.tel.trace != nil {
 				r.tel.trace.Observe(act.Epoch, telemetry.StageBADecide, r.ctx.Now())
 			}
+			r.tel.flight.Record(r.ctx.Now(), telemetry.FlightDecide, act.Epoch, -1, int64(len(act.S)))
 		case core.EpochDeliveredAction:
 			r.Stats.EpochsDelivered++
 			r.sinceCkpt++
@@ -564,10 +574,18 @@ func (r *Replica) apply(actions []core.Action) {
 			if r.tel.trace != nil {
 				r.tel.trace.Observe(act.Epoch, telemetry.StageDeliver, r.ctx.Now())
 			}
+			r.tel.flight.Record(r.ctx.Now(), telemetry.FlightDeliver, act.Epoch, -1, 0)
 		case core.StageAction:
-			if r.tel.trace != nil {
-				r.tel.trace.Observe(act.Epoch, lifecycleStage(act.Stage), r.ctx.Now())
+			r.onStage(act)
+		case core.VoteCastAction:
+			// Journal the vote in the flight recorder (durability is
+			// persistStep's job): arg packs kind<<33 | round<<1 | value,
+			// peer is the BA instance's proposer.
+			arg := int64(act.Vote.Kind)<<33 | int64(act.Vote.Round)<<1
+			if act.Vote.Value {
+				arg |= 1
 			}
+			r.tel.flight.Record(r.ctx.Now(), telemetry.FlightVoteCast, act.Epoch, act.Proposer, arg)
 		case core.CatchupDoneAction:
 			r.tryPropose()
 		case core.SyncPointAction:
@@ -587,6 +605,10 @@ func (r *Replica) apply(actions []core.Action) {
 		r.tel.syncChunks.Set(s.ChunksImported)
 		r.tel.syncPages.Set(s.PagesServed)
 		r.tel.syncLastEpoch.Set(int64(s.LastSyncEpoch))
+		if s.PagesServed > r.lastSyncPages {
+			r.tel.flight.Record(r.ctx.Now(), telemetry.FlightSyncPage, 0, -1, s.PagesServed-r.lastSyncPages)
+			r.lastSyncPages = s.PagesServed
+		}
 	}
 }
 
@@ -693,6 +715,43 @@ func lifecycleStage(s core.LifecycleStage) telemetry.Stage {
 	return telemetry.NumStages // dropped by the tracer
 }
 
+// peerEvent maps the engine's per-peer stages onto the tracer's sub-span
+// kinds and the flight recorder's event kinds; ok is false for the
+// epoch-level stages.
+func peerEvent(s core.LifecycleStage) (telemetry.PeerEvent, telemetry.FlightKind, bool) {
+	switch s {
+	case core.StagePeerChunkSent:
+		return telemetry.PeerChunkSent, telemetry.FlightChunkSent, true
+	case core.StagePeerEcho:
+		return telemetry.PeerEcho, telemetry.FlightEcho, true
+	case core.StagePeerVote:
+		return telemetry.PeerVote, telemetry.FlightPeerVote, true
+	case core.StagePeerRetrieveReq:
+		return telemetry.PeerRetrieveReq, telemetry.FlightRetrieveReq, true
+	case core.StagePeerRetrieveResp:
+		return telemetry.PeerRetrieveResp, telemetry.FlightRetrieveResp, true
+	}
+	return 0, 0, false
+}
+
+// onStage stamps one engine lifecycle boundary with the Context clock
+// and routes it: epoch-level stages feed the tracer's timeline, per-peer
+// stages feed both the timeline's sub-spans (first observation wins) and
+// the flight recorder (every occurrence, so re-ask rounds stay visible).
+func (r *Replica) onStage(act core.StageAction) {
+	now := r.ctx.Now()
+	if ev, fk, ok := peerEvent(act.Stage); ok {
+		if r.tel.trace != nil {
+			r.tel.trace.ObservePeer(act.Epoch, ev, act.Peer, now)
+		}
+		r.tel.flight.Record(now, fk, act.Epoch, act.Peer, 0)
+		return
+	}
+	if r.tel.trace != nil {
+		r.tel.trace.Observe(act.Epoch, lifecycleStage(act.Stage), now)
+	}
+}
+
 func (r *Replica) syncStore() {
 	if r.storeBroken {
 		return
@@ -703,7 +762,11 @@ func (r *Replica) syncStore() {
 	}
 	err := r.st.Sync()
 	if r.tel.fsync != nil {
-		r.tel.fsync.Observe(int64(r.ctx.Now() - t0))
+		now := r.ctx.Now()
+		r.tel.fsync.Observe(int64(now - t0))
+		// Journal the group commit (arg = latency ns): WAL stalls show up
+		// in post-mortem timelines next to the protocol events they gated.
+		r.tel.flight.Record(now, telemetry.FlightFsync, 0, -1, int64(now-t0))
 	}
 	if err != nil {
 		r.storeFail()

@@ -143,6 +143,18 @@ func (t *Tracker) Points() []wire.SyncPoint {
 	return out
 }
 
+// Summary returns the checkpoint epochs this node can currently serve
+// to joiners, oldest first — the operator-facing digest /statusz embeds
+// (cluster aggregators compare laggard positions against the oldest
+// retained point to flag nodes nearing the bootstrap cliff).
+func (t *Tracker) Summary() []uint64 {
+	out := make([]uint64, 0, len(t.ring))
+	for i := range t.ring {
+		out = append(out, t.ring[i].point.Epoch)
+	}
+	return out
+}
+
 // Blob returns the manifest bytes of a resident point (nil if evicted).
 func (t *Tracker) Blob(epoch uint64) []byte {
 	for i := len(t.ring) - 1; i >= 0; i-- {

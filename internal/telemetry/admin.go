@@ -5,8 +5,20 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
+
+// StatusSchemaVersion is the /statusz payload schema version, carried
+// as the "schema_version" field. Aggregators (cmd/dlctl) hard-fail on a
+// mismatch instead of mis-parsing drifted payloads; bump it whenever an
+// existing field changes meaning or shape (adding fields is
+// backward-compatible and needs no bump).
+const StatusSchemaVersion = 1
+
+// statusTimelines is the number of recent delivered epoch timelines
+// /statusz embeds for cross-node joining.
+const statusTimelines = 64
 
 // StatusFunc supplies the node-specific portion of /statusz (position,
 // mempool, sync state, ...). It is called per request from an HTTP
@@ -23,10 +35,13 @@ type slowestJSON struct {
 
 // NewAdminMux builds the operator endpoint mux:
 //
-//	/metrics      Prometheus text exposition
-//	/statusz      JSON node status + stage breakdown + slowest epochs
-//	/healthz      200 "ok"
-//	/debug/pprof  the standard runtime profiles
+//	/metrics              Prometheus text exposition
+//	/statusz              JSON node status + stage breakdown + slowest
+//	                      epochs + recent timelines (schema_version'd)
+//	/healthz              200 "ok"
+//	/debug/flightrecorder protocol flight-recorder journal (text; JSON
+//	                      with ?format=json)
+//	/debug/pprof          the standard runtime profiles
 //
 // status may be nil; m may be nil (endpoints then serve empty data,
 // keeping /healthz and pprof useful).
@@ -37,7 +52,7 @@ func NewAdminMux(m *Metrics, status StatusFunc) *http.ServeMux {
 		m.Registry().WritePrometheus(w)
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
-		out := map[string]any{}
+		out := map[string]any{"schema_version": StatusSchemaVersion}
 		if status != nil {
 			for k, v := range status() {
 				out[k] = v
@@ -63,6 +78,14 @@ func NewAdminMux(m *Metrics, status StatusFunc) *http.ServeMux {
 			}
 			out["slowest_epochs"] = js
 			out["inflight_epochs"] = tr.InflightEpochs()
+			// Recent delivered timelines, raw (stage stamps + per-peer
+			// sub-spans), for cluster-level joining by dlctl. Timestamps
+			// are node-local; aggregators must compare durations only.
+			all := tr.Delivered()
+			if len(all) > statusTimelines {
+				all = all[len(all)-statusTimelines:]
+			}
+			out["timelines"] = all
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -71,6 +94,26 @@ func NewAdminMux(m *Metrics, status StatusFunc) *http.ServeMux {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		fl := m.Flight()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(map[string]any{
+				"schema_version": StatusSchemaVersion,
+				"total":          fl.Total(),
+				"events":         fl.Events(),
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if fl == nil {
+			w.Write([]byte("flight recorder disabled\n"))
+			return
+		}
+		fl.WriteText(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -82,20 +125,38 @@ func NewAdminMux(m *Metrics, status StatusFunc) *http.ServeMux {
 
 // AdminServer is a running admin HTTP endpoint.
 type AdminServer struct {
-	srv *http.Server
-	l   net.Listener
+	srv  *http.Server
+	l    net.Listener
+	done chan struct{} // closed when the Serve goroutine exits
+	once sync.Once
+	err  error
 }
 
 // ServeAdmin starts the admin endpoint on l (which the server takes
 // ownership of) and serves until Close.
 func ServeAdmin(l net.Listener, m *Metrics, status StatusFunc) *AdminServer {
-	srv := &http.Server{Handler: NewAdminMux(m, status)}
-	go srv.Serve(l)
-	return &AdminServer{srv: srv, l: l}
+	a := &AdminServer{
+		srv:  &http.Server{Handler: NewAdminMux(m, status)},
+		l:    l,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		a.srv.Serve(l)
+	}()
+	return a
 }
 
 // Addr returns the listener address (e.g. to discover a :0 port).
 func (a *AdminServer) Addr() net.Addr { return a.l.Addr() }
 
-// Close stops the server and closes its listener.
-func (a *AdminServer) Close() error { return a.srv.Close() }
+// Close stops the server, closes its listener and every open
+// connection, and waits for the serve goroutine to exit, so a closed
+// node leaks neither the admin port nor a goroutine. Idempotent.
+func (a *AdminServer) Close() error {
+	a.once.Do(func() {
+		a.err = a.srv.Close()
+		<-a.done
+	})
+	return a.err
+}

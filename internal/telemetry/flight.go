@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightKind classifies one flight-recorder event.
+type FlightKind uint8
+
+// Flight-recorder event kinds. Each is a structured protocol event the
+// replica (or transport) records on its hot path; the ring journal of
+// recent events is the node's "black box" for post-mortem analysis of
+// invariant failures and slow epochs.
+const (
+	// FlightVoteCast: this node appended a BA vote to its journal
+	// (peer = the instance's proposer; arg packs kind/round/value).
+	FlightVoteCast FlightKind = iota
+	// FlightPeerVote: the first BA vote from peer arrived in the epoch.
+	FlightPeerVote
+	// FlightChunkSent: a dispersal chunk was queued to peer.
+	FlightChunkSent
+	// FlightEcho: peer's got-chunk vote on our own dispersal arrived.
+	FlightEcho
+	// FlightRetrieveReq: a retrieval chunk request went out to peer
+	// (repeats for the same (epoch, peer) are re-asks).
+	FlightRetrieveReq
+	// FlightRetrieveResp: peer returned a retrieval chunk.
+	FlightRetrieveResp
+	// FlightFsync: a WAL group-commit fsync finished (arg = latency ns).
+	FlightFsync
+	// FlightSyncPage: state-sync pages were served to joiners since the
+	// previous sample (arg = page count delta).
+	FlightSyncPage
+	// FlightDecide: the epoch's BA vector decided.
+	FlightDecide
+	// FlightDeliver: the epoch delivered to the application.
+	FlightDeliver
+	// NumFlightKinds is the number of event kinds.
+	NumFlightKinds
+)
+
+// flightKindNames indexes FlightKind -> label for exposition.
+var flightKindNames = [NumFlightKinds]string{
+	"vote_cast", "peer_vote", "chunk_sent", "echo",
+	"retrieve_req", "retrieve_resp", "fsync", "sync_page",
+	"decide", "deliver",
+}
+
+// String returns the kind's exposition label.
+func (k FlightKind) String() string {
+	if k < NumFlightKinds {
+		return flightKindNames[k]
+	}
+	return "unknown"
+}
+
+// FlightEvent is one recorded protocol event. At is the node's Context
+// clock (time since node start); Peer is -1 when no peer is involved;
+// Arg's meaning depends on Kind.
+type FlightEvent struct {
+	At    time.Duration `json:"at"`
+	Epoch uint64        `json:"epoch"`
+	Arg   int64         `json:"arg,omitempty"`
+	Kind  FlightKind    `json:"kind"`
+	Peer  int32         `json:"peer"`
+}
+
+// String renders the event as one human-readable line (no newline).
+func (e FlightEvent) String() string {
+	s := fmt.Sprintf("%12s %-13s epoch=%d", e.At, e.Kind, e.Epoch)
+	if e.Peer >= 0 {
+		s += fmt.Sprintf(" peer=%d", e.Peer)
+	}
+	if e.Arg != 0 {
+		s += fmt.Sprintf(" arg=%d", e.Arg)
+	}
+	return s
+}
+
+// FlightRecorder is a bounded ring journal of protocol events: fixed
+// capacity, overwrite-oldest, no allocation per event after
+// construction. A nil *FlightRecorder no-ops, so instrumented code
+// needs no enabled/disabled branches.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []FlightEvent
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewFlightRecorder builds a recorder retaining the last size events
+// (0 picks the default of 4096).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = 4096
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, size)}
+}
+
+// Record journals one event. Safe from any goroutine; allocation-free.
+func (f *FlightRecorder) Record(at time.Duration, kind FlightKind, epoch uint64, peer int, arg int64) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = FlightEvent{At: at, Kind: kind, Epoch: epoch, Peer: int32(peer), Arg: arg}
+	f.next++
+	if f.next == len(f.ring) {
+		f.next, f.full = 0, true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []FlightEvent
+	if f.full {
+		out = append(out, f.ring[f.next:]...)
+		out = append(out, f.ring[:f.next]...)
+	} else {
+		out = append(out, f.ring[:f.next]...)
+	}
+	return out
+}
+
+// Total returns the number of events ever recorded (retained or
+// overwritten).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// WriteText renders the retained journal, one event per line, oldest
+// first, with a header noting overwritten events.
+func (f *FlightRecorder) WriteText(w io.Writer) error {
+	evs := f.Events()
+	total := f.Total()
+	if _, err := fmt.Fprintf(w, "flight recorder: %d events retained, %d recorded\n", len(evs), total); err != nil {
+		return err
+	}
+	for _, e := range evs {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

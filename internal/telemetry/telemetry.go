@@ -5,16 +5,21 @@ type Options struct {
 	// TraceRing is the number of delivered epoch timelines retained
 	// for the slowest-epochs query (0 = default 512).
 	TraceRing int
+	// FlightRing is the number of protocol events the flight recorder
+	// retains (0 = default 4096).
+	FlightRing int
 }
 
-// Metrics bundles one node's registry and epoch tracer. Layers
-// (replica, transport, gateway) register their own handles against
-// Registry at construction time. A nil *Metrics disables telemetry:
-// its accessors return nil, and every handle obtained through nil
-// no-ops, so instrumented code needs no enabled/disabled branches.
+// Metrics bundles one node's registry, epoch tracer and protocol flight
+// recorder. Layers (replica, transport, gateway) register their own
+// handles against Registry at construction time. A nil *Metrics
+// disables telemetry: its accessors return nil, and every handle
+// obtained through nil no-ops, so instrumented code needs no
+// enabled/disabled branches.
 type Metrics struct {
 	registry *Registry
 	trace    *Tracer
+	flight   *FlightRecorder
 }
 
 // New builds an enabled telemetry bundle.
@@ -23,6 +28,7 @@ func New(opts Options) *Metrics {
 	return &Metrics{
 		registry: reg,
 		trace:    NewTracer(reg, opts.TraceRing),
+		flight:   NewFlightRecorder(opts.FlightRing),
 	}
 }
 
@@ -41,4 +47,13 @@ func (m *Metrics) Trace() *Tracer {
 		return nil
 	}
 	return m.trace
+}
+
+// Flight returns the protocol flight recorder (nil when telemetry is
+// disabled; a nil *FlightRecorder no-ops).
+func (m *Metrics) Flight() *FlightRecorder {
+	if m == nil {
+		return nil
+	}
+	return m.flight
 }

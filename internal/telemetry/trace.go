@@ -46,8 +46,63 @@ func (s Stage) String() string {
 	return "unknown"
 }
 
+// PeerEvent identifies one per-peer sub-span inside an epoch's
+// lifecycle: the cross-node interactions whose timing attributes a slow
+// delivery to a specific peer (see internal/telemetry/criticalpath).
+type PeerEvent uint8
+
+// Per-peer sub-span kinds, recorded first-observation-wins per
+// (event, peer) within a timeline.
+const (
+	// PeerChunkSent: this node (as proposer) queued peer's dispersal
+	// chunk for sending.
+	PeerChunkSent PeerEvent = iota
+	// PeerEcho: peer's got-chunk vote on this node's own dispersal
+	// arrived (the echoes whose (n−2f)-th arrival completes dispersal).
+	PeerEcho
+	// PeerVote: the first binary-agreement vote from peer arrived in
+	// this epoch.
+	PeerVote
+	// PeerRetrieveReq: a retrieval chunk request went out to peer.
+	PeerRetrieveReq
+	// PeerRetrieveResp: peer returned a retrieval chunk.
+	PeerRetrieveResp
+	// NumPeerEvents is the number of per-peer sub-span kinds.
+	NumPeerEvents
+)
+
+// peerEventNames indexes PeerEvent -> label for exposition.
+var peerEventNames = [NumPeerEvents]string{
+	"chunk_sent", "echo", "vote", "retrieve_req", "retrieve_resp",
+}
+
+// String returns the event's exposition label.
+func (p PeerEvent) String() string {
+	if p < NumPeerEvents {
+		return peerEventNames[p]
+	}
+	return "unknown"
+}
+
+// PeerSpan is one recorded per-peer sub-span observation.
+type PeerSpan struct {
+	// Peer is the peer's node id.
+	Peer int `json:"peer"`
+	// Event is the sub-span kind.
+	Event PeerEvent `json:"event"`
+	// At is the Context-clock observation time.
+	At time.Duration `json:"at"`
+}
+
+// maxPeerSpans bounds one timeline's per-peer observation list. Honest
+// emission is O(N) spans per event kind per epoch, far below the cap;
+// the cap only matters if a buggy or hostile layer floods StageActions.
+const maxPeerSpans = 1024
+
 // Timeline is one epoch's recorded stage timestamps (Context clock,
 // i.e. time since node start — simulated time under the emulator).
+// Timestamps from different nodes are NOT comparable (each node's clock
+// counts from its own start); cross-node analysis joins on durations.
 type Timeline struct {
 	// Epoch is the epoch number.
 	Epoch uint64 `json:"epoch"`
@@ -56,6 +111,9 @@ type Timeline struct {
 	T [NumStages]time.Duration `json:"t"`
 	// Have is a bitmask of observed stages (bit i = Stage(i)).
 	Have uint8 `json:"have"`
+	// Peers holds the per-peer sub-span observations, in arrival order,
+	// first observation per (event, peer), bounded by maxPeerSpans.
+	Peers []PeerSpan `json:"peers,omitempty"`
 }
 
 // Has reports whether stage s was observed.
@@ -82,6 +140,39 @@ func (tl *Timeline) E2E() time.Duration {
 		return tl.T[StageDeliver] - tl.T[StageBAInput]
 	}
 	return 0
+}
+
+// HasPeer reports whether the (event, peer) sub-span was observed.
+func (tl *Timeline) HasPeer(ev PeerEvent, peer int) bool {
+	for i := range tl.Peers {
+		if tl.Peers[i].Event == ev && tl.Peers[i].Peer == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// PeerAt returns the observation time of the (event, peer) sub-span and
+// whether it was observed.
+func (tl *Timeline) PeerAt(ev PeerEvent, peer int) (time.Duration, bool) {
+	for i := range tl.Peers {
+		if tl.Peers[i].Event == ev && tl.Peers[i].Peer == peer {
+			return tl.Peers[i].At, true
+		}
+	}
+	return 0, false
+}
+
+// PeerSpans returns the timeline's observations of one event kind, in
+// arrival order (a fresh slice; safe to retain).
+func (tl *Timeline) PeerSpans(ev PeerEvent) []PeerSpan {
+	var out []PeerSpan
+	for i := range tl.Peers {
+		if tl.Peers[i].Event == ev {
+			out = append(out, tl.Peers[i])
+		}
+	}
+	return out
 }
 
 // StageBreakdown returns the per-segment durations of a delivered
@@ -160,21 +251,7 @@ func (t *Tracer) Observe(epoch uint64, s Stage, now time.Duration) {
 		return
 	}
 	t.mu.Lock()
-	tl := t.inflight[epoch]
-	if tl == nil {
-		if len(t.inflight) >= maxInflight {
-			oldest := uint64(0)
-			first := true
-			for e := range t.inflight {
-				if first || e < oldest {
-					oldest, first = e, false
-				}
-			}
-			delete(t.inflight, oldest)
-		}
-		tl = &Timeline{Epoch: epoch}
-		t.inflight[epoch] = tl
-	}
+	tl := t.timeline(epoch)
 	if !tl.Has(s) {
 		tl.T[s] = now
 		tl.Have |= 1 << s
@@ -201,6 +278,44 @@ func (t *Tracer) Observe(epoch uint64, s Stage, now time.Duration) {
 			t.e2e.Observe(int64(e))
 		}
 		return
+	}
+	t.mu.Unlock()
+}
+
+// timeline returns (creating if needed) the inflight timeline for
+// epoch. Caller holds t.mu.
+func (t *Tracer) timeline(epoch uint64) *Timeline {
+	tl := t.inflight[epoch]
+	if tl == nil {
+		if len(t.inflight) >= maxInflight {
+			oldest := uint64(0)
+			first := true
+			for e := range t.inflight {
+				if first || e < oldest {
+					oldest, first = e, false
+				}
+			}
+			delete(t.inflight, oldest)
+		}
+		tl = &Timeline{Epoch: epoch}
+		t.inflight[epoch] = tl
+	}
+	return tl
+}
+
+// ObservePeer records the (event, peer) sub-span of epoch at
+// Context-clock time now. The first observation per (event, peer) wins
+// (re-asks and duplicate arrivals are expected); the span list is
+// bounded by maxPeerSpans. Peer sub-spans observed after the epoch's
+// delivery are dropped with the rest of its late observations.
+func (t *Tracer) ObservePeer(epoch uint64, ev PeerEvent, peer int, now time.Duration) {
+	if t == nil || ev >= NumPeerEvents || peer < 0 {
+		return
+	}
+	t.mu.Lock()
+	tl := t.timeline(epoch)
+	if len(tl.Peers) < maxPeerSpans && !tl.HasPeer(ev, peer) {
+		tl.Peers = append(tl.Peers, PeerSpan{Peer: peer, Event: ev, At: now})
 	}
 	t.mu.Unlock()
 }

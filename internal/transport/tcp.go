@@ -105,9 +105,15 @@ type tcpMetrics struct {
 	recvBytes  [2]*telemetry.Counter
 	replayed   *telemetry.Counter
 	acks       *telemetry.Counter
+	// Per-peer link health, indexed by peer id (the self slot stays nil,
+	// which no-ops): ack/replay counters split the global ones by link,
+	// and peerRTT is the latest dispersal-class round-trip estimate.
+	peerAcks     []*telemetry.Counter
+	peerReplayed []*telemetry.Counter
+	peerRTT      []*telemetry.Gauge
 }
 
-func newTCPMetrics(m *telemetry.Metrics) tcpMetrics {
+func newTCPMetrics(m *telemetry.Metrics, n, self int) tcpMetrics {
 	reg := m.Registry()
 	var t tcpMetrics
 	labels := [2]string{classHigh: `class="dispersal"`, classLow: `class="retrieval"`}
@@ -119,6 +125,18 @@ func newTCPMetrics(m *telemetry.Metrics) tcpMetrics {
 	}
 	t.replayed = reg.Counter("dl_transport_replayed_frames_total", "", "Unacked frames re-sent on a fresh connection after a reconnect.")
 	t.acks = reg.Counter("dl_transport_acks_total", "", "Stream-position acks received from peers.")
+	t.peerAcks = make([]*telemetry.Counter, n)
+	t.peerReplayed = make([]*telemetry.Counter, n)
+	t.peerRTT = make([]*telemetry.Gauge, n)
+	for i := 0; i < n; i++ {
+		if i == self {
+			continue
+		}
+		lbl := fmt.Sprintf(`peer="%d"`, i)
+		t.peerAcks[i] = reg.Counter("dl_transport_peer_acks_total", lbl, "Stream-position acks received, by peer link.")
+		t.peerReplayed[i] = reg.Counter("dl_transport_peer_replayed_frames_total", lbl, "Frames replayed after a reconnect, by peer link.")
+		t.peerRTT[i] = reg.Gauge("dl_transport_peer_rtt_us", lbl, "Latest dispersal-link round-trip estimate (flush to position ack), microseconds.")
+	}
 	return t
 }
 
@@ -171,7 +189,7 @@ func NewTCPNode(opts TCPOptions) (*TCPNode, error) {
 	n := &TCPNode{
 		self: opts.Self, loop: newEventLoop(), keys: opts.Keys, wrap: opts.Wrap,
 		recv: map[[2]int]*recvState{},
-		tel:  newTCPMetrics(opts.Replica.Telemetry),
+		tel:  newTCPMetrics(opts.Replica.Telemetry, opts.Core.N, opts.Self),
 	}
 	st := opts.Store
 	if st == nil {
@@ -581,17 +599,39 @@ func incarnationNonce() uint64 {
 	return binary.BigEndian.Uint64(b[:])
 }
 
+// rttProbe estimates a link's round-trip time through the frame-ack
+// protocol, one sample at a time: the writer arms (stream position of
+// the last flushed frame, wall clock) when no probe is outstanding; the
+// ackReader disarms it once the receiver's reported position covers the
+// armed frame and publishes the elapsed time. The estimate includes the
+// receiver's processing of up to ackEvery frames, making it a
+// protocol-level health signal rather than a pure network ping — which
+// is what link-health dashboards want. seq 0 means disarmed; `at` is
+// stored before seq so a reader that sees seq armed sees its timestamp.
+type rttProbe struct {
+	seq atomic.Uint64
+	at  atomic.Int64
+}
+
 // ackReader consumes stream-position reports from the receiving side of
 // a writer connection, publishing the latest into ctr and counting each
-// report into acks (nil-safe).
-func ackReader(c net.Conn, ctr *atomic.Uint64, acks *telemetry.Counter) {
+// report into acks and peerAcks (nil-safe). When probe is non-nil it
+// also resolves outstanding RTT probes into rtt.
+func ackReader(c net.Conn, ctr *atomic.Uint64, acks, peerAcks *telemetry.Counter, probe *rttProbe, rtt *telemetry.Gauge) {
 	var buf [8]byte
 	for {
 		if _, err := io.ReadFull(c, buf[:]); err != nil {
 			return
 		}
 		acks.Inc()
+		peerAcks.Inc()
 		v := binary.BigEndian.Uint64(buf[:])
+		if probe != nil {
+			if s := probe.seq.Load(); s != 0 && v >= s {
+				rtt.Set((time.Now().UnixNano() - probe.at.Load()) / int64(time.Microsecond))
+				probe.seq.Store(0)
+			}
+		}
 		for {
 			cur := ctr.Load()
 			if v <= cur || ctr.CompareAndSwap(cur, v) {
@@ -628,6 +668,12 @@ func (p *tcpPeer) writer(class int) {
 	var acked *atomic.Uint64 // latest position reported on the CURRENT conn
 	backoff := 50 * time.Millisecond
 	nonce := incarnationNonce()
+	// RTT probes ride the dispersal-class link only: its frames are the
+	// latency-critical ones, and one gauge per peer is what dlctl renders.
+	var probe *rttProbe
+	if class == classHigh {
+		probe = &rttProbe{}
+	}
 
 	// pending holds every unacked frame; baseSeq is the stream position
 	// of the last pruned frame (pending[i] sits at baseSeq+1+i);
@@ -734,13 +780,14 @@ func (p *tcpPeer) writer(class int) {
 			c.SetReadDeadline(time.Time{})
 			prune(binary.BigEndian.Uint64(rb[:]))
 			ctr := &atomic.Uint64{}
-			go ackReader(c, ctr, p.node.tel.acks)
+			go ackReader(c, ctr, p.node.tel.acks, p.node.tel.peerAcks[p.id], probe, p.node.tel.peerRTT[p.id])
 			conn = c
 			bw = bufio.NewWriterSize(c, 256<<10)
 			acked = ctr
 			// Frames already written to the previous connection but not
 			// pruned by the receiver's ack are about to be re-sent.
 			p.node.tel.replayed.Add(uint64(written))
+			p.node.tel.peerReplayed[p.id].Add(uint64(written))
 			written = 0 // the whole unacked tail replays on this conn
 			unflushed = 0
 			return true
@@ -788,6 +835,14 @@ func (p *tcpPeer) writer(class int) {
 					ok = false
 				} else {
 					unflushed = 0
+					// Arm an RTT probe on the last flushed frame when none
+					// is outstanding; the ackReader resolves it.
+					if probe != nil && probe.seq.Load() == 0 {
+						if seq := baseSeq + uint64(written); seq > 0 {
+							probe.at.Store(time.Now().UnixNano())
+							probe.seq.Store(seq)
+						}
+					}
 				}
 			}
 			if ok {
