@@ -233,6 +233,13 @@ func main() {
 					metrics["stage_"+seg+"_p50_ms"] = sl.P50Ms
 					metrics["stage_"+seg+"_p95_ms"] = sl.P95Ms
 				}
+				// The sampled transaction-journey decomposition rides
+				// along the same way: where a tx's inclusion-to-commit
+				// latency goes, phase by phase.
+				for ph, sl := range r.Phases {
+					metrics["phase_"+ph+"_p50_ms"] = sl.P50Ms
+					metrics["phase_"+ph+"_p95_ms"] = sl.P95Ms
+				}
 				record(benchRecord{
 					Experiment: "fig10", Mode: m.String(),
 					Params:  map[string]float64{"system_load_mbps": l},
@@ -247,6 +254,16 @@ func main() {
 					for _, seg := range []string{"disperse", "ba", "retrieve", "e2e"} {
 						if sl, ok := r.Stages[seg]; ok {
 							fmt.Printf("  %s %.0f/%.0f", seg, sl.P50Ms, sl.P95Ms)
+						}
+					}
+					fmt.Println()
+				}
+				fmt.Printf("phase panel (%s) — sampled tx journey decomposition, p50/p95 ms\n", m)
+				for _, r := range results {
+					fmt.Printf("  load %4.1f MB/s:", r.LoadPerNode*16/trace.MB)
+					for _, ph := range []string{"mempool_wait", "disperse", "ba", "retrieve", "deliver"} {
+						if sl, ok := r.Phases[ph]; ok {
+							fmt.Printf("  %s %.0f/%.0f", ph, sl.P50Ms, sl.P95Ms)
 						}
 					}
 					fmt.Println()

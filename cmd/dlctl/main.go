@@ -5,9 +5,14 @@
 // per-peer link health, and the top-K slowest epochs each annotated with
 // the bottleneck stage and peer.
 //
+// The optional positional argument selects the view: the default
+// cluster report, or "latency" for the transaction phase decomposition
+// (sampled journey quantiles, queue/backpressure gauges, critical
+// paths) — the "where is my latency" panel.
+//
 // Usage:
 //
-//	dlctl -nodes 127.0.0.1:7001,127.0.0.1:7002,... [-top 5] [-timeout 5s]
+//	dlctl -nodes 127.0.0.1:7001,127.0.0.1:7002,... [-top 5] [-timeout 5s] [latency]
 package main
 
 import (
@@ -38,9 +43,19 @@ func main() {
 		}
 	}
 
+	view := flag.Arg(0)
+	if view != "" && view != "latency" {
+		fmt.Fprintf(os.Stderr, "dlctl: unknown view %q (views: latency)\n", view)
+		os.Exit(2)
+	}
+
 	client := &http.Client{Timeout: *timeout}
 	sts, errs := dlctl.ScrapeAll(client, addrs)
-	dlctl.Report(os.Stdout, sts, errs, *top)
+	if view == "latency" {
+		dlctl.LatencyReport(os.Stdout, sts, errs, *top)
+	} else {
+		dlctl.Report(os.Stdout, sts, errs, *top)
+	}
 	if len(sts) == 0 {
 		os.Exit(1)
 	}

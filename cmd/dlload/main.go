@@ -18,9 +18,15 @@
 //
 // Each client has a stable identity (-name prefix + index), so rerunning
 // after a crash exercises the gateway's idempotent resubmission.
+//
+// With -json <path> (or "-" for stdout) the run also emits a
+// machine-readable report — counters, latency percentiles and a
+// log-bucketed latency histogram — so CI can archive and diff what the
+// printed percentiles only show.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -100,6 +106,7 @@ func main() {
 	rate := flag.Float64("rate", 100, "open loop: transactions per second per client (Poisson)")
 	namePrefix := flag.String("name", "dlload", "client identity prefix (stable across reruns)")
 	seed := flag.Int64("seed", 1, "padding/arrival RNG seed")
+	jsonPath := flag.String("json", "", "also write a machine-readable JSON report to this path (\"-\" = stdout)")
 	flag.Parse()
 
 	addrs := strings.Split(*addrsFlag, ",")
@@ -141,6 +148,109 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 	report(col, elapsed, *txSize)
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, col, elapsed, *txSize, *clients, *closed); err != nil {
+			fmt.Fprintf(os.Stderr, "dlload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if col.verifyFails.Load() > 0 {
+		fmt.Fprintln(os.Stderr, "dlload: COMMIT PROOFS FAILED VERIFICATION — protocol bug")
+		os.Exit(1)
+	}
+}
+
+// jsonReport is the -json output shape. Latencies are milliseconds.
+type jsonReport struct {
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	Clients      int     `json:"clients"`
+	ClosedLoop   bool    `json:"closed_loop"`
+	TxSize       int     `json:"tx_size"`
+	Submitted    int64   `json:"submitted"`
+	Accepted     int64   `json:"accepted"`
+	OverCapacity int64   `json:"rejected_over_capacity"`
+	DupPending   int64   `json:"rejected_dup_pending"`
+	DupCommitted int64   `json:"rejected_dup_committed"`
+	OtherReject  int64   `json:"rejected_other"`
+	Commits      int64   `json:"commits"`
+	VerifyFails  int64   `json:"verify_failures"`
+	Errors       int64   `json:"errors"`
+	CommitTxPerS float64 `json:"commit_tx_per_sec"`
+	CommitMBPerS float64 `json:"commit_mb_per_sec"`
+	// LatencyMs carries submission-to-verified-commit percentiles.
+	LatencyMs map[string]float64 `json:"latency_ms"`
+	// Histogram is log-bucketed (factor 2 from 1 ms): each entry counts
+	// commits with latency <= le_ms, cumulative like a Prometheus
+	// histogram so downstream tooling can diff or merge runs.
+	Histogram []jsonBucket `json:"latency_histogram"`
+}
+
+// jsonBucket is one cumulative latency histogram bucket.
+type jsonBucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count int     `json:"count"`
+}
+
+// writeJSON renders the machine-readable report to path ("-" = stdout).
+func writeJSON(path string, col *collector, elapsed time.Duration, txSize, clients int, closed bool) error {
+	col.mu.Lock()
+	lats := col.latencies
+	col.mu.Unlock()
+	commits := col.commits.Load()
+	rep := jsonReport{
+		ElapsedSec:   elapsed.Seconds(),
+		Clients:      clients,
+		ClosedLoop:   closed,
+		TxSize:       txSize,
+		Submitted:    col.submitted.Load(),
+		Accepted:     col.accepted.Load(),
+		OverCapacity: col.overCapacity.Load(),
+		DupPending:   col.dupPending.Load(),
+		DupCommitted: col.dupCommitted.Load(),
+		OtherReject:  col.otherReject.Load(),
+		Commits:      commits,
+		VerifyFails:  col.verifyFails.Load(),
+		Errors:       col.errors.Load(),
+		CommitTxPerS: float64(commits) / elapsed.Seconds(),
+		CommitMBPerS: float64(commits*int64(txSize)) / elapsed.Seconds() / (1 << 20),
+		LatencyMs:    map[string]float64{},
+	}
+	if len(lats) > 0 {
+		for _, p := range []float64{5, 50, 95, 99, 100} {
+			key := fmt.Sprintf("p%.0f", p)
+			if p == 100 {
+				key = "max"
+			}
+			rep.LatencyMs[key] = float64(stats.DurationPercentile(lats, p)) / float64(time.Millisecond)
+		}
+		// 1ms, 2ms, ... doubling until every observation is covered.
+		le := time.Millisecond
+		for {
+			n := 0
+			for _, l := range lats {
+				if l <= le {
+					n++
+				}
+			}
+			rep.Histogram = append(rep.Histogram, jsonBucket{LeMs: float64(le) / float64(time.Millisecond), Count: n})
+			if n == len(lats) {
+				break
+			}
+			le *= 2
+		}
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // runClosed keeps `inflight` submissions in flight; each commit triggers
@@ -276,9 +386,5 @@ func report(col *collector, elapsed time.Duration, txSize int) {
 			stats.DurationPercentile(lats, 95).Round(time.Millisecond),
 			stats.DurationPercentile(lats, 99).Round(time.Millisecond),
 			stats.DurationPercentile(lats, 100).Round(time.Millisecond))
-	}
-	if col.verifyFails.Load() > 0 {
-		fmt.Fprintln(os.Stderr, "dlload: COMMIT PROOFS FAILED VERIFICATION — protocol bug")
-		os.Exit(1)
 	}
 }

@@ -360,10 +360,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.mem = mem
 	c.stores = stores
 	// Re-seed gateway proofs from each node's recovered log, so clients
-	// resubmitting pre-restart transactions get verifiable receipts.
+	// resubmitting pre-restart transactions get verifiable receipts, and
+	// point each hub at its replica's journey collector.
 	for i, hub := range c.hubs {
 		var recovered []replica.RecoveredBlock
-		c.mem.Inspect(i, func(r *replica.Replica) { recovered = r.RecoveredBlocks() })
+		c.mem.Inspect(i, func(r *replica.Replica) {
+			recovered = r.RecoveredBlocks()
+			hub.SetJourneys(r.Journeys())
+		})
 		hub.Seed(recovered)
 	}
 	return c, nil
@@ -613,9 +617,13 @@ func NewTCPNode(opts NodeOptions) (*Node, error) {
 	n.st = st
 	if n.hub != nil {
 		// Re-seed gateway proofs from the recovered log so pre-restart
-		// commitments stay provable to resubmitting clients.
+		// commitments stay provable to resubmitting clients, and point
+		// the hub at the replica's journey collector.
 		var recovered []replica.RecoveredBlock
-		tcp.Inspect(func(r *replica.Replica) { recovered = r.RecoveredBlocks() })
+		tcp.Inspect(func(r *replica.Replica) {
+			recovered = r.RecoveredBlocks()
+			n.hub.SetJourneys(r.Journeys())
+		})
 		n.hub.Seed(recovered)
 	}
 	if opts.ClientAddr != "" {

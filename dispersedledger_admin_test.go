@@ -12,8 +12,21 @@ import (
 	"time"
 
 	"dledger/internal/dlctl"
+	"dledger/internal/mempool"
 	"dledger/internal/telemetry"
 )
+
+// sampledTx brute-forces a payload the journey sampler (content-hash
+// first byte & 63 == 0) deterministically selects, so the smoke test
+// can exercise transaction tracing without submitting 64x the traffic.
+func sampledTx(k int) []byte {
+	for i := 0; ; i++ {
+		tx := []byte(fmt.Sprintf("admin sampled tx %d try %d padding padding", k, i))
+		if h := mempool.HashTx(tx); h[0]&63 == 0 {
+			return tx
+		}
+	}
+}
 
 // adminGet fetches one admin endpoint and returns the body.
 func adminGet(t *testing.T, url string) (string, *http.Response) {
@@ -97,8 +110,11 @@ func TestAdminEndpoints(t *testing.T) {
 		t.Fatal("node 0 has no admin address")
 	}
 
-	// Drive enough traffic that every lifecycle stage fires on node 0.
+	// Drive enough traffic that every lifecycle stage fires on node 0,
+	// including journey-sampled transactions submitted at node 0 so the
+	// tx-phase decomposition has material.
 	for k := 0; k < 8; k++ {
+		nodes[0].Submit(sampledTx(k))
 		for i, nd := range nodes {
 			nd.Submit([]byte(fmt.Sprintf("admin tx %d-%d padding padding", i, k)))
 		}
@@ -111,6 +127,19 @@ func TestAdminEndpoints(t *testing.T) {
 	}, "node 0 never delivered 8 blocks")
 
 	base := "http://" + nodes[0].AdminAddr()
+
+	// Journey finalization is asynchronous with the delivery callback;
+	// wait until node 0's counter shows completed sampled journeys.
+	waitUntil(t, 30*time.Second, func() bool {
+		body, _ := adminGet(t, base+"/metrics")
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, "dl_tx_journeys_completed_total ") &&
+				!strings.HasSuffix(line, " 0") {
+				return true
+			}
+		}
+		return false
+	}, "node 0 never finalized a sampled tx journey")
 
 	// /healthz: trivially alive.
 	if body, _ := adminGet(t, base+"/healthz"); body != "ok\n" {
@@ -131,6 +160,18 @@ func TestAdminEndpoints(t *testing.T) {
 		`dl_tx_confirm_seconds_count{scope="all"}`,
 		"dl_txs_delivered_total",
 		"dl_mempool_bytes",
+		// The transaction-tracing release: sampled journey phases and
+		// the queue/backpressure gauge family.
+		"# TYPE dl_tx_phase_seconds histogram",
+		`dl_tx_phase_seconds_bucket{phase="mempool_wait",le="+Inf"}`,
+		`dl_tx_phase_seconds_bucket{phase="ba",le="+Inf"}`,
+		"dl_tx_journeys_sampled_total",
+		`dl_queue_mempool_txs{shard="front"}`,
+		"dl_queue_mempool_oldest_age_ms",
+		"dl_queue_proposal_fill_pct",
+		"dl_queue_ba_inflight",
+		"dl_queue_retrieval_inflight",
+		`dl_queue_transport_write{peer="1"}`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -158,10 +199,25 @@ func TestAdminEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(statusz), &status); err != nil {
 		t.Fatalf("/statusz is not JSON: %v", err)
 	}
-	for _, key := range []string{"schema_version", "node", "config", "position", "mempool", "sync", "store", "metrics", "slowest_epochs", "inflight_epochs", "timelines"} {
+	for _, key := range []string{"schema_version", "node", "config", "position", "mempool", "sync", "store", "metrics", "slowest_epochs", "inflight_epochs", "timelines", "queues", "tx_phases"} {
 		if _, ok := status[key]; !ok {
 			t.Errorf("/statusz missing %q", key)
 		}
+	}
+	// The schema-2 panels carry real series, not empty maps.
+	var queues map[string]json.RawMessage
+	if err := json.Unmarshal(status["queues"], &queues); err != nil || len(queues) == 0 {
+		t.Errorf("/statusz queues panel empty (err %v): %s", err, status["queues"])
+	}
+	if _, ok := queues["dl_queue_ba_inflight"]; !ok {
+		t.Errorf("/statusz queues panel missing dl_queue_ba_inflight: %s", status["queues"])
+	}
+	var phases map[string]telemetry.HistogramSnapshot
+	if err := json.Unmarshal(status["tx_phases"], &phases); err != nil {
+		t.Fatalf("/statusz tx_phases: %v", err)
+	}
+	if hs, ok := phases[`dl_tx_phase_seconds{phase="mempool_wait"}`]; !ok || hs.Count == 0 {
+		t.Errorf("/statusz tx_phases missing finalized mempool_wait observations: %s", status["tx_phases"])
 	}
 	var schema int
 	if err := json.Unmarshal(status["schema_version"], &schema); err != nil || schema != telemetry.StatusSchemaVersion {
@@ -200,7 +256,7 @@ func TestAdminEndpoints(t *testing.T) {
 	if !strings.Contains(flight, "flight recorder:") {
 		t.Errorf("/debug/flightrecorder missing header:\n%.400s", flight)
 	}
-	for _, want := range []string{"vote_cast", "decide", "deliver"} {
+	for _, want := range []string{"vote_cast", "decide", "deliver", "tx_phase", "at=committed"} {
 		if !strings.Contains(flight, want) {
 			t.Errorf("/debug/flightrecorder missing %q events", want)
 		}
@@ -238,6 +294,26 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(out, "peer ") {
 		t.Errorf("dlctl report attributes no edge to a peer:\n%s", out)
+	}
+
+	// dlctl latency smoke: the "where is my latency" view renders a real
+	// phase decomposition (with its reconciliation sum), the queue
+	// gauges, and the critical-path context off the same scrape.
+	var latview strings.Builder
+	dlctl.LatencyReport(&latview, sts, errs, 3)
+	lout := latview.String()
+	for _, want := range []string{
+		"tx phase decomposition",
+		"mempool_wait", "ba", "deliver",
+		"phase sum",
+		"client-observed commit latency",
+		"queues (backpressure gauges, per node)",
+		"node 0: mempool front=",
+		"slowest epochs (top 3",
+	} {
+		if !strings.Contains(lout, want) {
+			t.Errorf("dlctl latency view missing %q:\n%s", want, lout)
+		}
 	}
 
 	// Lifecycle: closing a node must tear down its admin endpoint — the

@@ -1271,6 +1271,33 @@ func (e *Engine) PrunedThrough() uint64 { return e.prunedThrough }
 // (for memory monitoring and GC tests).
 func (e *Engine) EpochStatesHeld() int { return len(e.epochs) }
 
+// RetrievalsInflight reports how many block retrievals have started but
+// not completed — the retrieval work queue depth (for the dl_queue_*
+// gauges; O(retrievals held), sampled at proposal cadence).
+func (e *Engine) RetrievalsInflight() int {
+	n := 0
+	for _, rs := range e.retr {
+		if !rs.done {
+			n++
+		}
+	}
+	return n
+}
+
+// BAInflight reports how many binary-agreement instances are running:
+// across resident undecided epochs, the instances without an output yet
+// (for the dl_queue_* gauges; O(epochs held), sampled at proposal
+// cadence).
+func (e *Engine) BAInflight() int {
+	n := 0
+	for _, es := range e.epochs {
+		if !es.decided {
+			n += e.cfg.N - es.outs
+		}
+	}
+	return n
+}
+
 func (e *Engine) allRetrieved(epoch uint64, S []int) bool {
 	for _, j := range S {
 		rs := e.retr[blockKey{epoch, j}]

@@ -5,6 +5,10 @@
 // one operator-facing cluster report — per-node positions, per-peer link
 // health, laggards approaching the RetainEpochs pruning horizon, and the
 // top-K slowest epochs each named with its bottleneck stage and peer.
+// The latency view (dlctl ... latency) instead renders the sampled
+// transaction-journey phase decomposition next to the queue gauges and
+// critical paths: which phase of admit → mempool → disperse → BA →
+// retrieve → deliver → proof the commit latency actually lives in.
 //
 // The library half is separate from the flag wrapper so tests (and the
 // 4-node admin-endpoint smoke test) can drive a scrape-and-render pass
@@ -24,6 +28,7 @@ import (
 
 	"dledger/internal/telemetry"
 	"dledger/internal/telemetry/criticalpath"
+	"dledger/internal/telemetry/txtrace"
 )
 
 // Status is one node's parsed /statusz payload.
@@ -110,6 +115,20 @@ func ScrapeAll(client *http.Client, addrs []string) ([]*Status, []error) {
 		sts = append(sts, st)
 	}
 	return sts, errs
+}
+
+// histogram extracts a histogram snapshot from the metrics map; ok is
+// false when the series is absent or not a histogram.
+func (s *Status) histogram(series string) (telemetry.HistogramSnapshot, bool) {
+	raw, ok := s.Metrics[series]
+	if !ok {
+		return telemetry.HistogramSnapshot{}, false
+	}
+	var hs telemetry.HistogramSnapshot
+	if json.Unmarshal(raw, &hs) != nil || hs.Count == 0 {
+		return telemetry.HistogramSnapshot{}, false
+	}
+	return hs, true
 }
 
 // number extracts a numeric metric (counter or gauge) from a snapshot;
@@ -249,6 +268,12 @@ func Report(w io.Writer, sts []*Status, errs []error, topK int) {
 		}
 	}
 
+	criticalSection(w, sts, topK)
+}
+
+// criticalSection renders the top-K slowest epochs with their joined
+// cross-node critical paths (shared by the default and latency views).
+func criticalSection(w io.Writer, sts []*Status, topK int) {
 	nodes := make([]criticalpath.NodeTimelines, 0, len(sts))
 	for _, s := range sts {
 		nodes = append(nodes, criticalpath.NodeTimelines{Node: s.Node, Timelines: s.Timelines})
@@ -262,4 +287,105 @@ func Report(w io.Writer, sts []*Status, errs []error, topK int) {
 	for _, p := range paths {
 		fmt.Fprintf(w, "  %s\n", p.String())
 	}
+}
+
+// transportWriteSeries matches the per-peer write-queue depth gauges.
+var transportWriteSeries = regexp.MustCompile(`^dl_queue_transport_write\{peer="(\d+)"\}$`)
+
+// fmtSec renders a histogram quantile (exposition unit: seconds) as a
+// rounded duration.
+func fmtSec(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	if d >= time.Second {
+		return d.Round(10 * time.Millisecond).String()
+	}
+	return d.Round(time.Millisecond).String()
+}
+
+// LatencyReport renders the "where is my latency" view: the cluster's
+// sampled transaction-journey phase decomposition (per-phase quantiles
+// averaged over the nodes that observed the phase, counts summed), its
+// reconciliation sum — which approximates the client-observed commit
+// latency — the per-node queue/backpressure gauges that explain any
+// waiting phase, and the slowest-epoch critical paths for cross-node
+// context.
+func LatencyReport(w io.Writer, sts []*Status, errs []error, topK int) {
+	for _, err := range errs {
+		fmt.Fprintf(w, "UNREACHABLE %v\n", err)
+	}
+	if len(sts) == 0 {
+		fmt.Fprintln(w, "no reachable nodes")
+		return
+	}
+	sort.Slice(sts, func(i, j int) bool { return sts[i].Node < sts[j].Node })
+	c := sts[0].Config
+	fmt.Fprintf(w, "cluster: mode=%s n=%d f=%d (%d/%d nodes reporting)\n",
+		c.Mode, c.N, c.F, len(sts), c.N)
+
+	fmt.Fprintln(w, "\ntx phase decomposition (sampled journeys; quantile = mean over reporting nodes):")
+	var sum50, sum95 float64
+	var total uint64
+	seen := 0
+	for p := txtrace.Phase(0); p < txtrace.NumPhases; p++ {
+		series := txtrace.MetricName + `{phase="` + p.String() + `"}`
+		var s50, s95 float64
+		var count uint64
+		nodes := 0
+		for _, st := range sts {
+			if hs, ok := st.histogram(series); ok {
+				count += hs.Count
+				s50 += hs.P50
+				s95 += hs.P95
+				nodes++
+			}
+		}
+		if nodes == 0 {
+			continue
+		}
+		seen++
+		p50, p95 := s50/float64(nodes), s95/float64(nodes)
+		sum50 += p50
+		sum95 += p95
+		if count > total {
+			total = count
+		}
+		fmt.Fprintf(w, "  %-12s  count=%-8d p50=%-10s p95=%s\n", p.String(), count, fmtSec(p50), fmtSec(p95))
+	}
+	if seen == 0 {
+		fmt.Fprintln(w, "  no sampled journeys finalized yet")
+	} else {
+		fmt.Fprintf(w, "  %-12s  %-14s p50=%-10s p95=%s  (≈ client-observed commit latency)\n",
+			"phase sum", "", fmtSec(sum50), fmtSec(sum95))
+	}
+
+	fmt.Fprintln(w, "\nqueues (backpressure gauges, per node):")
+	for _, s := range sts {
+		front, _ := s.number(`dl_queue_mempool_txs{shard="front"}`)
+		clients, _ := s.number(`dl_queue_mempool_txs{shard="clients"}`)
+		age, _ := s.number("dl_queue_mempool_oldest_age_ms")
+		fill, _ := s.number("dl_queue_proposal_fill_pct")
+		retr, _ := s.number("dl_queue_retrieval_inflight")
+		ba, _ := s.number("dl_queue_ba_inflight")
+		fmt.Fprintf(w, "  node %d: mempool front=%.0f clients=%.0f oldest=%s proposal_fill=%.0f%% retrieval=%.0f ba=%.0f",
+			s.Node, front, clients, (time.Duration(age) * time.Millisecond).String(), fill, retr, ba)
+		// Transport backpressure: name the deepest write queue, the
+		// usual culprit when a phase waits on a specific peer.
+		maxDepth, maxPeer := 0.0, -1
+		for series := range s.Metrics {
+			m := transportWriteSeries.FindStringSubmatch(series)
+			if m == nil {
+				continue
+			}
+			if v, ok := s.number(series); ok && v >= maxDepth {
+				maxDepth = v
+				maxPeer, _ = strconv.Atoi(m[1])
+			}
+		}
+		if maxPeer >= 0 {
+			fmt.Fprintf(w, " write_q_max=%.0f@peer%d", maxDepth, maxPeer)
+		}
+		fmt.Fprintln(w)
+	}
+
+	criticalSection(w, sts, topK)
 }

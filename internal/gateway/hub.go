@@ -8,6 +8,7 @@ import (
 	"dledger/internal/merkle"
 	"dledger/internal/replica"
 	"dledger/internal/telemetry"
+	"dledger/internal/telemetry/txtrace"
 )
 
 // Status classifies a submission receipt.
@@ -200,6 +201,27 @@ type Hub struct {
 	buckets  map[uint64]*bucket
 	counters Counters
 	tel      hubMetrics
+	// jour is the replica's transaction-journey collector; the hub
+	// contributes the two phases only it can see (admission wait,
+	// proof-stream ingest) as self-measured durations — the hub clock
+	// and the replica's Context clock are different domains, so the hub
+	// never contributes timestamps.
+	jour *txtrace.Journeys
+}
+
+// SetJourneys attaches the replica's transaction-journey collector so
+// admission and proof-ingest durations land on sampled journeys. Call
+// it at wiring time (and again after a restart mints a fresh replica).
+func (h *Hub) SetJourneys(j *txtrace.Journeys) {
+	h.mu.Lock()
+	h.jour = j
+	h.mu.Unlock()
+}
+
+func (h *Hub) journeys() *txtrace.Journeys {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.jour
 }
 
 // hubMetrics is the gateway's telemetry handle set (inert when
@@ -429,6 +451,7 @@ func (h *Hub) refundTokens(client uint64, n int) {
 // subscription receives the Commit on delivery; duplicate-committed
 // resubmissions get their proof re-streamed immediately.
 func (h *Hub) Submit(client uint64, reqID uint64, tx []byte) Receipt {
+	t0 := h.now()
 	rc := Receipt{ReqID: reqID}
 	if len(tx) == 0 {
 		rc.Status = StatusInvalid
@@ -488,6 +511,9 @@ func (h *Hub) Submit(client uint64, reqID uint64, tx []byte) Receipt {
 	switch err {
 	case nil:
 		rc.Status = StatusAccepted
+		// The journey exists now (SubmitFrom ran synchronously via
+		// Exec); attach the hub-measured admission duration.
+		h.journeys().AdmitObserved(hash, h.now()-t0)
 	case mempool.ErrDuplicatePending:
 		// Keep the interest registration: the original submission's
 		// commit satisfies this client too (it may be the same client
@@ -588,7 +614,23 @@ func (h *Hub) OnDeliver(d replica.Delivery) {
 			hashes[i] = mempool.HashTx(tx)
 		}
 	}
+	j := h.journeys()
+	var t0 time.Duration
+	if j != nil {
+		t0 = h.now()
+	}
 	h.ingest(d.Epoch, d.Proposer, hashes)
+	if j != nil {
+		// Proof-stream ingest duration for the block's sampled
+		// journeys; lands before the epoch finalizes them (the replica
+		// calls OnDeliver before its EpochDeliveredAction).
+		dur := h.now() - t0
+		for _, hash := range hashes {
+			if j.Sampled(hash) {
+				j.Proof(hash, dur)
+			}
+		}
+	}
 }
 
 // Seed installs blocks recovered from the WAL (replica.RecoveredBlocks)

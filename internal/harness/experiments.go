@@ -6,6 +6,7 @@ import (
 	"dledger/internal/core"
 	"dledger/internal/replica"
 	"dledger/internal/stats"
+	"dledger/internal/telemetry/txtrace"
 	"dledger/internal/trace"
 )
 
@@ -281,6 +282,12 @@ type LatencyResult struct {
 	// Stages is the lifecycle latency panel (disperse, ba, retrieve,
 	// e2e from dl_epoch_stage_seconds); nil without Params.Telemetry.
 	Stages map[string]StageLatency
+	// Phases is the sampled transaction-journey decomposition
+	// (dl_tx_phase_seconds): where a transaction's inclusion-to-commit
+	// latency actually goes. Nil without Params.Telemetry. The
+	// admit_wait and proof phases are hub-side and absent in the
+	// emulated cluster (loads are injected below the gateway).
+	Phases map[string]StageLatency
 }
 
 // LatencyScale is the default scale for latency experiments. Latency runs
@@ -342,6 +349,7 @@ func RunLatency(p LatencyParams) (*LatencyResult, error) {
 	}
 	if p.Telemetry {
 		res.Stages = stagePanel(c)
+		res.Phases = phasePanel(c)
 	}
 	return res, nil
 }
@@ -369,6 +377,36 @@ func stagePanel(c *Cluster) map[string]StageLatency {
 			sl.P50Ms = sum50 / float64(nodes)
 			sl.P95Ms = sum95 / float64(nodes)
 			out[seg] = sl
+		}
+	}
+	return out
+}
+
+// phasePanel aggregates every node's dl_tx_phase_seconds histograms —
+// the sampled transaction-journey decomposition — the same way
+// stagePanel aggregates the epoch lifecycle: quantiles averaged across
+// the nodes that observed the phase, counts summed. Phases no node
+// observed (admit_wait/proof without a gateway) are omitted.
+func phasePanel(c *Cluster) map[string]StageLatency {
+	out := map[string]StageLatency{}
+	for p := txtrace.Phase(0); p < txtrace.NumPhases; p++ {
+		var sl StageLatency
+		var sum50, sum95 float64
+		nodes := 0
+		for i := range c.Replicas {
+			h := c.Tels[i].Registry().FindHistogram(txtrace.MetricName, `phase="`+p.String()+`"`)
+			if h.Count() == 0 {
+				continue
+			}
+			sl.Count += h.Count()
+			sum50 += float64(h.Quantile(0.50)) / float64(time.Millisecond)
+			sum95 += float64(h.Quantile(0.95)) / float64(time.Millisecond)
+			nodes++
+		}
+		if nodes > 0 {
+			sl.P50Ms = sum50 / float64(nodes)
+			sl.P95Ms = sum95 / float64(nodes)
+			out[p.String()] = sl
 		}
 	}
 	return out

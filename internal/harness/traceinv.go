@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"dledger/internal/telemetry"
+	"dledger/internal/telemetry/txtrace"
 )
 
 // traceStageOrder lists the pairwise orderings a delivered timeline must
@@ -30,8 +31,14 @@ var traceStageOrder = [][2]telemetry.Stage{
 // observed the whole run (never crashed, joined, or synced): every
 // distinct epoch in the log must have a delivered timeline whose stage
 // timestamps are present and ordered, and the delivered-epoch, block
-// and transaction counters must equal the log's totals.
-func CheckTraceCompleteness(node int, tel *telemetry.Metrics, log []LogEntry) []string {
+// and transaction counters must equal the log's totals. When jour is
+// non-nil the sampled transaction journeys are held to the same
+// standard: every finalized journey must be well-formed (checkpoint
+// order, non-negative phases) and belong to an epoch this node's log
+// shows it proposing in, and no sampled transaction may remain live in
+// an epoch the log already covers (a stuck journey under faults is a
+// telemetry bug, not a dashboard curiosity).
+func CheckTraceCompleteness(node int, tel *telemetry.Metrics, jour *txtrace.Journeys, log []LogEntry) []string {
 	var out []string
 	if tel == nil {
 		return []string{fmt.Sprintf("trace: node %d has no telemetry bundle", node)}
@@ -113,6 +120,66 @@ func CheckTraceCompleteness(node int, tel *telemetry.Metrics, log []LogEntry) []
 	if got := reg.Counter("dl_txs_delivered_total", "", "").Value(); got != uint64(txs) {
 		out = append(out, fmt.Sprintf("trace: node %d counted %d delivered txs, log has %d",
 			node, got, txs))
+	}
+	out = append(out, checkJourneys(node, jour, epochs, maxEpoch, log)...)
+	return out
+}
+
+// checkJourneys validates the sampled transaction journeys against the
+// delivery log: finalized journeys are well-formed and reconcile with
+// the epochs this node proposed in; live journeys are not stuck in an
+// epoch the log already delivered.
+func checkJourneys(node int, jour *txtrace.Journeys, epochs map[uint64]bool, maxEpoch uint64, log []LogEntry) []string {
+	if jour == nil {
+		return nil
+	}
+	var out []string
+	// The journeys layer only tracks transactions this node submitted
+	// and proposed itself, so a finalized journey's epoch must appear
+	// in the log with this node as proposer.
+	selfEpochs := map[uint64]bool{}
+	for _, e := range log {
+		if e.Proposer == node {
+			selfEpochs[e.Epoch] = true
+		}
+	}
+	for _, j := range jour.Completed() {
+		if !j.Complete {
+			out = append(out, fmt.Sprintf("trace: node %d journey %x finalized without Complete", node, j.Hash[:4]))
+		}
+		for p := txtrace.Phase(0); p < txtrace.NumPhases; p++ {
+			if j.Phases[p] < 0 {
+				out = append(out, fmt.Sprintf("trace: node %d journey %x has negative %s phase %s",
+					node, j.Hash[:4], p, j.Phases[p]))
+			}
+		}
+		if j.Proposals > 0 && j.Proposed < j.Enqueued {
+			out = append(out, fmt.Sprintf("trace: node %d journey %x proposed at %s before enqueue at %s",
+				node, j.Hash[:4], j.Proposed, j.Enqueued))
+		}
+		if j.HasDelivered && (j.Delivered < j.Enqueued || j.Done < j.Delivered) {
+			out = append(out, fmt.Sprintf("trace: node %d journey %x checkpoints out of order (enq %s, deliver %s, done %s)",
+				node, j.Hash[:4], j.Enqueued, j.Delivered, j.Done))
+		}
+		// The journey finalizes when its epoch delivers; an epoch this
+		// node never proposed in (per its own log) cannot carry one of
+		// its transactions. An empty-block epoch leaves no log entry,
+		// but an empty block also carries no transactions, so every
+		// journey-bearing epoch must be logged.
+		if !selfEpochs[j.Epoch] {
+			out = append(out, fmt.Sprintf("trace: node %d journey %x finalized in epoch %d, which its log never shows it proposing",
+				node, j.Hash[:4], j.Epoch))
+		}
+	}
+	// Stuck detection: a live journey already assigned to an epoch the
+	// log covers (horizon cut aside) means EpochDelivered never
+	// finalized it — exactly the stall the flight-recorder checkpoints
+	// exist to expose.
+	for _, j := range jour.Live() {
+		if j.Proposals > 0 && epochs[j.Epoch] && j.Epoch != maxEpoch {
+			out = append(out, fmt.Sprintf("trace: node %d journey %x stuck live in delivered epoch %d",
+				node, j.Hash[:4], j.Epoch))
+		}
 	}
 	return out
 }

@@ -7,6 +7,8 @@ import (
 
 	"dledger/internal/core"
 	"dledger/internal/replica"
+	"dledger/internal/telemetry"
+	"dledger/internal/telemetry/txtrace"
 	"dledger/internal/trace"
 )
 
@@ -42,7 +44,7 @@ func TestTraceCompletenessCleanRun(t *testing.T) {
 		if got := len(c.Tels[i].Trace().Delivered()); got == 0 {
 			t.Fatalf("node %d has no delivered timelines", i)
 		}
-		if v := CheckTraceCompleteness(i, c.Tels[i], lr.Log(i)); len(v) != 0 {
+		if v := CheckTraceCompleteness(i, c.Tels[i], c.Replicas[i].Journeys(), lr.Log(i)); len(v) != 0 {
 			t.Fatalf("node %d trace violations: %v", i, v)
 		}
 	}
@@ -52,12 +54,28 @@ func TestTraceCompletenessCleanRun(t *testing.T) {
 			t.Fatalf("stage panel missing %q: %+v", seg, panel)
 		}
 	}
+	// The journey layer must have finished at least one sampled
+	// transaction somewhere in the cluster, and the phase panel must
+	// carry the decomposition.
+	finished := 0
+	for i := 0; i < n; i++ {
+		finished += len(c.Replicas[i].Journeys().Completed())
+	}
+	if finished == 0 {
+		t.Fatal("no sampled transaction journeys completed")
+	}
+	phases := phasePanel(c)
+	for _, ph := range []string{"mempool_wait", "ba", "deliver"} {
+		if phases[ph].Count == 0 {
+			t.Fatalf("phase panel missing %q: %+v", ph, phases)
+		}
+	}
 }
 
 // TestTraceCompletenessDetects feeds the checker a log the telemetry
 // never saw and expects violations, including the nil-bundle case.
 func TestTraceCompletenessDetects(t *testing.T) {
-	if v := CheckTraceCompleteness(0, nil, nil); len(v) != 1 || !strings.Contains(v[0], "no telemetry bundle") {
+	if v := CheckTraceCompleteness(0, nil, nil, nil); len(v) != 1 || !strings.Contains(v[0], "no telemetry bundle") {
 		t.Fatalf("nil bundle not flagged: %v", v)
 	}
 	const n = 4
@@ -83,7 +101,7 @@ func TestTraceCompletenessDetects(t *testing.T) {
 		{Epoch: 1, Proposer: 0, TxCount: 3},
 		{Epoch: 2, Proposer: 1, TxCount: 2},
 	}
-	v := CheckTraceCompleteness(0, c.Tels[0], log)
+	v := CheckTraceCompleteness(0, c.Tels[0], c.Replicas[0].Journeys(), log)
 	joined := strings.Join(v, "\n")
 	if !strings.Contains(joined, "epoch 1 with no timeline") {
 		t.Fatalf("missing-timeline violation not raised:\n%s", joined)
@@ -93,5 +111,37 @@ func TestTraceCompletenessDetects(t *testing.T) {
 	}
 	if !strings.Contains(joined, "delivered blocks") || !strings.Contains(joined, "delivered txs") {
 		t.Fatalf("counter reconciliation not raised:\n%s", joined)
+	}
+}
+
+// TestJourneyViolationsDetect exercises the journey half of the checker
+// with hand-built bad states: a finalized journey in an epoch the log
+// never shows the node proposing, and a live journey stuck in an epoch
+// the log already delivered.
+func TestJourneyViolationsDetect(t *testing.T) {
+	m := telemetry.New(telemetry.Options{})
+	jour := txtrace.New(m, txtrace.Options{SampleEvery: 1})
+	tx := []byte("phantom")
+	jour.Submitted(tx, time.Second)
+	jour.ProposedBatch([][]byte{tx}, 9, 2*time.Second)
+	jour.EpochDelivered(9, 3*time.Second) // finalized in epoch 9
+
+	stuck := []byte("stuck")
+	jour.Submitted(stuck, time.Second)
+	jour.ProposedBatch([][]byte{stuck}, 4, 2*time.Second) // never finalized
+
+	log := []LogEntry{
+		{Epoch: 4, Proposer: 1, TxCount: 1}, // delivered, but proposer != 0
+		{Epoch: 5, Proposer: 0, TxCount: 1},
+	}
+	joined := strings.Join(checkJourneys(0, jour, map[uint64]bool{4: true, 5: true}, 5, log), "\n")
+	if !strings.Contains(joined, "which its log never shows it proposing") {
+		t.Fatalf("phantom-epoch journey not flagged:\n%s", joined)
+	}
+	if !strings.Contains(joined, "stuck live in delivered epoch 4") {
+		t.Fatalf("stuck journey not flagged:\n%s", joined)
+	}
+	if v := checkJourneys(0, nil, nil, 0, nil); v != nil {
+		t.Fatalf("nil journeys must be silent, got %v", v)
 	}
 }

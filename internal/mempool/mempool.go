@@ -30,6 +30,7 @@ package mempool
 import (
 	"crypto/sha256"
 	"errors"
+	"time"
 )
 
 // Hash is a transaction content hash (SHA-256).
@@ -97,9 +98,12 @@ func (s *hashSet) has(h Hash) bool {
 func (s *hashSet) add(h Hash) { s.shards[h[0]%dedupShards][h] = struct{}{} }
 func (s *hashSet) del(h Hash) { delete(s.shards[h[0]%dedupShards], h) }
 
-// clientQueue is one client's FIFO shard.
+// clientQueue is one client's FIFO shard. at parallels txs with each
+// transaction's enqueue time (the caller's clock; zero when enqueued
+// through the timestamp-less entry points).
 type clientQueue struct {
 	txs [][]byte
+	at  []time.Duration
 }
 
 // Pool is the sharded transaction queue. It is not safe for concurrent
@@ -108,8 +112,10 @@ type Pool struct {
 	opts Options
 
 	// front holds re-proposal batches (PushFront), served before any
-	// client queue to preserve the dropped block's order.
-	front [][]byte
+	// client queue to preserve the dropped block's order; frontAt
+	// parallels it with enqueue times.
+	front   [][]byte
+	frontAt []time.Duration
 	// clients maps client id -> queue shard; ring lists the clients with
 	// queued transactions in deterministic activation order, and cursor
 	// is the round-robin position.
@@ -151,6 +157,12 @@ func (p *Pool) Push(tx []byte) { _ = p.PushFrom(LocalClient, tx) }
 // and the byte budget. The returned error is one of ErrDuplicatePending,
 // ErrDuplicateCommitted, ErrOverCapacity, or nil on acceptance.
 func (p *Pool) PushFrom(client uint64, tx []byte) error {
+	return p.PushFromAt(client, tx, 0)
+}
+
+// PushFromAt is PushFrom stamping the transaction's enqueue time with
+// the caller's clock, so OldestAt can report queue age.
+func (p *Pool) PushFromAt(client uint64, tx []byte, now time.Duration) error {
 	var h Hash
 	if p.opts.Dedup {
 		h = HashTx(tx)
@@ -176,6 +188,7 @@ func (p *Pool) PushFrom(client uint64, tx []byte) error {
 		p.ring = append(p.ring, client)
 	}
 	q.txs = append(q.txs, tx)
+	q.at = append(q.at, now)
 	p.bytes += len(tx)
 	p.count++
 	return nil
@@ -184,11 +197,20 @@ func (p *Pool) PushFrom(client uint64, tx []byte) error {
 // PushFront returns a batch to the head of the queue, preserving its
 // order (used when a proposed block is dropped and must be re-proposed).
 // The batch's hashes are already pending, so no dedup bookkeeping moves.
-func (p *Pool) PushFront(batch [][]byte) {
+func (p *Pool) PushFront(batch [][]byte) { p.PushFrontAt(batch, 0) }
+
+// PushFrontAt is PushFront stamping the batch's (re-)enqueue time with
+// the caller's clock, so OldestAt can report queue age.
+func (p *Pool) PushFrontAt(batch [][]byte, now time.Duration) {
 	if len(batch) == 0 {
 		return
 	}
 	p.front = append(append(make([][]byte, 0, len(batch)+len(p.front)), batch...), p.front...)
+	at := make([]time.Duration, 0, len(batch)+len(p.frontAt))
+	for range batch {
+		at = append(at, now)
+	}
+	p.frontAt = append(at, p.frontAt...)
 	for _, tx := range batch {
 		p.bytes += len(tx)
 		p.count++
@@ -227,9 +249,10 @@ func (p *Pool) PopBatch(maxBytes int) [][]byte {
 			return out
 		}
 		p.front = p.front[1:]
+		p.frontAt = p.frontAt[1:]
 	}
 	if len(p.front) == 0 {
-		p.front = nil
+		p.front, p.frontAt = nil, nil
 	}
 
 	i := p.cursor
@@ -242,8 +265,9 @@ func (p *Pool) PopBatch(maxBytes int) [][]byte {
 			break
 		}
 		q.txs = q.txs[1:]
+		q.at = q.at[1:]
 		if len(q.txs) == 0 {
-			q.txs = nil
+			q.txs, q.at = nil, nil
 			p.ring = append(p.ring[:i], p.ring[i+1:]...)
 			// i now indexes the next client; do not advance.
 		} else {
@@ -318,3 +342,32 @@ func (p *Pool) MaxBytes() int { return p.opts.MaxBytes }
 
 // Clients returns how many clients currently have queued transactions.
 func (p *Pool) Clients() int { return len(p.ring) }
+
+// FrontLen returns the number of queued re-proposal transactions (the
+// PushFront shard, served before any client queue).
+func (p *Pool) FrontLen() int { return len(p.front) }
+
+// OldestAt returns the earliest enqueue time among the transactions at
+// the head of each shard, and whether any timestamped transaction is
+// queued. Cost is O(clients); the replica samples it at proposal
+// cadence, not per submission.
+func (p *Pool) OldestAt() (time.Duration, bool) {
+	oldest, ok := time.Duration(0), false
+	consider := func(at time.Duration) {
+		if at == 0 {
+			return // enqueued through a timestamp-less entry point
+		}
+		if !ok || at < oldest {
+			oldest, ok = at, true
+		}
+	}
+	if len(p.frontAt) > 0 {
+		consider(p.frontAt[0])
+	}
+	for _, c := range p.ring {
+		if q := p.clients[c]; q != nil && len(q.at) > 0 {
+			consider(q.at[0])
+		}
+	}
+	return oldest, ok
+}

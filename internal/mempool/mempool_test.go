@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestPushPopFIFO(t *testing.T) {
@@ -234,5 +235,47 @@ func TestPopBatchSliceIsolation(t *testing.T) {
 	rest := p.PopBatch(0)
 	if string(rest[0]) != "tx2" {
 		t.Fatalf("pool corrupted by append to popped batch: %q", rest[0])
+	}
+}
+
+func TestOldestAtTracksArrivalStamps(t *testing.T) {
+	p := New()
+	if _, ok := p.OldestAt(); ok {
+		t.Fatal("empty pool reported an oldest stamp")
+	}
+	p.PushFromAt(1, []byte("a"), 5*time.Second)
+	p.PushFromAt(2, []byte("b"), 3*time.Second)
+	p.PushFrontAt([][]byte{[]byte("f")}, 4*time.Second)
+	if at, ok := p.OldestAt(); !ok || at != 3*time.Second {
+		t.Fatalf("OldestAt = %v,%v, want 3s", at, ok)
+	}
+	// Popping must advance stamps in lockstep with the txs.
+	out := p.PopBatch(2) // front "f" + round-robin pulls client 1's "a"
+	if len(out) != 2 {
+		t.Fatalf("popped %d", len(out))
+	}
+	if at, ok := p.OldestAt(); !ok || at != 3*time.Second {
+		t.Fatalf("after partial pop OldestAt = %v,%v, want 3s (client 2 still queued)", at, ok)
+	}
+	p.PopBatch(0)
+	if _, ok := p.OldestAt(); ok {
+		t.Fatal("drained pool still reports a stamp")
+	}
+}
+
+func TestFrontLenAndLegacyPushesUnstamped(t *testing.T) {
+	p := New()
+	p.PushFront([][]byte{[]byte("x"), []byte("y")})
+	p.PushFrom(1, []byte("z"))
+	if p.FrontLen() != 2 {
+		t.Fatalf("FrontLen = %d, want 2", p.FrontLen())
+	}
+	// Legacy (un-timestamped) pushes carry zero stamps, which OldestAt
+	// skips rather than reporting a bogus age since process start.
+	if _, ok := p.OldestAt(); ok {
+		t.Fatal("zero stamps must not surface from OldestAt")
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"dledger/internal/stats"
 	"dledger/internal/store"
 	"dledger/internal/telemetry"
+	"dledger/internal/telemetry/txtrace"
 	"dledger/internal/wire"
 	"dledger/internal/workload"
 )
@@ -191,6 +192,10 @@ type Replica struct {
 	// Params.Telemetry is unset.
 	tel repMetrics
 
+	// jour collects sampled transaction journeys (nil — and inert —
+	// when Params.Telemetry is unset).
+	jour *txtrace.Journeys
+
 	Stats Stats
 }
 
@@ -217,6 +222,15 @@ type repMetrics struct {
 	syncChunks       *telemetry.Gauge
 	syncPages        *telemetry.Gauge
 	syncLastEpoch    *telemetry.Gauge
+
+	// Queueing/backpressure gauges (dl_queue_*), sampled at proposal
+	// cadence — the "where is the backlog" family.
+	qFront        *telemetry.Gauge
+	qClients      *telemetry.Gauge
+	qOldestAgeMs  *telemetry.Gauge
+	qProposalFill *telemetry.Gauge
+	qRetrieval    *telemetry.Gauge
+	qBA           *telemetry.Gauge
 }
 
 // fsyncBounds: 50µs .. ~1.6s, log-scale.
@@ -250,6 +264,12 @@ func newRepMetrics(m *telemetry.Metrics) repMetrics {
 		syncChunks:       reg.Gauge("dl_statesync_imported_chunks", "", "Verified chunk records adopted from donors."),
 		syncPages:        reg.Gauge("dl_statesync_served_pages", "", "State-sync pages served to joiners."),
 		syncLastEpoch:    reg.Gauge("dl_statesync_last_epoch", "", "Checkpoint position of the most recent bootstrap install."),
+		qFront:           reg.Gauge("dl_queue_mempool_txs", `shard="front"`, "Mempool depth by shard: re-proposal front vs client queues."),
+		qClients:         reg.Gauge("dl_queue_mempool_txs", `shard="clients"`, "Mempool depth by shard: re-proposal front vs client queues."),
+		qOldestAgeMs:     reg.Gauge("dl_queue_mempool_oldest_age_ms", "", "Age of the oldest queued transaction (ms)."),
+		qProposalFill:    reg.Gauge("dl_queue_proposal_fill_pct", "", "Last proposal's payload as a percentage of the batch-bytes target."),
+		qRetrieval:       reg.Gauge("dl_queue_retrieval_inflight", "", "Block retrievals started but not completed."),
+		qBA:              reg.Gauge("dl_queue_ba_inflight", "", "Binary-agreement instances without an output, across undecided epochs."),
 	}
 }
 
@@ -292,6 +312,7 @@ func NewWithStore(cfg core.Config, self int, params Params, st store.Store, ctx 
 		st:      st,
 		durable: st.Durable(),
 		tel:     newRepMetrics(params.Telemetry),
+		jour:    txtrace.New(params.Telemetry, txtrace.Options{}),
 	}
 	var recs []store.Record
 	cp, err := st.Recover(func(lsn uint64, rec store.Record) error {
@@ -464,6 +485,11 @@ func (r *Replica) Engine() *core.Engine { return r.engine }
 // Telemetry returns the node's telemetry bundle (nil when disabled).
 func (r *Replica) Telemetry() *telemetry.Metrics { return r.params.Telemetry }
 
+// Journeys returns the node's sampled transaction-journey collector
+// (nil — and inert — when telemetry is disabled). The gateway hub uses
+// it to attach admission and proof-stream durations.
+func (r *Replica) Journeys() *txtrace.Journeys { return r.jour }
+
 // SyncTracker exposes the node's state-sync checkpoint tracker (nil
 // without core.Config.StateSync). Access it only on the replica's loop.
 func (r *Replica) SyncTracker() *statesync.Tracker { return r.tracker }
@@ -491,7 +517,8 @@ func (r *Replica) Submit(tx []byte) {
 // on acceptance or one of mempool.ErrDuplicatePending,
 // mempool.ErrDuplicateCommitted, mempool.ErrOverCapacity.
 func (r *Replica) SubmitFrom(client uint64, tx []byte) error {
-	if err := r.pool.PushFrom(client, tx); err != nil {
+	now := r.ctx.Now()
+	if err := r.pool.PushFromAt(client, tx, now); err != nil {
 		r.Stats.RejectedSubmissions++
 		r.tel.rejected.Inc()
 		return err
@@ -500,6 +527,7 @@ func (r *Replica) SubmitFrom(client uint64, tx []byte) error {
 	r.Stats.SubmittedBytes += int64(len(tx))
 	r.tel.txsSubmitted.Inc()
 	r.tel.mempoolBytes.Set(int64(r.pool.PendingBytes()))
+	r.jour.Submitted(tx, now)
 	r.tryPropose()
 	return nil
 }
@@ -549,7 +577,7 @@ func (r *Replica) apply(actions []core.Action) {
 			r.proposalEmpty = act.Empty
 			r.tryPropose()
 		case core.ResubmitAction:
-			r.pool.PushFront(act.Txs)
+			r.pool.PushFrontAt(act.Txs, r.ctx.Now())
 			r.tel.mempoolBytes.Set(int64(r.pool.PendingBytes()))
 		case core.TimerAction:
 			token := act.Token
@@ -571,6 +599,10 @@ func (r *Replica) apply(actions []core.Action) {
 			r.Stats.EpochsDelivered++
 			r.sinceCkpt++
 			r.tel.epochsDelivered.Inc()
+			// Finalize the epoch's sampled journeys BEFORE the tracer's
+			// StageDeliver observation retires the inflight timeline the
+			// journeys join their epoch segment against.
+			r.jour.EpochDelivered(act.Epoch, r.ctx.Now())
 			if r.tel.trace != nil {
 				r.tel.trace.Observe(act.Epoch, telemetry.StageDeliver, r.ctx.Now())
 			}
@@ -872,6 +904,16 @@ func (r *Replica) onDeliver(act core.DeliverAction, hashes []mempool.Hash) {
 	for _, h := range hashes {
 		r.pool.Committed(h)
 	}
+	// A tx only ever rides its origin node's own proposal, so only our
+	// own blocks can carry sampled journeys — foreign blocks need no
+	// hashing.
+	if act.Proposer == r.self && r.jour != nil {
+		if hashes != nil {
+			r.jour.DeliveredHashes(hashes, now)
+		} else {
+			r.jour.DeliveredTxs(act.Txs, now)
+		}
+	}
 	r.Stats.DeliveredTxs += int64(len(act.Txs))
 	r.Stats.DeliveredPayload += int64(act.Payload)
 	r.tel.txsDelivered.Add(uint64(len(act.Txs)))
@@ -966,5 +1008,42 @@ func (r *Replica) propose(txs [][]byte) {
 		// indicates a bug; surface it loudly in tests via panic.
 		panic("replica: " + err.Error())
 	}
+	if r.jour != nil && len(txs) > 0 {
+		for _, a := range actions {
+			if act, ok := a.(core.ProposalMadeAction); ok {
+				r.jour.ProposedBatch(txs, act.Epoch, r.lastProposal)
+				break
+			}
+		}
+	}
+	r.updateQueueGauges(txs)
 	r.apply(actions)
+}
+
+// updateQueueGauges refreshes the dl_queue_* backlog family. Proposal
+// cadence (~10 Hz under load) keeps the O(clients + epochs held) scans
+// off the per-submission path.
+func (r *Replica) updateQueueGauges(proposal [][]byte) {
+	if r.tel.qFront == nil {
+		return
+	}
+	front := r.pool.FrontLen()
+	r.tel.qFront.Set(int64(front))
+	r.tel.qClients.Set(int64(r.pool.Len() - front))
+	age := int64(0)
+	if at, ok := r.pool.OldestAt(); ok {
+		age = int64((r.lastProposal - at) / time.Millisecond)
+	}
+	r.tel.qOldestAgeMs.Set(age)
+	target := r.params.batchBytes()
+	if r.params.FixedBlockBytes > 0 {
+		target = r.params.FixedBlockBytes
+	}
+	bytes := 0
+	for _, tx := range proposal {
+		bytes += len(tx)
+	}
+	r.tel.qProposalFill.Set(int64(bytes) * 100 / int64(target))
+	r.tel.qRetrieval.Set(int64(r.engine.RetrievalsInflight()))
+	r.tel.qBA.Set(int64(r.engine.BAInflight()))
 }

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"time"
 )
@@ -14,7 +15,13 @@ import (
 // mismatch instead of mis-parsing drifted payloads; bump it whenever an
 // existing field changes meaning or shape (adding fields is
 // backward-compatible and needs no bump).
-const StatusSchemaVersion = 1
+//
+// Version 2: the transaction-tracing release. dlctl's latency view
+// joins the dl_tx_phase_seconds histograms and the queues panel
+// across nodes; letting a v1 aggregator silently render a cluster
+// without them (or a v2 aggregator trust a v1 node to have them)
+// would misattribute latency, so the bump makes the mix fail loudly.
+const StatusSchemaVersion = 2
 
 // statusTimelines is the number of recent delivered epoch timelines
 // /statusz embeds for cross-node joining.
@@ -59,7 +66,23 @@ func NewAdminMux(m *Metrics, status StatusFunc) *http.ServeMux {
 			}
 		}
 		if reg := m.Registry(); reg != nil {
-			out["metrics"] = reg.Snapshot()
+			snap := reg.Snapshot()
+			out["metrics"] = snap
+			// Dedicated panels for the operator's two "where is my
+			// latency" questions: queue/backpressure gauges and the
+			// sampled per-transaction phase decomposition.
+			queues := map[string]any{}
+			phases := map[string]any{}
+			for k, v := range snap {
+				switch {
+				case strings.HasPrefix(k, "dl_queue_"):
+					queues[k] = v
+				case strings.HasPrefix(k, "dl_tx_phase_seconds"):
+					phases[k] = v
+				}
+			}
+			out["queues"] = queues
+			out["tx_phases"] = phases
 		}
 		if tr := m.Trace(); tr != nil {
 			slow := tr.SlowestEpochs(10)

@@ -38,15 +38,37 @@ const (
 	FlightDecide
 	// FlightDeliver: the epoch delivered to the application.
 	FlightDeliver
+	// FlightTxPhase: a sampled transaction journey passed a checkpoint
+	// (arg packs the first four hash bytes <<8 | a TxCheckpoint code;
+	// epoch is 0 until the tx lands in a proposal).
+	FlightTxPhase
 	// NumFlightKinds is the number of event kinds.
 	NumFlightKinds
 )
+
+// Transaction-journey checkpoint codes carried in FlightTxPhase's arg
+// low byte. They mark where along submit → commit a sampled tx was
+// last seen, so an invariant-failure dump shows the phase a stuck tx
+// stalled in.
+const (
+	// TxCheckpointEnqueued: accepted into the origin node's mempool.
+	TxCheckpointEnqueued int64 = iota
+	// TxCheckpointProposed: popped into this node's epoch proposal.
+	TxCheckpointProposed
+	// TxCheckpointDelivered: the containing block delivered locally.
+	TxCheckpointDelivered
+	// TxCheckpointCommitted: the whole epoch delivered; journey done.
+	TxCheckpointCommitted
+)
+
+// txCheckpointNames indexes TxCheckpoint codes -> label for exposition.
+var txCheckpointNames = [...]string{"enqueued", "proposed", "block_delivered", "committed"}
 
 // flightKindNames indexes FlightKind -> label for exposition.
 var flightKindNames = [NumFlightKinds]string{
 	"vote_cast", "peer_vote", "chunk_sent", "echo",
 	"retrieve_req", "retrieve_resp", "fsync", "sync_page",
-	"decide", "deliver",
+	"decide", "deliver", "tx_phase",
 }
 
 // String returns the kind's exposition label.
@@ -73,6 +95,13 @@ func (e FlightEvent) String() string {
 	s := fmt.Sprintf("%12s %-13s epoch=%d", e.At, e.Kind, e.Epoch)
 	if e.Peer >= 0 {
 		s += fmt.Sprintf(" peer=%d", e.Peer)
+	}
+	if e.Kind == FlightTxPhase {
+		cp := "unknown"
+		if c := e.Arg & 0xff; c >= 0 && int(c) < len(txCheckpointNames) {
+			cp = txCheckpointNames[c]
+		}
+		return s + fmt.Sprintf(" tx=%08x at=%s", uint32(e.Arg>>8), cp)
 	}
 	if e.Arg != 0 {
 		s += fmt.Sprintf(" arg=%d", e.Arg)

@@ -320,6 +320,24 @@ func (t *Tracer) ObservePeer(epoch uint64, ev PeerEvent, peer int, now time.Dura
 	t.mu.Unlock()
 }
 
+// Inflight returns a copy of epoch's not-yet-delivered timeline and
+// whether one exists. The transaction-journey layer joins its epoch
+// segment through this accessor at delivery time — before the
+// StageDeliver observation completes the timeline and moves it to the
+// delivered ring.
+func (t *Tracer) Inflight(epoch uint64) (Timeline, bool) {
+	if t == nil {
+		return Timeline{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tl := t.inflight[epoch]
+	if tl == nil {
+		return Timeline{}, false
+	}
+	return *tl, true
+}
+
 // Delivered returns the retained delivered timelines, oldest first.
 func (t *Tracer) Delivered() []Timeline {
 	if t == nil {

@@ -111,6 +111,10 @@ type tcpMetrics struct {
 	peerAcks     []*telemetry.Counter
 	peerReplayed []*telemetry.Counter
 	peerRTT      []*telemetry.Gauge
+	// peerWriteQueue is each link's outbound frame backlog (both
+	// classes), the transport half of the dl_queue_* backpressure
+	// family.
+	peerWriteQueue []*telemetry.Gauge
 }
 
 func newTCPMetrics(m *telemetry.Metrics, n, self int) tcpMetrics {
@@ -128,6 +132,7 @@ func newTCPMetrics(m *telemetry.Metrics, n, self int) tcpMetrics {
 	t.peerAcks = make([]*telemetry.Counter, n)
 	t.peerReplayed = make([]*telemetry.Counter, n)
 	t.peerRTT = make([]*telemetry.Gauge, n)
+	t.peerWriteQueue = make([]*telemetry.Gauge, n)
 	for i := 0; i < n; i++ {
 		if i == self {
 			continue
@@ -136,6 +141,7 @@ func newTCPMetrics(m *telemetry.Metrics, n, self int) tcpMetrics {
 		t.peerAcks[i] = reg.Counter("dl_transport_peer_acks_total", lbl, "Stream-position acks received, by peer link.")
 		t.peerReplayed[i] = reg.Counter("dl_transport_peer_replayed_frames_total", lbl, "Frames replayed after a reconnect, by peer link.")
 		t.peerRTT[i] = reg.Gauge("dl_transport_peer_rtt_us", lbl, "Latest dispersal-link round-trip estimate (flush to position ack), microseconds.")
+		t.peerWriteQueue[i] = reg.Gauge("dl_queue_transport_write", lbl, "Outbound frames queued but not yet handed to the socket, by peer link.")
 	}
 	return t
 }
@@ -483,8 +489,15 @@ func (p *tcpPeer) enqueue(env wire.Envelope, prio wire.Priority, stream uint64) 
 		})
 		p.lowN++
 	}
+	p.noteDepthLocked()
 	p.mu.Unlock()
 	p.cond.Broadcast()
+}
+
+// noteDepthLocked mirrors the link's outbound backlog into its
+// dl_queue_transport_write gauge. Caller holds p.mu.
+func (p *tcpPeer) noteDepthLocked() {
+	p.node.tel.peerWriteQueue[p.id].Set(int64(len(p.high) + p.lowN))
 }
 
 // purge drops queued ReturnChunk frames of one VID instance (stream
@@ -508,6 +521,7 @@ func (p *tcpPeer) purge(epoch uint64, proposer int) {
 			p.low[s] = kept
 		}
 	}
+	p.noteDepthLocked()
 }
 
 // nextFrames drains up to max queued frames of the given class into
@@ -537,6 +551,7 @@ func (p *tcpPeer) nextFrames(class int, into []*bufpool.Buf, max int) ([]*bufpoo
 					p.high[i] = nil
 				}
 				p.high = p.high[:rest]
+				p.noteDepthLocked()
 				return into, true
 			}
 		} else if p.lowN > 0 {
@@ -566,6 +581,7 @@ func (p *tcpPeer) nextFrames(class int, into []*bufpool.Buf, max int) ([]*bufpoo
 				}
 				p.lowN -= take
 			}
+			p.noteDepthLocked()
 			return into, true
 		}
 		p.cond.Wait()
